@@ -1,0 +1,18 @@
+// Package crystalchoice is a Go reproduction of "Simplifying Distributed
+// System Development" (Yabandeh, Vasić, Kostić, Kuncak — HotOS XII, 2009):
+// a programming model in which distributed services expose their choices
+// and objectives, and a CrystalBall-style predictive runtime resolves the
+// choices by exploring possible futures from a model of the system.
+//
+// The library lives under internal/: the discrete-event simulator (sim),
+// network model (netmodel), transport, the Mace-like state-machine
+// framework (sm), checkpoint collection, the consequence-prediction model
+// checker (explore), the predictive system model (model), the iPlane-like
+// information plane (iplane), the explicit-choice runtime (core) — the
+// paper's contribution — and four protocols built on it (apps/randtree,
+// apps/gossip, apps/dissem, apps/paxos).
+//
+// The benchmarks in bench_test.go regenerate every quantitative result in
+// the paper; see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// measured-vs-paper numbers.
+package crystalchoice

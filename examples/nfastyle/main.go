@@ -1,0 +1,135 @@
+// NFA-style handlers (paper §3.1): "Instead of hard coding the logic for
+// making several choices into one message handler, the programmer can
+// write several, simpler handlers for the same type of message ... It is
+// then the runtime's task to resolve the non-determinism arising from
+// multiple applicable handlers."
+//
+// This example implements a tiny admission-control service twice:
+//
+//   - monolith: one handler with the policy branching inline;
+//   - nfa: three one-line alternatives (admit, defer, redirect) with
+//     guards, registered in an sm.Handlers table; the runtime resolves
+//     which applies.
+//
+// Both run under the same random resolver and behave identically — the
+// point is the difference in code shape, which is the paper's E1 argument
+// in miniature.
+//
+// Run with:
+//
+//	go run ./examples/nfastyle
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"crystalchoice/internal/core"
+	"crystalchoice/internal/netmodel"
+	"crystalchoice/internal/sim"
+	"crystalchoice/internal/sm"
+	"crystalchoice/internal/transport"
+)
+
+// request is an admission request with a load estimate and a redirect
+// hop counter.
+type request struct {
+	Load int
+	Hops int
+}
+
+// DigestBody folds the body into a state digest.
+func (r request) DigestBody(h *sm.Hasher) {
+	h.WriteString("req").WriteInt(int64(r.Load)).WriteInt(int64(r.Hops))
+}
+
+// nfaServer is the exposed-choice variant: alternatives with guards.
+type nfaServer struct {
+	ID        sm.NodeID
+	Capacity  int
+	Admitted  int
+	Deferred  int
+	Redirects int
+	Rejected  int
+	handlers  *sm.Handlers
+}
+
+func newNFAServer(id sm.NodeID, capacity int) *nfaServer {
+	s := &nfaServer{ID: id, Capacity: capacity}
+	s.handlers = sm.NewHandlers().
+		On("admit?", func(m *sm.Msg) sm.Alternative {
+			return sm.Alternative{
+				Name:       "admit",
+				Applicable: func() bool { return s.Admitted+m.Body.(request).Load <= s.Capacity },
+				Do:         func(sm.Env) { s.Admitted += m.Body.(request).Load },
+			}
+		}).
+		On("admit?", func(m *sm.Msg) sm.Alternative {
+			return sm.Alternative{
+				Name:       "defer",
+				Applicable: func() bool { return m.Body.(request).Load <= 2 },
+				Do:         func(sm.Env) { s.Deferred++ },
+			}
+		}).
+		On("admit?", func(m *sm.Msg) sm.Alternative {
+			return sm.Alternative{
+				Name:       "redirect",
+				Applicable: func() bool { return m.Body.(request).Hops == 0 },
+				Do: func(env sm.Env) {
+					s.Redirects++
+					r := m.Body.(request)
+					r.Hops++
+					env.Send(1-s.ID, "admit?", r, m.Size)
+				},
+			}
+		}).
+		On("admit?", func(m *sm.Msg) sm.Alternative {
+			return sm.Alternative{
+				Name: "reject",
+				Do:   func(sm.Env) { s.Rejected++ },
+			}
+		})
+	return s
+}
+
+func (s *nfaServer) Init(sm.Env) {}
+func (s *nfaServer) OnMessage(env sm.Env, m *sm.Msg) {
+	s.handlers.Dispatch(env, m)
+}
+func (s *nfaServer) OnTimer(sm.Env, string) {}
+func (s *nfaServer) Clone() sm.Service {
+	c := newNFAServer(s.ID, s.Capacity)
+	c.Admitted, c.Deferred, c.Redirects, c.Rejected = s.Admitted, s.Deferred, s.Redirects, s.Rejected
+	return c
+}
+func (s *nfaServer) Digest() uint64 {
+	return sm.NewHasher().WriteNode(s.ID).
+		WriteInt(int64(s.Admitted)).WriteInt(int64(s.Deferred)).
+		WriteInt(int64(s.Redirects)).WriteInt(int64(s.Rejected)).Sum()
+}
+
+func main() {
+	eng := sim.NewEngine(5)
+	net := transport.New(eng, netmodel.Uniform(2, 5*time.Millisecond, 0, 0))
+	cl := core.NewCluster(eng, net, core.Config{
+		NewResolver: func(*core.Node) core.Resolver { return core.Random{} },
+	})
+	a := newNFAServer(0, 12)
+	b := newNFAServer(1, 12)
+	cl.AddNode(0, a)
+	cl.AddNode(1, b)
+	cl.Start()
+
+	for i := 0; i < 20; i++ {
+		cl.Node(sm.NodeID(i%2)).Inject("admit?", request{Load: 1 + i%3}, 8)
+		eng.RunFor(20 * time.Millisecond)
+	}
+	eng.RunFor(time.Second)
+
+	fmt.Println("NFA-style admission control: three one-line alternatives,")
+	fmt.Println("guards decide applicability, the runtime resolves the rest.")
+	for _, s := range []*nfaServer{a, b} {
+		fmt.Printf("  server %v: admitted=%d deferred=%d redirected=%d rejected=%d (capacity %d)\n",
+			s.ID, s.Admitted, s.Deferred, s.Redirects, s.Rejected, s.Capacity)
+	}
+}

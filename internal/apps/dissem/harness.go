@@ -1,0 +1,176 @@
+package dissem
+
+import (
+	"time"
+
+	"crystalchoice/internal/core"
+	"crystalchoice/internal/netmodel"
+	"crystalchoice/internal/sim"
+	"crystalchoice/internal/sm"
+	"crystalchoice/internal/transport"
+)
+
+// Strategy names the block-selection policy under test (experiment E6).
+type Strategy string
+
+// The strategies of the BulletPrime/BitTorrent discussion.
+const (
+	StrategyRandom     Strategy = "random"
+	StrategyRarest     Strategy = "rarest"
+	StrategyPredictive Strategy = "crystalball"
+)
+
+// Strategies lists all strategies in presentation order.
+var Strategies = []Strategy{StrategyRandom, StrategyRarest, StrategyPredictive}
+
+// Setting is the deployment environment of the run.
+type Setting string
+
+// The two settings whose crossover E6 demonstrates, plus a third that
+// models the seed's constraint as one shared uplink (all destinations
+// serialize through it) rather than per-pair caps.
+const (
+	SettingHomogeneous      Setting = "homogeneous"
+	SettingBottleneckSeed   Setting = "bottleneck-seed"
+	SettingSharedSeedUplink Setting = "shared-seed-uplink"
+)
+
+// Settings lists the two paper-profile settings (the E6 loops iterate
+// these); SettingSharedSeedUplink is exercised separately.
+var Settings = []Setting{SettingHomogeneous, SettingBottleneckSeed}
+
+// ExperimentConfig parameterizes a download run.
+type ExperimentConfig struct {
+	N         int // peers including the seed (node 0)
+	Blocks    int
+	BlockSize int
+	Seed      int64
+	Strategy  Strategy
+	Setting   Setting
+	// Latency is the uniform inter-peer latency.
+	Latency time.Duration
+	// Bandwidth is the per-pair bandwidth in bytes/sec.
+	Bandwidth float64
+	// SeedBandwidth caps the seed's upload per pair in the
+	// bottleneck-seed setting.
+	SeedBandwidth float64
+}
+
+func (c *ExperimentConfig) fill() {
+	if c.N == 0 {
+		c.N = 12
+	}
+	if c.Blocks == 0 {
+		c.Blocks = 24
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 64 << 10
+	}
+	if c.Latency == 0 {
+		c.Latency = 15 * time.Millisecond
+	}
+	if c.Bandwidth == 0 {
+		c.Bandwidth = 1 << 20
+	}
+	if c.SeedBandwidth == 0 {
+		c.SeedBandwidth = 96 << 10
+	}
+	if c.Setting == "" {
+		c.Setting = SettingHomogeneous
+	}
+}
+
+// Result summarizes one run.
+type Result struct {
+	Strategy Strategy
+	Setting  Setting
+	// MeanCompletion and MaxCompletion aggregate per-peer download times.
+	MeanCompletion, MaxCompletion time.Duration
+	Completed, Peers              int
+}
+
+// Run executes one download experiment.
+func Run(cfg ExperimentConfig) Result {
+	cfg.fill()
+	eng := sim.NewEngine(cfg.Seed)
+	top := netmodel.Uniform(cfg.N, cfg.Latency, cfg.Bandwidth, 0)
+	if cfg.Setting == SettingBottleneckSeed {
+		netmodel.BottleneckUpload(top, 0, cfg.SeedBandwidth)
+	}
+	net := transport.New(eng, top)
+	if cfg.Setting == SettingSharedSeedUplink {
+		// One uplink shared by all of the seed's transfers: concurrent
+		// leechers queue behind each other instead of each getting a
+		// capped private pipe.
+		net.SetUploadCapacity(0, 4*cfg.SeedBandwidth)
+	}
+
+	ccfg := core.Config{}
+	switch cfg.Strategy {
+	case StrategyRandom:
+		ccfg.NewResolver = func(*core.Node) core.Resolver { return core.Random{} }
+	case StrategyRarest:
+		ccfg.NewResolver = func(*core.Node) core.Resolver { return Rarest{} }
+	case StrategyPredictive:
+		ccfg.NewResolver = func(*core.Node) core.Resolver {
+			pr := core.NewPredictive(3)
+			pr.Explore = 0.25
+			return pr
+		}
+		ccfg.ObjectiveFor = AvailabilityObjective
+		ccfg.CheckpointInterval = 150 * time.Millisecond
+	default:
+		panic("dissem: unknown strategy " + string(cfg.Strategy))
+	}
+
+	cl := core.NewCluster(eng, net, ccfg)
+	var all []sm.NodeID
+	for i := 0; i < cfg.N; i++ {
+		all = append(all, sm.NodeID(i))
+	}
+	for i := 0; i < cfg.N; i++ {
+		swarm := make([]sm.NodeID, 0, cfg.N-1)
+		for _, id := range all {
+			if id != sm.NodeID(i) {
+				swarm = append(swarm, id)
+			}
+		}
+		cl.AddNode(sm.NodeID(i), New(sm.NodeID(i), swarm, cfg.Blocks, cfg.BlockSize, i == 0))
+	}
+	cl.Start()
+
+	// Run until every leecher completes or the deadline passes.
+	deadline := 10 * time.Minute
+	step := 500 * time.Millisecond
+	for elapsed := time.Duration(0); elapsed < deadline; elapsed += step {
+		eng.RunFor(step)
+		done := true
+		for i := 1; i < cfg.N; i++ {
+			if !cl.Node(sm.NodeID(i)).Service().(*Peer).Complete() {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+
+	res := Result{Strategy: cfg.Strategy, Setting: cfg.Setting, Peers: cfg.N - 1}
+	var total time.Duration
+	for i := 1; i < cfg.N; i++ {
+		p := cl.Node(sm.NodeID(i)).Service().(*Peer)
+		if !p.Complete() {
+			continue
+		}
+		res.Completed++
+		total += p.CompletedAt
+		if p.CompletedAt > res.MaxCompletion {
+			res.MaxCompletion = p.CompletedAt
+		}
+	}
+	if res.Completed > 0 {
+		res.MeanCompletion = total / time.Duration(res.Completed)
+	}
+	return res
+}

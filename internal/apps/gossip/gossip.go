@@ -1,0 +1,271 @@
+// Package gossip implements the epidemic dissemination example of paper
+// §3.1: nodes periodically pick a partner from their view and run a
+// push-pull anti-entropy exchange. The partner selection is the exposed
+// choice ("g.peer").
+//
+// Three resolution strategies reproduce the BAR Gossip discussion:
+//
+//   - Random (core.Random): the classic uniform partner choice;
+//   - Restricted (this package): BAR-Gossip-style — every node follows the
+//     same verifiable deterministic partner schedule, one partner per
+//     round. Reliability-friendly, but if the scheduled target sits behind
+//     a slow link the whole round stalls, and the shared schedule convoys
+//     everyone onto the same partner;
+//   - Predictive (core.NewPredictive + SpreadObjective): CrystalBall picks
+//     the partner whose exchange is predicted to spread the most new
+//     information per unit of predicted latency.
+package gossip
+
+import (
+	"sort"
+	"time"
+
+	"crystalchoice/internal/core"
+	"crystalchoice/internal/explore"
+	"crystalchoice/internal/sm"
+)
+
+// Message kinds and timers.
+const (
+	KindDigest  = "g.digest"
+	KindDelta   = "g.delta"
+	KindPublish = "g.publish"
+
+	timerRound = "g.round"
+)
+
+// RoundEvery is the gossip round period.
+const RoundEvery = 200 * time.Millisecond
+
+// Digest advertises the sender's update set.
+type Digest struct {
+	Have []int
+}
+
+// DigestBody folds the body into a state digest.
+func (d Digest) DigestBody(h *sm.Hasher) {
+	h.WriteString("gdig").WriteInt(int64(len(d.Have)))
+	for _, u := range d.Have {
+		h.WriteInt(int64(u))
+	}
+}
+
+// Delta carries updates the receiver lacks, plus the sender's own digest so
+// the receiver can complete the pull half of the exchange.
+type Delta struct {
+	Updates []int
+	Have    []int
+}
+
+// DigestBody folds the body into a state digest.
+func (d Delta) DigestBody(h *sm.Hasher) {
+	h.WriteString("gdel").WriteInt(int64(len(d.Updates)))
+	for _, u := range d.Updates {
+		h.WriteInt(int64(u))
+	}
+	h.WriteInt(int64(len(d.Have)))
+	for _, u := range d.Have {
+		h.WriteInt(int64(u))
+	}
+}
+
+// Publish introduces a new update at the receiving node.
+type Publish struct {
+	Update int
+}
+
+// DigestBody folds the body into a state digest.
+func (p Publish) DigestBody(h *sm.Hasher) { h.WriteString("gpub").WriteInt(int64(p.Update)) }
+
+// Peer is one gossip participant.
+type Peer struct {
+	ID   sm.NodeID
+	View []sm.NodeID
+	// Updates is the set of known update IDs.
+	Updates map[int]bool
+	// ExchangingWith marks the partner of the in-progress exchange (-1
+	// when idle). It is part of the state deliberately: lookahead
+	// objectives use it to charge the predicted link cost of the choice.
+	ExchangingWith sm.NodeID
+	// Received logs (update, time) on first receipt for the harness.
+	Received map[int]time.Duration
+}
+
+// New creates a gossip peer with the given view.
+func New(id sm.NodeID, view []sm.NodeID) *Peer {
+	return &Peer{
+		ID:             id,
+		View:           sm.CloneNodes(view),
+		Updates:        make(map[int]bool),
+		ExchangingWith: -1,
+		Received:       make(map[int]time.Duration),
+	}
+}
+
+// ProtocolName identifies the protocol in traces.
+func (p *Peer) ProtocolName() string { return "gossip" }
+
+// Neighbors returns the checkpoint neighborhood (the view).
+func (p *Peer) Neighbors() []sm.NodeID { return sm.CloneNodes(p.View) }
+
+// Init starts the round timer.
+func (p *Peer) Init(env sm.Env) {
+	env.SetTimer(timerRound, RoundEvery)
+}
+
+// OnTimer runs one gossip round: choose a partner, send our digest.
+func (p *Peer) OnTimer(env sm.Env, name string) {
+	if name != timerRound {
+		return
+	}
+	if len(p.View) > 0 {
+		i := env.Choose(sm.Choice{
+			Name:  "g.peer",
+			N:     len(p.View),
+			Label: func(i int) string { return p.View[i].String() },
+		})
+		partner := p.View[i]
+		p.ExchangingWith = partner
+		env.Send(partner, KindDigest, Digest{Have: p.have()}, 4*len(p.Updates)+16)
+	}
+	env.SetTimer(timerRound, RoundEvery)
+}
+
+// OnMessage handles protocol messages.
+func (p *Peer) OnMessage(env sm.Env, m *sm.Msg) {
+	switch m.Kind {
+	case KindPublish:
+		p.learn(env, m.Body.(Publish).Update)
+	case KindDigest:
+		d := m.Body.(Digest)
+		missing := p.missingFrom(d.Have)
+		env.Send(m.Src, KindDelta, Delta{Updates: missing, Have: p.have()}, 32*len(missing)+4*len(p.Updates)+16)
+	case KindDelta:
+		d := m.Body.(Delta)
+		// The sender computed what we lack from our digest; absorb it.
+		for _, u := range d.Updates {
+			p.learn(env, u)
+		}
+		// Pull half: send the partner what it lacks per its digest.
+		missing := p.missingFrom(d.Have)
+		if len(missing) > 0 {
+			env.Send(m.Src, KindDelta, Delta{Updates: missing}, 32*len(missing)+16)
+		}
+		if m.Src == p.ExchangingWith {
+			p.ExchangingWith = -1
+		}
+	}
+}
+
+func (p *Peer) learn(env sm.Env, u int) {
+	if !p.Updates[u] {
+		p.Updates[u] = true
+		p.Received[u] = env.Now()
+	}
+}
+
+// have returns the sorted update IDs.
+func (p *Peer) have() []int {
+	out := make([]int, 0, len(p.Updates))
+	for u := range p.Updates {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// missingFrom returns our updates absent from theirs (sorted).
+func (p *Peer) missingFrom(theirs []int) []int {
+	th := make(map[int]bool, len(theirs))
+	for _, u := range theirs {
+		th[u] = true
+	}
+	var out []int
+	for u := range p.Updates {
+		if !th[u] {
+			out = append(out, u)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// OnConnDown is a no-op: gossip tolerates broken links by design.
+func (p *Peer) OnConnDown(env sm.Env, peer sm.NodeID) {}
+
+// Clone deep-copies the peer.
+func (p *Peer) Clone() sm.Service {
+	c := *p
+	c.View = sm.CloneNodes(p.View)
+	c.Updates = make(map[int]bool, len(p.Updates))
+	for u := range p.Updates {
+		c.Updates[u] = true
+	}
+	c.Received = make(map[int]time.Duration, len(p.Received))
+	for u, t := range p.Received {
+		c.Received[u] = t
+	}
+	return &c
+}
+
+// Digest returns the stable state hash.
+func (p *Peer) Digest() uint64 {
+	h := sm.NewHasher()
+	h.WriteNode(p.ID).WriteNodes(p.View).WriteNode(p.ExchangingWith)
+	hs := p.have()
+	h.WriteInt(int64(len(hs)))
+	for _, u := range hs {
+		h.WriteInt(int64(u))
+	}
+	return h.Sum()
+}
+
+// Restricted is the BAR-Gossip-style resolver: partner selection follows a
+// fixed, globally known schedule — one designated partner per round,
+// identical position in everyone's schedule. (In BAR Gossip the schedule
+// is derived from a verifiable PRF so rational nodes cannot deviate; the
+// performance consequence is the same.)
+type Restricted struct {
+	round int
+}
+
+// Name returns "restricted".
+func (*Restricted) Name() string { return "restricted" }
+
+// Resolve returns the scheduled partner index for this round.
+func (r *Restricted) Resolve(n *core.Node, c sm.Choice) int {
+	if c.N <= 0 {
+		return 0
+	}
+	i := r.round % c.N
+	r.round++
+	return i
+}
+
+// SpreadObjective scores a world by information spread minus the predicted
+// cost of the links being used: each node in mid-exchange is charged its
+// estimated latency to the partner. The node's own network model supplies
+// the estimates — this is the paper's network model feeding choice
+// resolution.
+func SpreadObjective(n *core.Node) explore.Objective {
+	// One second of predicted link latency is worth one update of spread:
+	// strong enough to shun pathologically slow partners, weak enough
+	// that a partner holding fresh updates is always worth visiting.
+	const lambda = 6.0
+	return explore.ObjectiveFunc{ObjectiveName: "g.spread", Fn: func(w *explore.World) float64 {
+		spread := 0.0
+		cost := 0.0
+		for _, id := range w.Nodes() {
+			p, ok := w.Services[id].(*Peer)
+			if !ok {
+				continue
+			}
+			spread += float64(len(p.Updates))
+			if p.ExchangingWith >= 0 {
+				est := n.Model().Net.Latency(p.ExchangingWith, 50*time.Millisecond)
+				cost += est.Seconds()
+			}
+		}
+		return spread - lambda*cost
+	}}
+}

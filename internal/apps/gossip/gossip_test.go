@@ -1,0 +1,268 @@
+package gossip
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"crystalchoice/internal/sm"
+)
+
+type fakeEnv struct {
+	id     sm.NodeID
+	now    time.Duration
+	rng    *rand.Rand
+	sent   []*sm.Msg
+	timers map[string]time.Duration
+	choose func(c sm.Choice) int
+}
+
+func newFakeEnv(id sm.NodeID) *fakeEnv {
+	return &fakeEnv{id: id, rng: rand.New(rand.NewSource(1)), timers: make(map[string]time.Duration)}
+}
+
+func (e *fakeEnv) ID() sm.NodeID       { return e.id }
+func (e *fakeEnv) Now() time.Duration  { return e.now }
+func (e *fakeEnv) Rand() *rand.Rand    { return e.rng }
+func (e *fakeEnv) Logf(string, ...any) {}
+func (e *fakeEnv) Send(dst sm.NodeID, kind string, body any, size int) {
+	e.sent = append(e.sent, &sm.Msg{Src: e.id, Dst: dst, Kind: kind, Body: body, Size: size})
+}
+func (e *fakeEnv) SendDatagram(dst sm.NodeID, kind string, body any, size int) {
+	e.Send(dst, kind, body, size)
+}
+func (e *fakeEnv) SetTimer(name string, d time.Duration) { e.timers[name] = d }
+func (e *fakeEnv) CancelTimer(name string)               { delete(e.timers, name) }
+func (e *fakeEnv) Choose(c sm.Choice) int {
+	if e.choose != nil {
+		return e.choose(c)
+	}
+	return 0
+}
+
+func TestRoundSendsDigestToChosenPeer(t *testing.T) {
+	p := New(0, []sm.NodeID{1, 2, 3})
+	env := newFakeEnv(0)
+	p.Init(env)
+	env.choose = func(c sm.Choice) int {
+		if c.Name != "g.peer" || c.N != 3 {
+			t.Fatalf("unexpected choice %+v", c)
+		}
+		return 2
+	}
+	p.Updates[7] = true
+	p.OnTimer(env, timerRound)
+	if len(env.sent) != 1 || env.sent[0].Kind != KindDigest || env.sent[0].Dst != 3 {
+		t.Fatalf("sent = %+v", env.sent)
+	}
+	if p.ExchangingWith != 3 {
+		t.Fatalf("ExchangingWith = %v", p.ExchangingWith)
+	}
+	d := env.sent[0].Body.(Digest)
+	if len(d.Have) != 1 || d.Have[0] != 7 {
+		t.Fatalf("digest = %+v", d)
+	}
+	if _, ok := env.timers[timerRound]; !ok {
+		t.Fatal("round timer not rescheduled")
+	}
+}
+
+func TestDigestAnswersWithDelta(t *testing.T) {
+	p := New(1, []sm.NodeID{0})
+	env := newFakeEnv(1)
+	p.Updates[1] = true
+	p.Updates[2] = true
+	p.OnMessage(env, &sm.Msg{Src: 0, Kind: KindDigest, Body: Digest{Have: []int{2, 9}}})
+	if len(env.sent) != 1 || env.sent[0].Kind != KindDelta {
+		t.Fatalf("sent = %v", env.sent)
+	}
+	d := env.sent[0].Body.(Delta)
+	if len(d.Updates) != 1 || d.Updates[0] != 1 {
+		t.Fatalf("delta updates = %v, want [1]", d.Updates)
+	}
+	if len(d.Have) != 2 {
+		t.Fatalf("delta should carry own digest, got %v", d.Have)
+	}
+}
+
+func TestDeltaAbsorbsAndCompletesPull(t *testing.T) {
+	p := New(0, []sm.NodeID{1})
+	env := newFakeEnv(0)
+	p.Updates[5] = true
+	p.ExchangingWith = 1
+	p.OnMessage(env, &sm.Msg{Src: 1, Kind: KindDelta, Body: Delta{Updates: []int{8}, Have: []int{8}}})
+	if !p.Updates[8] {
+		t.Fatal("delta update not absorbed")
+	}
+	if p.Received[8] != env.now {
+		t.Fatal("receipt time not logged")
+	}
+	if p.ExchangingWith != -1 {
+		t.Fatal("exchange not closed")
+	}
+	// Pull half: we hold 5 which the partner lacks.
+	if len(env.sent) != 1 || env.sent[0].Kind != KindDelta {
+		t.Fatalf("pull half missing: %v", env.sent)
+	}
+	if got := env.sent[0].Body.(Delta).Updates; len(got) != 1 || got[0] != 5 {
+		t.Fatalf("pull delta = %v, want [5]", got)
+	}
+}
+
+func TestDeltaNoEchoWhenNothingMissing(t *testing.T) {
+	p := New(0, []sm.NodeID{1})
+	env := newFakeEnv(0)
+	p.OnMessage(env, &sm.Msg{Src: 1, Kind: KindDelta, Body: Delta{Updates: []int{3}, Have: []int{3}}})
+	if len(env.sent) != 0 {
+		t.Fatalf("empty pull should not be sent: %v", env.sent)
+	}
+}
+
+func TestLearnIdempotent(t *testing.T) {
+	p := New(0, nil)
+	env := newFakeEnv(0)
+	env.now = time.Second
+	p.learn(env, 3)
+	first := p.Received[3]
+	env.now = 2 * time.Second
+	p.learn(env, 3)
+	if p.Received[3] != first {
+		t.Fatal("re-learning overwrote first receipt time")
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	p := New(0, []sm.NodeID{1})
+	p.Updates[1] = true
+	c := p.Clone().(*Peer)
+	c.Updates[2] = true
+	if p.Updates[2] {
+		t.Fatal("clone shares update set")
+	}
+	if p.Digest() == c.Digest() {
+		t.Fatal("diverged clone digests collide")
+	}
+}
+
+func TestDigestOrderInsensitive(t *testing.T) {
+	a := New(0, []sm.NodeID{1, 2})
+	b := New(0, []sm.NodeID{1, 2})
+	for _, u := range []int{5, 1, 9} {
+		a.Updates[u] = true
+	}
+	for _, u := range []int{9, 5, 1} {
+		b.Updates[u] = true
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatal("digest depends on insertion order")
+	}
+}
+
+func TestRestrictedScheduleCycles(t *testing.T) {
+	r := &Restricted{}
+	var got []int
+	for i := 0; i < 6; i++ {
+		got = append(got, r.Resolve(nil, sm.Choice{Name: "g.peer", N: 3}))
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("schedule = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: after any exchange simulated through handlers, the union of
+// two peers' update sets is preserved (anti-entropy never loses updates).
+func TestExchangePreservesUnionProperty(t *testing.T) {
+	f := func(aUpd, bUpd []uint8) bool {
+		a, b := New(0, []sm.NodeID{1}), New(1, []sm.NodeID{0})
+		union := make(map[int]bool)
+		for _, u := range aUpd {
+			a.Updates[int(u)] = true
+			union[int(u)] = true
+		}
+		for _, u := range bUpd {
+			b.Updates[int(u)] = true
+			union[int(u)] = true
+		}
+		envA, envB := newFakeEnv(0), newFakeEnv(1)
+		// a initiates: digest -> b delta -> a absorbs + pull -> b absorbs.
+		a.ExchangingWith = 1
+		envA.sent = nil
+		a.OnTimer(envA, timerRound)
+		var digest *sm.Msg
+		for _, m := range envA.sent {
+			if m.Kind == KindDigest {
+				digest = m
+			}
+		}
+		if digest == nil {
+			return len(union) == 0 || true // no view => nothing to check
+		}
+		b.OnMessage(envB, digest)
+		for _, m := range envB.sent {
+			if m.Kind == KindDelta {
+				a.OnMessage(envA, &sm.Msg{Src: 1, Kind: KindDelta, Body: m.Body})
+			}
+		}
+		for _, m := range envA.sent {
+			if m.Kind == KindDelta {
+				b.OnMessage(envB, &sm.Msg{Src: 0, Kind: KindDelta, Body: m.Body})
+			}
+		}
+		for u := range union {
+			if !a.Updates[u] || !b.Updates[u] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- integration (experiment E5) ---
+
+func TestAllStrategiesAchieveCoverage(t *testing.T) {
+	for _, s := range Strategies {
+		r := Run(ExperimentConfig{N: 12, Seed: 4, Strategy: s, Updates: 4})
+		if r.Covered != r.Published {
+			t.Errorf("%s: covered %d/%d", s, r.Covered, r.Published)
+		}
+		if r.MeanDissemination <= 0 {
+			t.Errorf("%s: non-positive dissemination time", s)
+		}
+	}
+}
+
+// TestE5Shape pins the BAR Gossip claim: with slow nodes in the view, a
+// restricted (fixed-schedule) peer choice suffers on worst-case rounds,
+// while the predictive resolver — which can see link quality — keeps the
+// fast population's dissemination tail short. Deterministic fixed seeds.
+func TestE5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run simulation")
+	}
+	agg := map[Strategy]time.Duration{}
+	for _, s := range Strategies {
+		var tail time.Duration
+		for seed := int64(1); seed <= 3; seed++ {
+			r := Run(ExperimentConfig{N: 16, Seed: seed, Strategy: s, SlowNodes: 4, Updates: 6})
+			if r.Covered != r.Published {
+				t.Fatalf("%s seed %d: coverage incomplete", s, seed)
+			}
+			tail += r.FastMaxDissemination
+		}
+		agg[s] = tail
+	}
+	cb := agg[StrategyPredictive]
+	if cb >= agg[StrategyRandom] {
+		t.Errorf("shape: crystalball fast tail %v >= random %v", cb, agg[StrategyRandom])
+	}
+	if cb >= agg[StrategyRestricted] {
+		t.Errorf("shape: crystalball fast tail %v >= restricted %v", cb, agg[StrategyRestricted])
+	}
+}

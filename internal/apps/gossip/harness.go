@@ -1,0 +1,207 @@
+package gossip
+
+import (
+	"time"
+
+	"crystalchoice/internal/core"
+	"crystalchoice/internal/netmodel"
+	"crystalchoice/internal/sim"
+	"crystalchoice/internal/sm"
+	"crystalchoice/internal/transport"
+)
+
+// Strategy names the peer-selection policy under test (experiment E5).
+type Strategy string
+
+// The three strategies of the BAR Gossip discussion.
+const (
+	StrategyRandom     Strategy = "random"
+	StrategyRestricted Strategy = "restricted"
+	StrategyPredictive Strategy = "crystalball"
+)
+
+// Strategies lists all strategies in presentation order.
+var Strategies = []Strategy{StrategyRandom, StrategyRestricted, StrategyPredictive}
+
+// ExperimentConfig parameterizes a dissemination experiment.
+type ExperimentConfig struct {
+	N        int
+	Seed     int64
+	Strategy Strategy
+	// SlowNodes degrades this many nodes' links (latency ×8, bandwidth ÷8)
+	// to create the "target behind a slow network connection" setting.
+	SlowNodes int
+	// Updates is the number of updates published (at distinct nodes).
+	Updates int
+	// BaseLatency is the healthy inter-node latency.
+	BaseLatency time.Duration
+	// Exploration is the predictive resolver's ε (probability of a random
+	// partner). Zero uses the default 0.3; negative disables exploration.
+	Exploration float64
+	// Dynamic perturbs the network during the run (latency jitter plus
+	// occasional sharp per-pair degradations), exercising the paper's
+	// "choosing how to adapt to a change in the underlying network":
+	// the predictive resolver re-learns link quality from its passive
+	// measurements while fixed strategies cannot react.
+	Dynamic bool
+}
+
+func (c *ExperimentConfig) fill() {
+	if c.N == 0 {
+		c.N = 24
+	}
+	if c.Updates == 0 {
+		c.Updates = 8
+	}
+	if c.BaseLatency == 0 {
+		c.BaseLatency = 20 * time.Millisecond
+	}
+}
+
+// Result summarizes one run.
+type Result struct {
+	Strategy Strategy
+	// MeanDissemination is the average time from publish until every node
+	// holds the update.
+	MeanDissemination time.Duration
+	// MaxDissemination is the worst update's full-coverage time.
+	MaxDissemination time.Duration
+	// Covered counts updates that reached every node before the deadline.
+	Covered, Published int
+	// FastMeanDissemination and FastMaxDissemination measure coverage of
+	// the non-degraded population only — the BAR Gossip concern: rounds
+	// spent on a slow partner are rounds not spreading among fast nodes.
+	FastMeanDissemination time.Duration
+	FastMaxDissemination  time.Duration
+	FastCovered           int
+}
+
+// Run executes the experiment: publish cfg.Updates updates at staggered
+// times and measure how long each takes to reach all nodes.
+func Run(cfg ExperimentConfig) Result {
+	cfg.fill()
+	eng := sim.NewEngine(cfg.Seed)
+	top := netmodel.Uniform(cfg.N, cfg.BaseLatency, 1<<20, 0)
+	for i := 0; i < cfg.SlowNodes; i++ {
+		// Degrade the highest IDs so update publishing (low IDs) is fair.
+		netmodel.SlowNode(top, sm.NodeID(cfg.N-1-i), 25, 8)
+	}
+	net := transport.New(eng, top)
+	if cfg.Dynamic {
+		dyn := netmodel.NewDynamics(top, cfg.Seed+7)
+		dyn.LatencyJitter = 0.15
+		dyn.FlapProb = 0.02
+		dyn.DegradeFactor = 10
+		dyn.Drive(func(d time.Duration, fn func()) { eng.Schedule(d, fn) }, 500*time.Millisecond)
+	}
+
+	ccfg := core.Config{}
+	switch cfg.Strategy {
+	case StrategyRandom:
+		ccfg.NewResolver = func(*core.Node) core.Resolver { return core.Random{} }
+	case StrategyRestricted:
+		ccfg.NewResolver = func(*core.Node) core.Resolver { return &Restricted{} }
+	case StrategyPredictive:
+		// Depth 3 lets the lookahead see the pull half of the exchange
+		// land (digest -> delta -> learn), which is where the spread
+		// objective starts separating candidates.
+		eps := cfg.Exploration
+		if eps == 0 {
+			eps = 0.3 // default: decorrelate partner choices across the fleet
+		} else if eps < 0 {
+			eps = 0
+		}
+		ccfg.NewResolver = func(*core.Node) core.Resolver {
+			pr := core.NewPredictive(3)
+			pr.Explore = eps
+			return pr
+		}
+		ccfg.ObjectiveFor = SpreadObjective
+		ccfg.CheckpointInterval = 150 * time.Millisecond
+	default:
+		panic("gossip: unknown strategy " + string(cfg.Strategy))
+	}
+
+	cl := core.NewCluster(eng, net, ccfg)
+	var view []sm.NodeID
+	for i := 0; i < cfg.N; i++ {
+		view = append(view, sm.NodeID(i))
+	}
+	for i := 0; i < cfg.N; i++ {
+		v := make([]sm.NodeID, 0, cfg.N-1)
+		for _, id := range view {
+			if id != sm.NodeID(i) {
+				v = append(v, id)
+			}
+		}
+		cl.AddNode(sm.NodeID(i), New(sm.NodeID(i), v))
+	}
+	cl.Start()
+
+	type pub struct {
+		update int
+		at     time.Duration
+	}
+	var pubs []pub
+	for u := 0; u < cfg.Updates; u++ {
+		at := time.Duration(u) * 400 * time.Millisecond
+		origin := sm.NodeID(u % (cfg.N - cfg.SlowNodes))
+		u := u
+		eng.Schedule(at, func() {
+			node := cl.Node(origin)
+			node.Service().(*Peer).Updates[u] = true
+			node.Service().(*Peer).Received[u] = time.Duration(eng.Now())
+		})
+		pubs = append(pubs, pub{update: u, at: at})
+	}
+
+	deadline := time.Duration(cfg.Updates)*400*time.Millisecond + 60*time.Second
+	eng.RunFor(deadline)
+
+	res := Result{Strategy: cfg.Strategy, Published: cfg.Updates}
+	var total, fastTotal time.Duration
+	fastN := cfg.N - cfg.SlowNodes
+	for _, p := range pubs {
+		var worst, fastWorst time.Duration = -1, -1
+		all, fastAll := true, true
+		for i := 0; i < cfg.N; i++ {
+			peer := cl.Node(sm.NodeID(i)).Service().(*Peer)
+			at, ok := peer.Received[p.update]
+			if !ok {
+				all = false
+				if i < fastN {
+					fastAll = false
+				}
+				continue
+			}
+			d := at - p.at
+			if d > worst {
+				worst = d
+			}
+			if i < fastN && d > fastWorst {
+				fastWorst = d
+			}
+		}
+		if all {
+			res.Covered++
+			total += worst
+			if worst > res.MaxDissemination {
+				res.MaxDissemination = worst
+			}
+		}
+		if fastAll {
+			res.FastCovered++
+			fastTotal += fastWorst
+			if fastWorst > res.FastMaxDissemination {
+				res.FastMaxDissemination = fastWorst
+			}
+		}
+	}
+	if res.Covered > 0 {
+		res.MeanDissemination = total / time.Duration(res.Covered)
+	}
+	if res.FastCovered > 0 {
+		res.FastMeanDissemination = fastTotal / time.Duration(res.FastCovered)
+	}
+	return res
+}

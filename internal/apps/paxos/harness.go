@@ -1,0 +1,221 @@
+package paxos
+
+import (
+	"sort"
+	"time"
+
+	"crystalchoice/internal/core"
+	"crystalchoice/internal/explore"
+	"crystalchoice/internal/iplane"
+	"crystalchoice/internal/netmodel"
+	"crystalchoice/internal/sim"
+	"crystalchoice/internal/sm"
+	"crystalchoice/internal/trace"
+	"crystalchoice/internal/transport"
+)
+
+// Policy names the proposer-selection policy (experiment E7).
+type Policy string
+
+// The three proposer policies.
+const (
+	PolicyFixed      Policy = "fixed"      // classic single static leader (node 0)
+	PolicyRoundRobin Policy = "roundrobin" // Mencius' rotation
+	PolicyPredictive Policy = "crystalball"
+)
+
+// Policies lists all policies in presentation order.
+var Policies = []Policy{PolicyFixed, PolicyRoundRobin, PolicyPredictive}
+
+// ExperimentConfig parameterizes a WAN consensus run.
+type ExperimentConfig struct {
+	Sites    int // one replica per site
+	Seed     int64
+	Policy   Policy
+	Commands int
+	// Interarrival spaces command submissions.
+	Interarrival time.Duration
+	// InterSite overrides the inter-site latency matrix (Sites×Sites).
+	// Nil uses a default asymmetric WAN in which node 0 — the classic
+	// fixed leader — is the worst-placed replica.
+	InterSite [][]time.Duration
+	// UniformLatency, if positive, replaces the WAN with a uniform
+	// topology — used by the CPU-overload variant, where the interesting
+	// asymmetry is load rather than distance.
+	UniformLatency time.Duration
+	// WorkDelay models per-proposal CPU cost at the proposer (see
+	// Replica.WorkDelay). Zero disables CPU modeling.
+	WorkDelay time.Duration
+	Trace     *trace.Log
+}
+
+func (c *ExperimentConfig) fill() {
+	if c.Sites == 0 {
+		c.Sites = 5
+	}
+	if c.Commands == 0 {
+		c.Commands = 30
+	}
+	if c.Interarrival == 0 {
+		c.Interarrival = 150 * time.Millisecond
+	}
+}
+
+// DefaultWAN returns an asymmetric 5-site latency matrix: sites 1-3 form a
+// well-connected core, site 4 is moderate, and site 0 is remote — so the
+// "always node 0" fixed policy pays the worst quorum round trips.
+func DefaultWAN() [][]time.Duration {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	return [][]time.Duration{
+		{0, ms(120), ms(130), ms(140), ms(110)},
+		{ms(120), 0, ms(15), ms(20), ms(45)},
+		{ms(130), ms(15), 0, ms(18), ms(50)},
+		{ms(140), ms(20), ms(18), 0, ms(55)},
+		{ms(110), ms(45), ms(50), ms(55), 0},
+	}
+}
+
+// Result summarizes one run.
+type Result struct {
+	Policy Policy
+	// MeanCommit and P99Commit aggregate per-command commit latency as
+	// observed at the submitting node.
+	MeanCommit, P99Commit, MaxCommit time.Duration
+	Committed, Submitted             int
+	// ProposerLoad counts proposals per node.
+	ProposerLoad map[sm.NodeID]int
+}
+
+// LatencyObjective charges every open proposal the predicted time its
+// proposer still needs: two quorum round trips, using iPlane predictions.
+// Decided commands reward the score. This is the "let the runtime pick the
+// best proposer" objective of paper §3.1.
+func LatencyObjective(plane *iplane.Plane, sites int) func(n *core.Node) explore.Objective {
+	quorum := sites/2 + 1
+	// Precompute each node's quorum RTT from plane predictions.
+	cost := make([]float64, sites)
+	for p := 0; p < sites; p++ {
+		var oneWay []float64
+		for a := 0; a < sites; a++ {
+			if a == p {
+				oneWay = append(oneWay, 0)
+				continue
+			}
+			oneWay = append(oneWay, plane.Query(sm.NodeID(p), sm.NodeID(a)).Latency.Seconds())
+		}
+		sort.Float64s(oneWay)
+		// The proposer waits for the (quorum-1)-th fastest acceptor
+		// besides itself; two phases, each a round trip.
+		cost[p] = 4 * oneWay[quorum-1]
+	}
+	return func(n *core.Node) explore.Objective {
+		return explore.ObjectiveFunc{ObjectiveName: "px.latency", Fn: func(w *explore.World) float64 {
+			score := 0.0
+			for _, id := range w.Nodes() {
+				r, ok := w.Services[id].(*Replica)
+				if !ok {
+					continue
+				}
+				score += float64(len(r.Decided)) * 0.01
+				// A proposer's open proposals serialize behind each other
+				// (CPU and quorum round trips), so the k-th queued
+				// proposal costs ~k units: charge the triangular sum.
+				open := float64(r.OpenProposals())
+				score -= cost[int(id)%len(cost)] * open * (open + 1) / 2
+			}
+			return score
+		}}
+	}
+}
+
+// Run executes one consensus experiment.
+func Run(cfg ExperimentConfig) Result {
+	cfg.fill()
+	eng := sim.NewEngine(cfg.Seed)
+	var top *netmodel.Topology
+	if cfg.UniformLatency > 0 {
+		top = netmodel.Uniform(cfg.Sites, cfg.UniformLatency, 0, 0)
+	} else {
+		inter := cfg.InterSite
+		if inter == nil {
+			inter = DefaultWAN()
+		}
+		top = netmodel.WANClusters(cfg.Sites, 1, time.Millisecond, inter, 0)
+	}
+	net := transport.New(eng, top)
+	plane := iplane.New(top, cfg.Seed+1)
+	plane.NoiseFrac = 0.05
+
+	ccfg := core.Config{Trace: cfg.Trace}
+	switch cfg.Policy {
+	case PolicyFixed:
+		ccfg.NewResolver = func(*core.Node) core.Resolver { return core.First{} }
+	case PolicyRoundRobin:
+		ccfg.NewResolver = func(*core.Node) core.Resolver { return &core.RoundRobin{} }
+	case PolicyPredictive:
+		ccfg.NewResolver = func(*core.Node) core.Resolver { return core.NewPredictive(2) }
+		ccfg.ObjectiveFor = LatencyObjective(plane, cfg.Sites)
+		ccfg.CheckpointInterval = 300 * time.Millisecond
+	default:
+		panic("paxos: unknown policy " + string(cfg.Policy))
+	}
+
+	cl := core.NewCluster(eng, net, ccfg)
+	for i := 0; i < cfg.Sites; i++ {
+		rep := New(sm.NodeID(i), cfg.Sites)
+		rep.WorkDelay = cfg.WorkDelay
+		cl.AddNode(sm.NodeID(i), rep)
+	}
+	cl.Start()
+
+	// Submit commands at rotating origins.
+	rng := eng.Fork()
+	for c := 0; c < cfg.Commands; c++ {
+		at := time.Duration(c) * cfg.Interarrival
+		origin := sm.NodeID(rng.Intn(cfg.Sites))
+		c := c
+		eng.Schedule(at, func() {
+			cmd := Cmd{ID: c, Origin: origin, SubmitAt: time.Duration(eng.Now())}
+			cl.Node(origin).Inject(KindSubmit, Submit{Cmd: cmd}, 48)
+		})
+	}
+
+	eng.RunFor(time.Duration(cfg.Commands)*cfg.Interarrival + 30*time.Second)
+
+	res := Result{Policy: cfg.Policy, Submitted: cfg.Commands, ProposerLoad: make(map[sm.NodeID]int)}
+	var lat trace.Sample
+	var maxLat time.Duration
+	for i := 0; i < cfg.Sites; i++ {
+		rep := cl.Node(sm.NodeID(i)).Service().(*Replica)
+		res.ProposerLoad[sm.NodeID(i)] = rep.NextSlot
+		for _, inst := range sortedKeys(rep.Decided) {
+			v := rep.Decided[inst]
+			if v.Origin != sm.NodeID(i) {
+				continue
+			}
+			at, ok := rep.DecidedAt[v.ID]
+			if !ok {
+				continue
+			}
+			d := at - v.SubmitAt
+			lat.ObserveDuration(d)
+			if d > maxLat {
+				maxLat = d
+			}
+		}
+	}
+	res.Committed = lat.N()
+	res.MeanCommit = time.Duration(lat.Mean() * float64(time.Second))
+	res.P99Commit = time.Duration(lat.Percentile(99) * float64(time.Second))
+	res.MaxCommit = maxLat
+	return res
+}
+
+func sortedKeys(m map[int]Cmd) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

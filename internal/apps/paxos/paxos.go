@@ -1,0 +1,530 @@
+// Package paxos implements the consensus example of paper §3.1: a
+// multi-instance Paxos state machine in which the choice of proposer is
+// exposed to the runtime.
+//
+// Every node plays all three roles (proposer, acceptor, learner). To keep
+// concurrent proposers from dueling, the instance space is partitioned by
+// proposer identity (instance = slot*N + proposer), the same ownership
+// discipline Mencius uses. A client command enters at an arbitrary node;
+// that node chooses the proposer ("px.proposer") and forwards the command;
+// the proposer runs both Paxos phases and broadcasts the decision.
+//
+// Proposer policies of experiment E7:
+//
+//   - fixed: the classic deployment default — node 0 proposes everything;
+//   - roundrobin: Mencius' static rotation;
+//   - crystalball: predictive resolution against LatencyObjective, which
+//     charges every open proposal its proposer's predicted quorum round
+//     trips (network predictions served by the iPlane).
+package paxos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"crystalchoice/internal/sm"
+)
+
+// Message kinds and timers.
+const (
+	KindSubmit   = "px.submit"
+	KindPropose  = "px.propose"
+	KindPrepare  = "px.prepare"
+	KindPromise  = "px.promise"
+	KindAccept   = "px.accept"
+	KindAccepted = "px.accepted"
+	KindLearn    = "px.learn"
+
+	timerRetryPrefix    = "px.retry."
+	timerResubmitPrefix = "px.resubmit."
+)
+
+// retryAfter is the per-instance proposal retry timeout.
+const retryAfter = 2 * time.Second
+
+// resubmitAfter is how long the submitting node waits for its command to
+// be learned before routing it again (possibly to a different proposer —
+// the exposed choice is made afresh on every attempt).
+const resubmitAfter = 3 * time.Second
+
+// timerCPU drains the proposer's work queue when WorkDelay > 0.
+const timerCPU = "px.cpu"
+
+// Cmd is a replicated command.
+type Cmd struct {
+	ID       int
+	Origin   sm.NodeID
+	SubmitAt time.Duration
+}
+
+// DigestBody folds the body into a state digest.
+func (c Cmd) DigestBody(h *sm.Hasher) {
+	h.WriteString("cmd").WriteInt(int64(c.ID)).WriteNode(c.Origin).WriteInt(int64(c.SubmitAt))
+}
+
+// Submit introduces a command at any node.
+type Submit struct{ Cmd Cmd }
+
+// DigestBody folds the body into a state digest.
+func (s Submit) DigestBody(h *sm.Hasher) { s.Cmd.DigestBody(h) }
+
+// Propose hands a command to the chosen proposer.
+type Propose struct{ Cmd Cmd }
+
+// DigestBody folds the body into a state digest.
+func (p Propose) DigestBody(h *sm.Hasher) { p.Cmd.DigestBody(h) }
+
+// Prepare is Paxos phase-1a.
+type Prepare struct {
+	Inst   int
+	Ballot int
+}
+
+// DigestBody folds the body into a state digest.
+func (p Prepare) DigestBody(h *sm.Hasher) {
+	h.WriteString("p1a").WriteInt(int64(p.Inst)).WriteInt(int64(p.Ballot))
+}
+
+// Promise is Paxos phase-1b.
+type Promise struct {
+	Inst      int
+	Ballot    int
+	AccBallot int  // highest ballot accepted before the promise, -1 if none
+	AccVal    *Cmd // value accepted under AccBallot
+}
+
+// DigestBody folds the body into a state digest.
+func (p Promise) DigestBody(h *sm.Hasher) {
+	h.WriteString("p1b").WriteInt(int64(p.Inst)).WriteInt(int64(p.Ballot)).WriteInt(int64(p.AccBallot))
+	if p.AccVal != nil {
+		p.AccVal.DigestBody(h)
+	}
+}
+
+// Accept is Paxos phase-2a.
+type Accept struct {
+	Inst   int
+	Ballot int
+	Val    Cmd
+}
+
+// DigestBody folds the body into a state digest.
+func (a Accept) DigestBody(h *sm.Hasher) {
+	h.WriteString("p2a").WriteInt(int64(a.Inst)).WriteInt(int64(a.Ballot))
+	a.Val.DigestBody(h)
+}
+
+// Accepted is Paxos phase-2b.
+type Accepted struct {
+	Inst   int
+	Ballot int
+}
+
+// DigestBody folds the body into a state digest.
+func (a Accepted) DigestBody(h *sm.Hasher) {
+	h.WriteString("p2b").WriteInt(int64(a.Inst)).WriteInt(int64(a.Ballot))
+}
+
+// Learn broadcasts a decision.
+type Learn struct {
+	Inst int
+	Val  Cmd
+}
+
+// DigestBody folds the body into a state digest.
+func (l Learn) DigestBody(h *sm.Hasher) {
+	h.WriteString("lrn").WriteInt(int64(l.Inst))
+	l.Val.DigestBody(h)
+}
+
+// accState is the acceptor's per-instance record.
+type accState struct {
+	Promised  int
+	AccBallot int
+	AccVal    *Cmd
+}
+
+// propState tracks an open proposal owned by this node.
+type propState struct {
+	Val      Cmd
+	Ballot   int
+	Promises map[sm.NodeID]bool
+	// HighestAcc tracks the highest-ballot previously accepted value seen
+	// in promises, which Paxos obliges the proposer to adopt.
+	HighestAccBallot int
+	HighestAccVal    *Cmd
+	Accepts          map[sm.NodeID]bool
+	Phase            int // 1 or 2
+	Done             bool
+}
+
+// Replica is one Paxos participant (proposer+acceptor+learner).
+type Replica struct {
+	ID    sm.NodeID
+	N     int
+	Peers []sm.NodeID // all nodes including self
+
+	NextSlot int
+	Props    map[int]*propState
+	Acc      map[int]*accState
+	Decided  map[int]Cmd
+	// DecidedAt records, at the command's origin, when the decision was
+	// learned (the commit latency numerator for experiment E7).
+	DecidedAt map[int]time.Duration
+	// PendingCmds tracks commands this node submitted that are not yet
+	// learned; they are re-routed after resubmitAfter (client retry).
+	PendingCmds map[int]Cmd
+	// OpenProposals counts in-flight proposals per proposer as known to
+	// this node; the latency objective reads it from checkpoints.
+	openLocal int
+
+	// WorkDelay models proposer CPU cost per proposal (paper §3.1: a
+	// static leader "can suffer from reduced performance due to CPU
+	// overload"). When positive, each new proposal queues for WorkDelay
+	// of processing before its phase-1 broadcast goes out; a loaded
+	// proposer therefore serializes.
+	WorkDelay time.Duration
+	workQueue []int // instances awaiting CPU
+	cpuBusy   bool
+}
+
+// New creates a replica among n nodes.
+func New(id sm.NodeID, n int) *Replica {
+	peers := make([]sm.NodeID, n)
+	for i := range peers {
+		peers[i] = sm.NodeID(i)
+	}
+	return &Replica{
+		ID:          id,
+		N:           n,
+		Peers:       peers,
+		Props:       make(map[int]*propState),
+		Acc:         make(map[int]*accState),
+		Decided:     make(map[int]Cmd),
+		DecidedAt:   make(map[int]time.Duration),
+		PendingCmds: make(map[int]Cmd),
+	}
+}
+
+// ProtocolName identifies the protocol in traces.
+func (r *Replica) ProtocolName() string { return "paxos" }
+
+// Init is a no-op: replicas are driven by submissions.
+func (r *Replica) Init(env sm.Env) {}
+
+// majority returns the quorum size.
+func (r *Replica) majority() int { return r.N/2 + 1 }
+
+// OnMessage dispatches protocol messages.
+func (r *Replica) OnMessage(env sm.Env, m *sm.Msg) {
+	switch m.Kind {
+	case KindSubmit:
+		r.onSubmit(env, m.Body.(Submit).Cmd)
+	case KindPropose:
+		r.startProposal(env, m.Body.(Propose).Cmd)
+	case KindPrepare:
+		r.onPrepare(env, m.Src, m.Body.(Prepare))
+	case KindPromise:
+		r.onPromise(env, m.Src, m.Body.(Promise))
+	case KindAccept:
+		r.onAccept(env, m.Src, m.Body.(Accept))
+	case KindAccepted:
+		r.onAccepted(env, m.Src, m.Body.(Accepted))
+	case KindLearn:
+		r.onLearn(env, m.Body.(Learn))
+	}
+}
+
+// onSubmit exposes the proposer choice and routes the command, arming the
+// client-retry timer when this node is the command's origin.
+func (r *Replica) onSubmit(env sm.Env, cmd Cmd) {
+	if cmd.Origin == r.ID {
+		if _, done := r.DecidedAt[cmd.ID]; done {
+			return // already learned; stale resubmission
+		}
+		r.PendingCmds[cmd.ID] = cmd
+		env.SetTimer(resubmitTimer(cmd.ID), resubmitAfter)
+	}
+	i := env.Choose(sm.Choice{
+		Name:  "px.proposer",
+		N:     len(r.Peers),
+		Label: func(i int) string { return r.Peers[i].String() },
+	})
+	proposer := r.Peers[i]
+	if proposer == r.ID {
+		r.startProposal(env, cmd)
+		return
+	}
+	env.Send(proposer, KindPropose, Propose{Cmd: cmd}, 48)
+}
+
+// startProposal opens a new instance owned by this node and runs phase 1
+// (immediately, or after queued CPU work when WorkDelay is set).
+func (r *Replica) startProposal(env sm.Env, cmd Cmd) {
+	inst := r.NextSlot*r.N + int(r.ID)
+	r.NextSlot++
+	r.Props[inst] = &propState{
+		Val:              cmd,
+		Ballot:           int(r.ID) + 1,
+		Promises:         make(map[sm.NodeID]bool),
+		Accepts:          make(map[sm.NodeID]bool),
+		HighestAccBallot: -1,
+		Phase:            1,
+	}
+	r.openLocal++
+	if r.WorkDelay > 0 {
+		r.workQueue = append(r.workQueue, inst)
+		if !r.cpuBusy {
+			r.cpuBusy = true
+			env.SetTimer(timerCPU, r.WorkDelay)
+		}
+		return
+	}
+	r.broadcastPrepare(env, inst)
+}
+
+// broadcastPrepare issues the phase-1 round for an owned instance.
+func (r *Replica) broadcastPrepare(env sm.Env, inst int) {
+	prop := r.Props[inst]
+	if prop == nil || prop.Done {
+		return
+	}
+	for _, p := range r.Peers {
+		env.Send(p, KindPrepare, Prepare{Inst: inst, Ballot: prop.Ballot}, 24)
+	}
+	env.SetTimer(retryTimer(inst), retryAfter)
+}
+
+func retryTimer(inst int) string { return fmt.Sprintf("%s%d", timerRetryPrefix, inst) }
+
+func resubmitTimer(cmdID int) string { return fmt.Sprintf("%s%d", timerResubmitPrefix, cmdID) }
+
+// onPrepare is the acceptor's phase-1b.
+func (r *Replica) onPrepare(env sm.Env, src sm.NodeID, p Prepare) {
+	a := r.acc(p.Inst)
+	if p.Ballot <= a.Promised && a.Promised != 0 {
+		return // already promised a higher (or equal) ballot: ignore
+	}
+	a.Promised = p.Ballot
+	env.Send(src, KindPromise, Promise{
+		Inst:      p.Inst,
+		Ballot:    p.Ballot,
+		AccBallot: a.AccBallot,
+		AccVal:    a.AccVal,
+	}, 32)
+}
+
+func (r *Replica) acc(inst int) *accState {
+	a := r.Acc[inst]
+	if a == nil {
+		a = &accState{AccBallot: -1}
+		r.Acc[inst] = a
+	}
+	return a
+}
+
+// onPromise gathers phase-1b votes and moves to phase 2 on quorum.
+func (r *Replica) onPromise(env sm.Env, src sm.NodeID, p Promise) {
+	prop := r.Props[p.Inst]
+	if prop == nil || prop.Done || prop.Phase != 1 || p.Ballot != prop.Ballot {
+		return
+	}
+	prop.Promises[src] = true
+	if p.AccBallot > prop.HighestAccBallot && p.AccVal != nil {
+		prop.HighestAccBallot = p.AccBallot
+		prop.HighestAccVal = p.AccVal
+	}
+	if len(prop.Promises) < r.majority() {
+		return
+	}
+	prop.Phase = 2
+	val := prop.Val
+	if prop.HighestAccVal != nil {
+		val = *prop.HighestAccVal // obligation: adopt highest accepted
+	}
+	for _, peer := range r.Peers {
+		env.Send(peer, KindAccept, Accept{Inst: p.Inst, Ballot: prop.Ballot, Val: val}, 56)
+	}
+}
+
+// onAccept is the acceptor's phase-2b.
+func (r *Replica) onAccept(env sm.Env, src sm.NodeID, a Accept) {
+	st := r.acc(a.Inst)
+	if a.Ballot < st.Promised {
+		return
+	}
+	st.Promised = a.Ballot
+	st.AccBallot = a.Ballot
+	v := a.Val
+	st.AccVal = &v
+	env.Send(src, KindAccepted, Accepted{Inst: a.Inst, Ballot: a.Ballot}, 24)
+}
+
+// onAccepted gathers phase-2b votes; on quorum the value is decided.
+func (r *Replica) onAccepted(env sm.Env, src sm.NodeID, a Accepted) {
+	prop := r.Props[a.Inst]
+	if prop == nil || prop.Done || prop.Phase != 2 || a.Ballot != prop.Ballot {
+		return
+	}
+	prop.Accepts[src] = true
+	if len(prop.Accepts) < r.majority() {
+		return
+	}
+	prop.Done = true
+	if r.openLocal > 0 {
+		r.openLocal--
+	}
+	env.CancelTimer(retryTimer(a.Inst))
+	val := prop.Val
+	if prop.HighestAccVal != nil {
+		val = *prop.HighestAccVal
+	}
+	for _, peer := range r.Peers {
+		env.Send(peer, KindLearn, Learn{Inst: a.Inst, Val: val}, 56)
+	}
+}
+
+// onLearn installs a decision.
+func (r *Replica) onLearn(env sm.Env, l Learn) {
+	if _, dup := r.Decided[l.Inst]; dup {
+		return
+	}
+	r.Decided[l.Inst] = l.Val
+	if l.Val.Origin == r.ID {
+		if _, seen := r.DecidedAt[l.Val.ID]; !seen {
+			r.DecidedAt[l.Val.ID] = env.Now()
+		}
+		delete(r.PendingCmds, l.Val.ID)
+		env.CancelTimer(resubmitTimer(l.Val.ID))
+	}
+}
+
+// OnTimer drains queued proposer work, resubmits unlearned commands, and
+// retries stalled proposals.
+func (r *Replica) OnTimer(env sm.Env, name string) {
+	if len(name) > len(timerResubmitPrefix) && name[:len(timerResubmitPrefix)] == timerResubmitPrefix {
+		var cmdID int
+		if _, err := fmt.Sscanf(name[len(timerResubmitPrefix):], "%d", &cmdID); err != nil {
+			return
+		}
+		if cmd, pending := r.PendingCmds[cmdID]; pending {
+			r.onSubmit(env, cmd) // choose a proposer afresh
+		}
+		return
+	}
+	if name == timerCPU {
+		if len(r.workQueue) > 0 {
+			inst := r.workQueue[0]
+			r.workQueue = r.workQueue[1:]
+			r.broadcastPrepare(env, inst)
+		}
+		if len(r.workQueue) > 0 {
+			env.SetTimer(timerCPU, r.WorkDelay)
+		} else {
+			r.cpuBusy = false
+		}
+		return
+	}
+	if len(name) <= len(timerRetryPrefix) || name[:len(timerRetryPrefix)] != timerRetryPrefix {
+		return
+	}
+	var inst int
+	if _, err := fmt.Sscanf(name[len(timerRetryPrefix):], "%d", &inst); err != nil {
+		return
+	}
+	prop := r.Props[inst]
+	if prop == nil || prop.Done {
+		return
+	}
+	prop.Ballot += r.N
+	prop.Phase = 1
+	prop.Promises = make(map[sm.NodeID]bool)
+	prop.Accepts = make(map[sm.NodeID]bool)
+	for _, p := range r.Peers {
+		env.Send(p, KindPrepare, Prepare{Inst: inst, Ballot: prop.Ballot}, 24)
+	}
+	env.SetTimer(name, retryAfter)
+}
+
+// OnConnDown is a no-op: Paxos tolerates lost messages via retry.
+func (r *Replica) OnConnDown(env sm.Env, peer sm.NodeID) {}
+
+// OpenProposals returns the number of proposals this node is driving.
+func (r *Replica) OpenProposals() int { return r.openLocal }
+
+// Clone deep-copies the replica.
+func (r *Replica) Clone() sm.Service {
+	c := *r
+	c.Peers = sm.CloneNodes(r.Peers)
+	c.Props = make(map[int]*propState, len(r.Props))
+	for inst, p := range r.Props {
+		cp := *p
+		cp.Promises = sm.CloneNodeSet(p.Promises)
+		cp.Accepts = sm.CloneNodeSet(p.Accepts)
+		if p.HighestAccVal != nil {
+			v := *p.HighestAccVal
+			cp.HighestAccVal = &v
+		}
+		c.Props[inst] = &cp
+	}
+	c.Acc = make(map[int]*accState, len(r.Acc))
+	for inst, a := range r.Acc {
+		ca := *a
+		if a.AccVal != nil {
+			v := *a.AccVal
+			ca.AccVal = &v
+		}
+		c.Acc[inst] = &ca
+	}
+	c.Decided = make(map[int]Cmd, len(r.Decided))
+	for inst, v := range r.Decided {
+		c.Decided[inst] = v
+	}
+	c.DecidedAt = make(map[int]time.Duration, len(r.DecidedAt))
+	for id, at := range r.DecidedAt {
+		c.DecidedAt[id] = at
+	}
+	c.workQueue = append([]int(nil), r.workQueue...)
+	c.PendingCmds = make(map[int]Cmd, len(r.PendingCmds))
+	for id, cmd := range r.PendingCmds {
+		c.PendingCmds[id] = cmd
+	}
+	return &c
+}
+
+// Digest returns the stable state hash.
+func (r *Replica) Digest() uint64 {
+	h := sm.NewHasher()
+	h.WriteNode(r.ID).WriteInt(int64(r.N)).WriteInt(int64(r.NextSlot)).WriteInt(int64(r.openLocal))
+	h.WriteInt(int64(len(r.workQueue))).WriteBool(r.cpuBusy).WriteInt(int64(len(r.PendingCmds)))
+	insts := make([]int, 0, len(r.Decided))
+	for inst := range r.Decided {
+		insts = append(insts, inst)
+	}
+	sort.Ints(insts)
+	for _, inst := range insts {
+		v := r.Decided[inst]
+		h.WriteInt(int64(inst)).WriteInt(int64(v.ID)).WriteNode(v.Origin)
+	}
+	pinsts := make([]int, 0, len(r.Props))
+	for inst := range r.Props {
+		pinsts = append(pinsts, inst)
+	}
+	sort.Ints(pinsts)
+	for _, inst := range pinsts {
+		p := r.Props[inst]
+		h.WriteInt(int64(inst)).WriteInt(int64(p.Ballot)).WriteInt(int64(p.Phase)).WriteBool(p.Done)
+		h.WriteInt(int64(len(p.Promises))).WriteInt(int64(len(p.Accepts)))
+	}
+	ainsts := make([]int, 0, len(r.Acc))
+	for inst := range r.Acc {
+		ainsts = append(ainsts, inst)
+	}
+	sort.Ints(ainsts)
+	for _, inst := range ainsts {
+		a := r.Acc[inst]
+		h.WriteInt(int64(inst)).WriteInt(int64(a.Promised)).WriteInt(int64(a.AccBallot))
+	}
+	return h.Sum()
+}

@@ -1,0 +1,327 @@
+package paxos
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"crystalchoice/internal/sm"
+)
+
+// pumpEnv collects sends into a shared queue keyed by destination.
+type pumpEnv struct {
+	id     sm.NodeID
+	queue  *[]*sm.Msg
+	rng    *rand.Rand
+	timers map[string]bool
+	choose func(c sm.Choice) int
+}
+
+func newPump(id sm.NodeID, queue *[]*sm.Msg) *pumpEnv {
+	return &pumpEnv{id: id, queue: queue, rng: rand.New(rand.NewSource(int64(id) + 1)), timers: map[string]bool{}}
+}
+
+func (e *pumpEnv) ID() sm.NodeID       { return e.id }
+func (e *pumpEnv) Now() time.Duration  { return 0 }
+func (e *pumpEnv) Rand() *rand.Rand    { return e.rng }
+func (e *pumpEnv) Logf(string, ...any) {}
+func (e *pumpEnv) Send(dst sm.NodeID, kind string, body any, size int) {
+	*e.queue = append(*e.queue, &sm.Msg{Src: e.id, Dst: dst, Kind: kind, Body: body, Size: size})
+}
+func (e *pumpEnv) SendDatagram(dst sm.NodeID, kind string, body any, size int) {
+	e.Send(dst, kind, body, size)
+}
+func (e *pumpEnv) SetTimer(name string, d time.Duration) { e.timers[name] = true }
+func (e *pumpEnv) CancelTimer(name string)               { delete(e.timers, name) }
+func (e *pumpEnv) Choose(c sm.Choice) int {
+	if e.choose != nil {
+		return e.choose(c)
+	}
+	return 0
+}
+
+// cluster builds n replicas wired through one message queue.
+func cluster(n int) ([]*Replica, []*pumpEnv, *[]*sm.Msg) {
+	queue := &[]*sm.Msg{}
+	reps := make([]*Replica, n)
+	envs := make([]*pumpEnv, n)
+	for i := 0; i < n; i++ {
+		reps[i] = New(sm.NodeID(i), n)
+		envs[i] = newPump(sm.NodeID(i), queue)
+	}
+	return reps, envs, queue
+}
+
+// pump delivers queued messages FIFO until quiescent.
+func pump(reps []*Replica, envs []*pumpEnv, queue *[]*sm.Msg) {
+	for len(*queue) > 0 {
+		m := (*queue)[0]
+		*queue = (*queue)[1:]
+		reps[m.Dst].OnMessage(envs[m.Dst], m)
+	}
+}
+
+// pumpShuffled delivers queued messages in random order, optionally
+// duplicating some (Paxos must tolerate both).
+func pumpShuffled(reps []*Replica, envs []*pumpEnv, queue *[]*sm.Msg, rng *rand.Rand, dupFrac float64) {
+	for len(*queue) > 0 {
+		i := rng.Intn(len(*queue))
+		m := (*queue)[i]
+		*queue = append((*queue)[:i], (*queue)[i+1:]...)
+		reps[m.Dst].OnMessage(envs[m.Dst], m)
+		if rng.Float64() < dupFrac {
+			reps[m.Dst].OnMessage(envs[m.Dst], m) // duplicate delivery
+		}
+	}
+}
+
+func TestHappyPathDecides(t *testing.T) {
+	reps, envs, queue := cluster(3)
+	cmd := Cmd{ID: 1, Origin: 0}
+	envs[0].choose = func(c sm.Choice) int { return 0 } // propose at self
+	reps[0].OnMessage(envs[0], &sm.Msg{Src: 0, Dst: 0, Kind: KindSubmit, Body: Submit{Cmd: cmd}})
+	pump(reps, envs, queue)
+	for i, r := range reps {
+		v, ok := r.Decided[0]
+		if !ok {
+			t.Fatalf("replica %d did not learn instance 0", i)
+		}
+		if v.ID != 1 {
+			t.Fatalf("replica %d decided %+v", i, v)
+		}
+	}
+	if _, ok := reps[0].DecidedAt[1]; !ok {
+		t.Fatal("origin did not record commit time")
+	}
+}
+
+func TestSubmitForwardsToChosenProposer(t *testing.T) {
+	reps, envs, queue := cluster(3)
+	envs[1].choose = func(c sm.Choice) int {
+		if c.Name != "px.proposer" || c.N != 3 {
+			t.Fatalf("unexpected choice %+v", c)
+		}
+		return 2
+	}
+	reps[1].OnMessage(envs[1], &sm.Msg{Src: 1, Dst: 1, Kind: KindSubmit, Body: Submit{Cmd: Cmd{ID: 9, Origin: 1}}})
+	pump(reps, envs, queue)
+	// Instance must belong to node 2's space (inst % 3 == 2).
+	if reps[2].NextSlot != 1 {
+		t.Fatal("chosen proposer did not open a proposal")
+	}
+	for _, r := range reps {
+		if len(r.Decided) != 1 {
+			t.Fatalf("decision count = %d", len(r.Decided))
+		}
+		for inst := range r.Decided {
+			if inst%3 != 2 {
+				t.Fatalf("instance %d not owned by proposer 2", inst)
+			}
+		}
+	}
+}
+
+func TestInstanceSpacePartitioned(t *testing.T) {
+	r := New(2, 5)
+	env := newPump(2, &[]*sm.Msg{})
+	r.startProposal(env, Cmd{ID: 1})
+	r.startProposal(env, Cmd{ID: 2})
+	insts := make([]int, 0, len(r.Props))
+	for inst := range r.Props {
+		insts = append(insts, inst)
+	}
+	for _, inst := range insts {
+		if inst%5 != 2 {
+			t.Fatalf("instance %d outside node 2's space", inst)
+		}
+	}
+	if len(insts) != 2 {
+		t.Fatalf("proposals = %d", len(insts))
+	}
+}
+
+func TestAcceptorRejectsLowerBallot(t *testing.T) {
+	r := New(1, 3)
+	env := newPump(1, &[]*sm.Msg{})
+	r.OnMessage(env, &sm.Msg{Src: 0, Kind: KindPrepare, Body: Prepare{Inst: 0, Ballot: 5}})
+	if len(*env.queue) != 1 {
+		t.Fatal("no promise for first prepare")
+	}
+	*env.queue = nil
+	r.OnMessage(env, &sm.Msg{Src: 2, Kind: KindPrepare, Body: Prepare{Inst: 0, Ballot: 3}})
+	if len(*env.queue) != 0 {
+		t.Fatal("promised a lower ballot after a higher one")
+	}
+	// Accept below promise also rejected.
+	r.OnMessage(env, &sm.Msg{Src: 2, Kind: KindAccept, Body: Accept{Inst: 0, Ballot: 3, Val: Cmd{ID: 7}}})
+	if len(*env.queue) != 0 {
+		t.Fatal("accepted below promised ballot")
+	}
+}
+
+func TestProposerAdoptsHighestAccepted(t *testing.T) {
+	// Acceptors 1 and 2 already accepted {ID:7} under ballot 2 for
+	// instance 0. A new proposer (node 0, retrying with ballot 4) must
+	// adopt {ID:7} rather than its own command.
+	reps, envs, queue := cluster(3)
+	prior := Cmd{ID: 7, Origin: 2}
+	for _, i := range []int{1, 2} {
+		reps[i].OnMessage(envs[i], &sm.Msg{Src: 2, Kind: KindAccept, Body: Accept{Inst: 0, Ballot: 2, Val: prior}})
+	}
+	*queue = nil // drop the accepted replies; proposer 2 is gone
+	reps[0].startProposal(envs[0], Cmd{ID: 99, Origin: 0})
+	// First ballot (1) will be rejected by acceptors who promised 2;
+	// drive the retry timer to raise the ballot.
+	pump(reps, envs, queue)
+	if _, decided := reps[0].Decided[0]; !decided {
+		reps[0].OnTimer(envs[0], retryTimer(0))
+		pump(reps, envs, queue)
+	}
+	v, ok := reps[0].Decided[0]
+	if !ok {
+		t.Fatal("instance 0 not decided after retry")
+	}
+	if v.ID != 7 {
+		t.Fatalf("proposer overrode previously accepted value: decided %+v", v)
+	}
+}
+
+func TestRetryRaisesBallot(t *testing.T) {
+	r := New(1, 3)
+	env := newPump(1, &[]*sm.Msg{})
+	r.startProposal(env, Cmd{ID: 1})
+	inst := 1 // slot 0 * 3 + id 1
+	first := r.Props[inst].Ballot
+	*env.queue = nil
+	r.OnTimer(env, retryTimer(inst))
+	if r.Props[inst].Ballot != first+3 {
+		t.Fatalf("ballot after retry = %d, want %d", r.Props[inst].Ballot, first+3)
+	}
+	if len(*env.queue) != 3 {
+		t.Fatal("retry did not re-prepare to all peers")
+	}
+}
+
+func TestLearnIsIdempotentAndRecordsOriginLatency(t *testing.T) {
+	r := New(0, 3)
+	env := newPump(0, &[]*sm.Msg{})
+	cmd := Cmd{ID: 4, Origin: 0, SubmitAt: time.Second}
+	r.OnMessage(env, &sm.Msg{Src: 1, Kind: KindLearn, Body: Learn{Inst: 3, Val: cmd}})
+	r.OnMessage(env, &sm.Msg{Src: 2, Kind: KindLearn, Body: Learn{Inst: 3, Val: cmd}})
+	if len(r.Decided) != 1 {
+		t.Fatal("duplicate learn created extra decisions")
+	}
+	if _, ok := r.DecidedAt[4]; !ok {
+		t.Fatal("origin latency not recorded")
+	}
+	// Foreign-origin decisions do not pollute DecidedAt.
+	r.OnMessage(env, &sm.Msg{Src: 1, Kind: KindLearn, Body: Learn{Inst: 4, Val: Cmd{ID: 5, Origin: 2}}})
+	if _, ok := r.DecidedAt[5]; ok {
+		t.Fatal("recorded latency for foreign command")
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	r := New(0, 3)
+	env := newPump(0, &[]*sm.Msg{})
+	r.startProposal(env, Cmd{ID: 1})
+	c := r.Clone().(*Replica)
+	c.Props[0].Promises[1] = true
+	c.Decided[9] = Cmd{ID: 9}
+	if len(r.Props[0].Promises) != 0 || len(r.Decided) != 0 {
+		t.Fatal("clone shares maps")
+	}
+}
+
+// Property (agreement): across shuffled, duplicated deliveries of any
+// number of commands, no two replicas decide different values for the
+// same instance, and every instance decided anywhere carries a submitted
+// command.
+func TestAgreementProperty(t *testing.T) {
+	f := func(seed int64, nCmds uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		reps, envs, queue := cluster(5)
+		cmds := int(nCmds%6) + 1
+		submitted := map[int]bool{}
+		for c := 0; c < cmds; c++ {
+			origin := rng.Intn(5)
+			proposer := rng.Intn(5)
+			envs[origin].choose = func(sm.Choice) int { return proposer }
+			submitted[c] = true
+			reps[origin].OnMessage(envs[origin], &sm.Msg{
+				Src: sm.NodeID(origin), Dst: sm.NodeID(origin),
+				Kind: KindSubmit, Body: Submit{Cmd: Cmd{ID: c, Origin: sm.NodeID(origin)}},
+			})
+			pumpShuffled(reps, envs, queue, rng, 0.2)
+		}
+		decided := map[int]int{} // inst -> cmd ID
+		for _, r := range reps {
+			for inst, v := range r.Decided {
+				if prev, seen := decided[inst]; seen && prev != v.ID {
+					return false // disagreement!
+				}
+				decided[inst] = v.ID
+				if !submitted[v.ID] {
+					return false // decided a phantom command
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- integration (experiment E7) ---
+
+func TestAllPoliciesCommitEverything(t *testing.T) {
+	for _, p := range Policies {
+		r := Run(ExperimentConfig{Seed: 3, Policy: p, Commands: 20})
+		if r.Committed != r.Submitted {
+			t.Errorf("%s: committed %d/%d", p, r.Committed, r.Submitted)
+		}
+		if r.MeanCommit <= 0 {
+			t.Errorf("%s: non-positive commit latency", p)
+		}
+	}
+}
+
+func TestFixedPolicyLoadsLeaderOnly(t *testing.T) {
+	r := Run(ExperimentConfig{Seed: 3, Policy: PolicyFixed, Commands: 10})
+	for id, load := range r.ProposerLoad {
+		if id != 0 && load != 0 {
+			t.Fatalf("fixed policy let node %v propose %d commands", id, load)
+		}
+	}
+	if r.ProposerLoad[0] != 10 {
+		t.Fatalf("leader load = %d, want 10", r.ProposerLoad[0])
+	}
+}
+
+// TestE7Shape pins the Mencius story: on a WAN where the static leader is
+// poorly placed, rotating proposers improves commit latency and the
+// predictive proposer choice improves it further (paper §3.1: "expose the
+// choice of a proposer and let the runtime pick the best proposer").
+func TestE7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run simulation")
+	}
+	mean := map[Policy]time.Duration{}
+	for _, p := range Policies {
+		var total time.Duration
+		for seed := int64(1); seed <= 3; seed++ {
+			r := Run(ExperimentConfig{Seed: seed, Policy: p})
+			if r.Committed != r.Submitted {
+				t.Fatalf("%s seed %d: committed %d/%d", p, seed, r.Committed, r.Submitted)
+			}
+			total += r.MeanCommit
+		}
+		mean[p] = total / 3
+	}
+	if !(mean[PolicyPredictive] < mean[PolicyRoundRobin] && mean[PolicyRoundRobin] < mean[PolicyFixed]) {
+		t.Errorf("shape violated: crystalball %v, roundrobin %v, fixed %v",
+			mean[PolicyPredictive], mean[PolicyRoundRobin], mean[PolicyFixed])
+	}
+}

@@ -1,0 +1,310 @@
+package randtree
+
+import (
+	"fmt"
+	"time"
+
+	"crystalchoice/internal/core"
+	"crystalchoice/internal/explore"
+	"crystalchoice/internal/netmodel"
+	"crystalchoice/internal/sim"
+	"crystalchoice/internal/sm"
+	"crystalchoice/internal/trace"
+	"crystalchoice/internal/transport"
+)
+
+// Setup is one of the three configurations of the Section-4 experiment.
+type Setup string
+
+// The three experiment setups from the paper.
+const (
+	SetupBaseline          Setup = "Baseline"
+	SetupChoiceRandom      Setup = "Choice-Random"
+	SetupChoiceCrystalBall Setup = "Choice-CrystalBall"
+)
+
+// Setups lists all three in the paper's order.
+var Setups = []Setup{SetupBaseline, SetupChoiceRandom, SetupChoiceCrystalBall}
+
+// ExperimentConfig parameterizes a tree experiment.
+type ExperimentConfig struct {
+	N     int
+	Seed  int64
+	Setup Setup
+	// JoinSpacing staggers the initial joins (node i joins at i*spacing).
+	JoinSpacing time.Duration
+	// LookaheadDepth for the CrystalBall setup. Default 3.
+	LookaheadDepth int
+	// CheckpointInterval for the CrystalBall setup. Default 150ms.
+	CheckpointInterval time.Duration
+	// DisableCache turns off the predictive resolver's decision cache
+	// (ablation A3).
+	DisableCache bool
+	// OffCriticalPath resolves choices from the cache/randomly and runs
+	// consequence prediction in the background (ablation A6, paper §3.4).
+	OffCriticalPath bool
+	// Steering enables execution steering against Properties (E8).
+	Steering   bool
+	Properties []explore.Property
+	Trace      *trace.Log
+}
+
+func (c *ExperimentConfig) fill() {
+	if c.N == 0 {
+		c.N = 31
+	}
+	if c.JoinSpacing == 0 {
+		c.JoinSpacing = 200 * time.Millisecond
+	}
+	if c.LookaheadDepth == 0 {
+		c.LookaheadDepth = 3
+	}
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = 150 * time.Millisecond
+	}
+}
+
+// Experiment is a running tree deployment.
+type Experiment struct {
+	Cfg     ExperimentConfig
+	Eng     *sim.Engine
+	Net     *transport.Network
+	Cluster *core.Cluster
+}
+
+// NewExperiment builds a deployment of cfg.N nodes on an Internet-like
+// topology, configured per the requested setup.
+func NewExperiment(cfg ExperimentConfig) *Experiment {
+	cfg.fill()
+	eng := sim.NewEngine(cfg.Seed)
+	top := netmodel.TransitStub(cfg.N, netmodel.DefaultInternetLike(), eng.Fork())
+	net := transport.New(eng, top)
+
+	ccfg := core.Config{Trace: cfg.Trace}
+	switch cfg.Setup {
+	case SetupBaseline:
+		ccfg.NewResolver = func(*core.Node) core.Resolver { return core.First{} }
+	case SetupChoiceRandom:
+		ccfg.NewResolver = func(*core.Node) core.Resolver { return core.Random{} }
+	case SetupChoiceCrystalBall:
+		ccfg.NewResolver = func(*core.Node) core.Resolver {
+			pr := core.NewPredictive(cfg.LookaheadDepth)
+			pr.UseCache = !cfg.DisableCache
+			pr.OffCriticalPath = cfg.OffCriticalPath
+			return pr
+		}
+		ccfg.ObjectiveFor = func(*core.Node) explore.Objective { return BalanceObjective() }
+		ccfg.CheckpointInterval = cfg.CheckpointInterval
+	default:
+		panic(fmt.Sprintf("randtree: unknown setup %q", cfg.Setup))
+	}
+	if cfg.Steering {
+		ccfg.Steering = true
+		ccfg.Properties = cfg.Properties
+		if ccfg.CheckpointInterval == 0 {
+			ccfg.CheckpointInterval = cfg.CheckpointInterval
+		}
+	}
+
+	cl := core.NewCluster(eng, net, ccfg)
+	for i := 0; i < cfg.N; i++ {
+		cl.AddNode(sm.NodeID(i), newService(cfg.Setup, sm.NodeID(i), 0, time.Duration(i)*cfg.JoinSpacing))
+	}
+	cl.Start()
+	return &Experiment{Cfg: cfg, Eng: eng, Net: net, Cluster: cl}
+}
+
+// newService constructs the right variant with a staggered join delay.
+func newService(setup Setup, id, root sm.NodeID, joinDelay time.Duration) sm.Service {
+	switch setup {
+	case SetupBaseline:
+		b := NewBaseline(id, root)
+		b.JoinDelay = joinDelay
+		return b
+	default:
+		c := NewChoice(id, root)
+		c.JoinDelay = joinDelay
+		return c
+	}
+}
+
+// Run advances the deployment by d of virtual time.
+func (e *Experiment) Run(d time.Duration) { e.Eng.RunFor(d) }
+
+// view returns the TreeView of node id (live state).
+func (e *Experiment) view(id sm.NodeID) TreeView {
+	return e.Cluster.Node(id).Service().(TreeView)
+}
+
+// JoinedCount returns how many live nodes are in the tree.
+func (e *Experiment) JoinedCount() int {
+	n := 0
+	for _, node := range e.Cluster.Nodes() {
+		if node.Down() {
+			continue
+		}
+		if tv, ok := node.Service().(TreeView); ok && tv.TreeJoined() {
+			n++
+		}
+	}
+	return n
+}
+
+// Depths returns the actual level of every joined live node, computed by
+// walking parent pointers (root = level 1). Nodes whose parent chain is
+// broken or cyclic are reported at -1.
+func (e *Experiment) Depths() map[sm.NodeID]int {
+	memo := make(map[sm.NodeID]int)
+	var depth func(id sm.NodeID, visiting map[sm.NodeID]bool) int
+	depth = func(id sm.NodeID, visiting map[sm.NodeID]bool) int {
+		if d, ok := memo[id]; ok {
+			return d
+		}
+		node := e.Cluster.Node(id)
+		if node == nil || node.Down() {
+			return -1
+		}
+		tv, ok := node.Service().(TreeView)
+		if !ok || !tv.TreeJoined() {
+			return -1
+		}
+		if id == 0 {
+			memo[id] = 1
+			return 1
+		}
+		p := tv.TreeParent()
+		if p < 0 || visiting[id] {
+			return -1
+		}
+		visiting[id] = true
+		pd := depth(p, visiting)
+		delete(visiting, id)
+		d := -1
+		if pd > 0 {
+			d = pd + 1
+		}
+		memo[id] = d
+		return d
+	}
+	out := make(map[sm.NodeID]int)
+	for _, node := range e.Cluster.Nodes() {
+		if node.Down() {
+			continue
+		}
+		if tv, ok := node.Service().(TreeView); ok && tv.TreeJoined() {
+			out[node.ID()] = depth(node.ID(), make(map[sm.NodeID]bool))
+		}
+	}
+	return out
+}
+
+// MaxDepth returns the maximum level over all attached nodes (the paper's
+// tree-balance metric), or 0 if the tree is empty.
+func (e *Experiment) MaxDepth() int {
+	max := 0
+	for _, d := range e.Depths() {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Descendants returns all live nodes in the subtree rooted at id
+// (inclusive), by parent-pointer walks.
+func (e *Experiment) Descendants(id sm.NodeID) []sm.NodeID {
+	var out []sm.NodeID
+	for _, node := range e.Cluster.Nodes() {
+		if node.Down() {
+			continue
+		}
+		cur := node.ID()
+		for hops := 0; hops <= e.Cfg.N; hops++ {
+			if cur == id {
+				out = append(out, node.ID())
+				break
+			}
+			tv, ok := e.Cluster.Node(cur).Service().(TreeView)
+			if !ok || !tv.TreeJoined() || tv.TreeParent() < 0 || cur == 0 {
+				break
+			}
+			cur = tv.TreeParent()
+		}
+	}
+	return out
+}
+
+// FailLargestSubtree crashes the root child with the most descendants —
+// the paper's "fail an entire subtree (about half of the nodes)" — and
+// returns the failed node IDs.
+func (e *Experiment) FailLargestSubtree() []sm.NodeID {
+	root := e.view(0)
+	var best sm.NodeID = -1
+	bestSize := -1
+	for i := 1; i < e.Cfg.N; i++ {
+		id := sm.NodeID(i)
+		if root.TreeHasChild(id) {
+			if size := len(e.Descendants(id)); size > bestSize {
+				best, bestSize = id, size
+			}
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	failed := e.Descendants(best)
+	for _, id := range failed {
+		e.Cluster.Crash(id)
+	}
+	return failed
+}
+
+// RestartFailed revives the failed nodes with fresh state; they rejoin
+// through the root in a burst (a quarter of the initial join spacing),
+// which is the regime that separates placement strategies.
+func (e *Experiment) RestartFailed(failed []sm.NodeID) {
+	for i, id := range failed {
+		delay := time.Duration(i) * e.Cfg.JoinSpacing / 4
+		e.Cluster.Restart(id, newService(e.Cfg.Setup, id, 0, delay))
+	}
+}
+
+// Section4Result is one row of the paper's Section-4 evaluation.
+type Section4Result struct {
+	Setup        Setup
+	N            int
+	JoinDepth    int // max depth after all N participants joined
+	JoinedAfter  int // sanity: nodes attached at measurement
+	RejoinDepth  int // max depth after subtree failure + rejoin
+	RejoinJoined int
+	Failed       int
+	Stats        core.Stats
+}
+
+// RunSection4 runs the full Section-4 scenario: N nodes join, the largest
+// root subtree fails, the failed nodes rejoin, and tree depth is measured
+// at both points.
+func RunSection4(setup Setup, n int, seed int64) Section4Result {
+	return RunSection4FromConfig(ExperimentConfig{N: n, Seed: seed, Setup: setup})
+}
+
+// RunSection4FromConfig is RunSection4 with full control over the
+// experiment configuration (used by the ablation benchmarks).
+func RunSection4FromConfig(cfg ExperimentConfig) Section4Result {
+	e := NewExperiment(cfg)
+	n := e.Cfg.N
+	setup := e.Cfg.Setup
+	// Join phase: staggered joins plus settling time.
+	e.Run(time.Duration(n)*e.Cfg.JoinSpacing + 10*time.Second)
+	res := Section4Result{Setup: setup, N: n, JoinDepth: e.MaxDepth(), JoinedAfter: e.JoinedCount()}
+	// Failure phase.
+	failed := e.FailLargestSubtree()
+	res.Failed = len(failed)
+	e.Run(3 * time.Second) // let failure detection prune
+	e.RestartFailed(failed)
+	e.Run(time.Duration(len(failed))*e.Cfg.JoinSpacing + 15*time.Second)
+	res.RejoinDepth = e.MaxDepth()
+	res.RejoinJoined = e.JoinedCount()
+	res.Stats = e.Cluster.Stats()
+	return res
+}

@@ -1,0 +1,131 @@
+package randtree
+
+import (
+	"crystalchoice/internal/explore"
+	"crystalchoice/internal/sm"
+)
+
+// TreeView is the read-only view both variants expose; the balance
+// objective and the safety properties are written against it so they work
+// with either implementation inside lookahead worlds.
+type TreeView interface {
+	TreeDepth() int
+	TreeDepthBelow() int
+	TreeRouted() int
+	TreeJoined() bool
+	TreeParent() sm.NodeID
+	TreeHasChild(id sm.NodeID) bool
+	TreeChildCount() int
+}
+
+// BalanceObjective scores a world by tree balance: it penalizes the worst
+// "effective depth" — a node's level plus the height of its subtree plus
+// any joins currently routed into it — and, secondarily, the average. This
+// is the "objective that prioritizes building a balanced tree" installed
+// in the paper's Section-4 experiment.
+func BalanceObjective() explore.Objective {
+	return explore.ObjectiveFunc{ObjectiveName: "rt.balance", Fn: func(w *explore.World) float64 {
+		worst, sum, cnt := 0.0, 0.0, 0
+		for _, id := range w.Nodes() {
+			tv, ok := w.Services[id].(TreeView)
+			if !ok || !tv.TreeJoined() {
+				continue
+			}
+			eff := float64(tv.TreeDepth() + tv.TreeDepthBelow() + tv.TreeRouted())
+			if eff > worst {
+				worst = eff
+			}
+			sum += eff
+			cnt++
+		}
+		if cnt == 0 {
+			return 0
+		}
+		return -(worst + 0.1*sum/float64(cnt))
+	}}
+}
+
+// NoOrphanedChildProperty is the safety property used by the execution
+// steering experiment (E8): if a joined node a believes b is its parent,
+// then b must know a as a child — otherwise a is silently disconnected
+// from the dissemination tree, the inconsistency class CrystalBall masks.
+// Both endpoints must be present in the world for the check to apply.
+func NoOrphanedChildProperty() explore.Property {
+	return explore.Property{
+		Name: "rt.no-orphaned-child",
+		Check: func(w *explore.World) bool {
+			for _, id := range w.Nodes() {
+				a, ok := w.Services[id].(TreeView)
+				if !ok || !a.TreeJoined() {
+					continue
+				}
+				p := a.TreeParent()
+				if p < 0 || p == id {
+					continue
+				}
+				bsvc, present := w.Services[p]
+				if !present || w.Down[p] {
+					continue
+				}
+				b, ok := bsvc.(TreeView)
+				if !ok {
+					continue
+				}
+				if !b.TreeHasChild(id) {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// NoParentCycleProperty is the safety property of the execution-steering
+// experiment (E8): no two nodes may each believe the other is its parent.
+// A stale or forged JoinReply can create such a two-cycle, silently
+// detaching the pair's subtree from the dissemination tree — the class of
+// inconsistency CrystalBall predicts and steers away from (paper §2).
+func NoParentCycleProperty() explore.Property {
+	return explore.Property{
+		Name: "rt.no-parent-cycle",
+		Check: func(w *explore.World) bool {
+			for _, id := range w.Nodes() {
+				a, ok := w.Services[id].(TreeView)
+				if !ok || !a.TreeJoined() {
+					continue
+				}
+				p := a.TreeParent()
+				if p < 0 || p == id {
+					continue
+				}
+				bsvc, present := w.Services[p]
+				if !present {
+					continue
+				}
+				b, ok := bsvc.(TreeView)
+				if !ok || !b.TreeJoined() {
+					continue
+				}
+				if b.TreeParent() == id {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// DegreeBoundProperty asserts no node exceeds MaxChildren.
+func DegreeBoundProperty() explore.Property {
+	return explore.Property{
+		Name: "rt.degree-bound",
+		Check: func(w *explore.World) bool {
+			for _, id := range w.Nodes() {
+				if tv, ok := w.Services[id].(TreeView); ok && tv.TreeChildCount() > MaxChildren {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}

@@ -1,0 +1,77 @@
+package randtree
+
+import (
+	"time"
+
+	"crystalchoice/internal/explore"
+	"crystalchoice/internal/sm"
+)
+
+// SteeringResult summarizes one execution-steering run (experiment E8).
+type SteeringResult struct {
+	SteeringEnabled bool
+	// ForgedDelivered reports whether the stale JoinReply reached the
+	// victim's handler (steering should prevent this).
+	ForgedDelivered bool
+	// CycleFormed reports whether the parent two-cycle materialized in
+	// the live system.
+	CycleFormed bool
+	// Steered counts messages dropped by execution steering.
+	Steered uint64
+	// SteeringChecks counts messages inspected.
+	SteeringChecks uint64
+}
+
+// RunSteering reproduces the CrystalBall execution-steering scenario on
+// RandTree: after the tree stabilizes, a stale JoinReply arrives at an
+// interior node X from its own child C, claiming C is X's parent. Without
+// interposition X adopts it, creating a parent two-cycle that silently
+// detaches the pair's subtree. With steering enabled, consequence
+// prediction sees the rt.no-parent-cycle violation one step into the
+// future and drops the message, breaking the connection with the sender
+// (the paper's corrective action).
+func RunSteering(enabled bool, n int, seed int64) SteeringResult {
+	e := NewExperiment(ExperimentConfig{
+		N:                  n,
+		Seed:               seed,
+		Setup:              SetupChoiceRandom,
+		Steering:           enabled,
+		Properties:         []explore.Property{NoParentCycleProperty()},
+		CheckpointInterval: 150 * time.Millisecond,
+	})
+	e.Run(time.Duration(n)*e.Cfg.JoinSpacing + 10*time.Second)
+
+	// Find an interior victim X with a child C.
+	var victim, child sm.NodeID = -1, -1
+	for _, node := range e.Cluster.Nodes() {
+		tv := node.Service().(TreeView)
+		if node.ID() == 0 || !tv.TreeJoined() || tv.TreeChildCount() == 0 {
+			continue
+		}
+		for i := 1; i < e.Cfg.N; i++ {
+			if tv.TreeHasChild(sm.NodeID(i)) {
+				victim, child = node.ID(), sm.NodeID(i)
+				break
+			}
+		}
+		if victim >= 0 {
+			break
+		}
+	}
+	res := SteeringResult{SteeringEnabled: enabled}
+	if victim < 0 {
+		return res
+	}
+	childDepth := e.Cluster.Node(child).Service().(TreeView).TreeDepth()
+	e.Cluster.Node(child).SendApp(victim, KindJoinReply, JoinReply{Parent: child, Depth: childDepth + 1}, msgSize)
+	e.Run(2 * time.Second)
+
+	vv := e.Cluster.Node(victim).Service().(TreeView)
+	cv := e.Cluster.Node(child).Service().(TreeView)
+	res.ForgedDelivered = vv.TreeParent() == child
+	res.CycleFormed = vv.TreeParent() == child && cv.TreeParent() == victim
+	stats := e.Cluster.Stats()
+	res.Steered = stats.Steered
+	res.SteeringChecks = stats.SteeringChecks
+	return res
+}

@@ -1,0 +1,160 @@
+package tracker
+
+import (
+	"time"
+
+	"crystalchoice/internal/apps/dissem"
+	"crystalchoice/internal/core"
+	"crystalchoice/internal/netmodel"
+	"crystalchoice/internal/sim"
+	"crystalchoice/internal/sm"
+	"crystalchoice/internal/transport"
+)
+
+// Policy names the tracker's grant policy (experiment E9).
+type Policy string
+
+// The two tracker policies of the P4P discussion.
+const (
+	PolicyRandom   Policy = "random"
+	PolicyLocality Policy = "locality"
+)
+
+// Policies lists both policies.
+var Policies = []Policy{PolicyRandom, PolicyLocality}
+
+// ExperimentConfig parameterizes a tracker-mediated swarm download across
+// two ISPs joined by a dumbbell bottleneck.
+type ExperimentConfig struct {
+	// Peers is the swarm size (the tracker is an additional node).
+	Peers     int
+	Blocks    int
+	BlockSize int
+	Seed      int64
+	Policy    Policy
+	// GrantK is how many introductions the tracker returns per request.
+	GrantK int
+}
+
+func (c *ExperimentConfig) fill() {
+	if c.Peers == 0 {
+		c.Peers = 12
+	}
+	if c.Blocks == 0 {
+		c.Blocks = 16
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 64 << 10
+	}
+	if c.GrantK == 0 {
+		c.GrantK = 4
+	}
+}
+
+// Result summarizes one run.
+type Result struct {
+	Policy Policy
+	// CrossISPBytes and TotalBytes account all delivered traffic; their
+	// ratio is the ISP-cost metric P4P reduces.
+	CrossISPBytes, TotalBytes uint64
+	MeanCompletion            time.Duration
+	Completed, Peers          int
+}
+
+// CrossFraction returns cross-ISP bytes over total bytes.
+func (r Result) CrossFraction() float64 {
+	if r.TotalBytes == 0 {
+		return 0
+	}
+	return float64(r.CrossISPBytes) / float64(r.TotalBytes)
+}
+
+// Run executes the experiment: peers discover each other only through the
+// tracker, download a file seeded in ISP 0, and the harness accounts
+// cross-ISP traffic.
+func Run(cfg ExperimentConfig) Result {
+	cfg.fill()
+	total := cfg.Peers + 1 // + tracker
+	trackerID := sm.NodeID(cfg.Peers)
+	eng := sim.NewEngine(cfg.Seed)
+	// Two ISPs joined by a bottleneck; the tracker sits in ISP 1 but its
+	// traffic is negligible.
+	top := netmodel.Dumbbell(total, 5*time.Millisecond, 40*time.Millisecond, 4<<20, 1<<20)
+	left := (total + 1) / 2
+	isp := func(id sm.NodeID) int {
+		if int(id) < left {
+			return 0
+		}
+		return 1
+	}
+	net := transport.New(eng, top)
+
+	res := Result{Policy: cfg.Policy, Peers: cfg.Peers - 1}
+	net.Monitor = func(m *transport.Message) {
+		res.TotalBytes += uint64(m.Size)
+		if isp(m.Src) != isp(m.Dst) {
+			res.CrossISPBytes += uint64(m.Size)
+		}
+	}
+
+	ccfg := core.Config{}
+	switch cfg.Policy {
+	case PolicyRandom:
+		ccfg.NewResolver = func(*core.Node) core.Resolver { return core.Random{} }
+	case PolicyLocality:
+		ccfg.NewResolver = func(n *core.Node) core.Resolver {
+			if n.ID() == trackerID {
+				return Locality{ISP: isp}
+			}
+			return core.Random{} // block selection stays random for both
+		}
+	default:
+		panic("tracker: unknown policy " + string(cfg.Policy))
+	}
+
+	cl := core.NewCluster(eng, net, ccfg)
+	for i := 0; i < cfg.Peers; i++ {
+		id := sm.NodeID(i)
+		p := dissem.New(id, nil, cfg.Blocks, cfg.BlockSize, i == 0)
+		k := cfg.GrantK
+		p.RequestPeers = func(env sm.Env) {
+			env.Send(trackerID, KindGetPeers, GetPeers{K: k}, 16)
+		}
+		cl.AddNode(id, p)
+	}
+	cl.AddNode(trackerID, New(trackerID))
+	cl.Start()
+	// Registration: every peer enrolls at start.
+	for i := 0; i < cfg.Peers; i++ {
+		cl.Node(sm.NodeID(i)).SendApp(trackerID, KindRegister, Register{}, 16)
+	}
+
+	deadline := 10 * time.Minute
+	step := 500 * time.Millisecond
+	for elapsed := time.Duration(0); elapsed < deadline; elapsed += step {
+		eng.RunFor(step)
+		done := true
+		for i := 1; i < cfg.Peers; i++ {
+			if !cl.Node(sm.NodeID(i)).Service().(*dissem.Peer).Complete() {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+
+	var sum time.Duration
+	for i := 1; i < cfg.Peers; i++ {
+		p := cl.Node(sm.NodeID(i)).Service().(*dissem.Peer)
+		if p.Complete() {
+			res.Completed++
+			sum += p.CompletedAt
+		}
+	}
+	if res.Completed > 0 {
+		res.MeanCompletion = sum / time.Duration(res.Completed)
+	}
+	return res
+}

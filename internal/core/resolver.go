@@ -1,0 +1,277 @@
+// Package core implements the paper's primary contribution: the
+// explicit-choice programming model and the CrystalBall-enabled runtime
+// that resolves exposed choices against exposed objectives using a
+// predictive system model.
+//
+// Services (internal/sm.Service) expose decisions by calling
+// Env.Choose(sm.Choice{...}) instead of hard-coding policy. The runtime
+// routes each call to the node's Resolver:
+//
+//   - First / Random / RoundRobin are the conventional strategies a
+//     developer would otherwise bury in handler code;
+//   - Predictive is CrystalBall: it builds a lookahead world from the
+//     node's predictive model (its own pre-event state plus the freshest
+//     neighborhood checkpoints), replays the triggering event once per
+//     candidate with the choice forced, runs consequence prediction, and
+//     picks the candidate that maximizes the installed objective, treating
+//     any predicted safety violation as disqualifying.
+//
+// The runtime also implements execution steering (paper §2): before
+// delivering a message it can predict the delivery's consequences and, if a
+// safety violation is predicted and avoiding it is predicted safe, drop the
+// message and break the connection with the sender.
+package core
+
+import (
+	"math"
+	"time"
+
+	"crystalchoice/internal/explore"
+	"crystalchoice/internal/sm"
+)
+
+// Resolver decides exposed choices for one node.
+type Resolver interface {
+	// Name identifies the strategy in traces and experiment tables.
+	Name() string
+	// Resolve returns an index in [0, c.N).
+	Resolve(n *Node, c sm.Choice) int
+}
+
+// lookaheadNeeder is implemented by resolvers that need the runtime to
+// retain a pre-event clone of the service state.
+type lookaheadNeeder interface{ needsLookahead() bool }
+
+// First always picks alternative 0 — the degenerate strategy of a developer
+// who resolves the choice statically.
+type First struct{}
+
+// Name returns "first".
+func (First) Name() string { return "first" }
+
+// Resolve picks 0.
+func (First) Resolve(*Node, sm.Choice) int { return 0 }
+
+// Random resolves every choice uniformly at random. This is the
+// Choice-Random configuration of the paper's Section 4.
+type Random struct{}
+
+// Name returns "random".
+func (Random) Name() string { return "random" }
+
+// Resolve draws from the node's deterministic RNG.
+func (Random) Resolve(n *Node, c sm.Choice) int {
+	if c.N <= 1 {
+		return 0
+	}
+	return n.rng.Intn(c.N)
+}
+
+// RoundRobin cycles through alternatives per choice name — the Mencius-like
+// static schedule for the consensus example.
+type RoundRobin struct {
+	counters map[string]int
+}
+
+// Name returns "roundrobin".
+func (*RoundRobin) Name() string { return "roundrobin" }
+
+// Resolve returns successive indices modulo c.N for each distinct name.
+func (r *RoundRobin) Resolve(n *Node, c sm.Choice) int {
+	if c.N <= 0 {
+		return 0
+	}
+	if r.counters == nil {
+		r.counters = make(map[string]int)
+	}
+	i := r.counters[c.Name] % c.N
+	r.counters[c.Name]++
+	return i
+}
+
+// Predictive is the CrystalBall resolver (paper §3.4).
+type Predictive struct {
+	// Depth is the consequence-prediction chain depth. Default 4.
+	Depth int
+	// MaxStates bounds handler executions per candidate evaluation.
+	// Default 256.
+	MaxStates int
+	// UseCache reuses decisions for (choice, state, event) triples already
+	// evaluated — the paper's "choices based on previous similar scenarios
+	// as a fast alternative". Default true via NewPredictive.
+	UseCache bool
+	// ViolationPenalty is subtracted per predicted safety violation.
+	ViolationPenalty float64
+	// Explore mixes in a random decision with this probability. Argmax
+	// resolution couples the participants — with a shared, slightly stale
+	// model every node converges on the same "best" target, the emergent
+	// behavior the paper warns about (§3.4). A small exploration
+	// probability decorrelates the fleet.
+	Explore float64
+	// OffCriticalPath enables the paper's §3.4 design: "removing complex
+	// mechanisms for making the choices from the critical path, using
+	// choices based on previous similar scenarios as a fast alternative,
+	// and updating the choices as more information becomes available."
+	// Resolve answers immediately from the decision cache (or randomly on
+	// a miss) and schedules the full consequence prediction to complete
+	// after PredictionLatency of virtual time, populating the cache for
+	// the next similar scenario.
+	OffCriticalPath bool
+	// PredictionLatency models how long the background prediction takes.
+	// Default 10ms.
+	PredictionLatency time.Duration
+}
+
+// NewPredictive returns a Predictive resolver with default bounds.
+func NewPredictive(depth int) *Predictive {
+	if depth <= 0 {
+		depth = 4
+	}
+	return &Predictive{Depth: depth, MaxStates: 256, UseCache: true, ViolationPenalty: 1e12}
+}
+
+// Name returns "crystalball".
+func (*Predictive) Name() string { return "crystalball" }
+
+func (*Predictive) needsLookahead() bool { return true }
+
+// Resolve evaluates every candidate in a lookahead world and returns the
+// one with the best predicted objective score.
+func (p *Predictive) Resolve(n *Node, c sm.Choice) int {
+	if c.N <= 1 {
+		return 0
+	}
+	base := n.preEventState
+	if base == nil {
+		// No pre-event clone (e.g. choice made during Init): fall back.
+		return Random{}.Resolve(n, c)
+	}
+	if p.Explore > 0 && n.rng.Float64() < p.Explore {
+		return Random{}.Resolve(n, c)
+	}
+	if p.OffCriticalPath {
+		return p.resolveAsync(n, c, base)
+	}
+	ev := n.currentEvent
+	var key uint64
+	if p.UseCache {
+		h := sm.NewHasher().WriteString(c.Name).WriteUint(base.Digest()).WriteInt(int64(c.N))
+		if ev != nil {
+			h.WriteString(ev.label())
+		}
+		key = h.Sum()
+		if idx, ok := n.decisionCache[key]; ok && idx < c.N {
+			n.stats.CacheHits++
+			return idx
+		}
+	}
+	obj := n.objective
+	scores := make([]float64, c.N)
+	bestScore := math.Inf(-1)
+	for i := 0; i < c.N; i++ {
+		scores[i] = p.evaluate(n, c, base, ev, i, obj)
+		if scores[i] > bestScore {
+			bestScore = scores[i]
+		}
+	}
+	// Tie-break uniformly among near-best candidates: with a sparse or
+	// stale model many futures look identical, and always picking the
+	// first candidate would systematically skew the system (e.g. pile
+	// every forwarded join into the lowest-numbered child).
+	const eps = 1e-9
+	var ties []int
+	for i, s := range scores {
+		if s >= bestScore-eps {
+			ties = append(ties, i)
+		}
+	}
+	best := ties[n.rng.Intn(len(ties))]
+	// Cache only decisive predictions. Caching a coin flip would freeze
+	// it: e.g. gossip partners would lock into static pairs whenever all
+	// futures score equal, partitioning the information flow.
+	if p.UseCache && len(ties) == 1 {
+		n.decisionCache[key] = best
+	}
+	n.stats.Predictions++
+	return best
+}
+
+// resolveAsync answers from the cache (or randomly) without blocking the
+// handler, and schedules the prediction to land in the cache later.
+func (p *Predictive) resolveAsync(n *Node, c sm.Choice, base sm.Service) int {
+	ev := n.currentEvent
+	h := sm.NewHasher().WriteString(c.Name).WriteUint(base.Digest()).WriteInt(int64(c.N))
+	if ev != nil {
+		h.WriteString(ev.label())
+	}
+	key := h.Sum()
+	if idx, ok := n.decisionCache[key]; ok && idx < c.N {
+		n.stats.CacheHits++
+		return idx
+	}
+	// Fast path: answer now, predict in the background. The pre-event
+	// state and the triggering event are captured by value; the model is
+	// consulted at completion time, when it may be fresher.
+	fast := Random{}.Resolve(n, c)
+	baseCopy := base.Clone()
+	var evCopy *pendingEvent
+	if ev != nil {
+		cp := *ev
+		if ev.msg != nil {
+			m := *ev.msg
+			cp.msg = &m
+		}
+		evCopy = &cp
+	}
+	lat := p.PredictionLatency
+	if lat == 0 {
+		lat = 10 * time.Millisecond
+	}
+	n.cluster.eng.Schedule(lat, func() {
+		if n.down {
+			return
+		}
+		obj := n.objective
+		scores := make([]float64, c.N)
+		bestScore := math.Inf(-1)
+		for i := 0; i < c.N; i++ {
+			scores[i] = p.evaluate(n, c, baseCopy, evCopy, i, obj)
+			if scores[i] > bestScore {
+				bestScore = scores[i]
+			}
+		}
+		const eps = 1e-9
+		var ties []int
+		for i, s := range scores {
+			if s >= bestScore-eps {
+				ties = append(ties, i)
+			}
+		}
+		if len(ties) == 1 { // cache only decisive predictions
+			n.decisionCache[key] = ties[0]
+		}
+		n.stats.AsyncPredictions++
+	})
+	return fast
+}
+
+func (p *Predictive) evaluate(n *Node, c sm.Choice, base sm.Service, ev *pendingEvent, candidate int, obj explore.Objective) float64 {
+	policy := explore.ForceFirst(n.id, c.Name, candidate, explore.RandomPolicy(n.lookRng))
+	w := n.model.BuildWorld(base.Clone(), time.Duration(n.cluster.eng.Now()), policy, n.lookSeed)
+	n.lookSeed++
+	if ev != nil {
+		ev.injectInto(w, n.id)
+	}
+	x := explore.NewExplorer(p.Depth)
+	x.MaxStates = p.MaxStates
+	x.Properties = n.cluster.cfg.Properties
+	x.Objective = obj
+	r := x.Explore(w)
+	n.stats.LookaheadStates += uint64(r.StatesExplored)
+	score := r.MeanScore
+	if obj == nil {
+		score = 0
+	}
+	score -= p.ViolationPenalty * float64(len(r.Violations))
+	return score
+}

@@ -1,0 +1,551 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"crystalchoice/internal/checkpoint"
+	"crystalchoice/internal/explore"
+	"crystalchoice/internal/model"
+	"crystalchoice/internal/sim"
+	"crystalchoice/internal/sm"
+	"crystalchoice/internal/trace"
+	"crystalchoice/internal/transport"
+)
+
+// NodeID aliases sm.NodeID.
+type NodeID = sm.NodeID
+
+// Config parameterizes a cluster of CrystalBall-enabled runtime nodes.
+type Config struct {
+	// NewResolver constructs the choice resolver for each node. Defaults
+	// to Random (the paper's Choice-Random setup).
+	NewResolver func(n *Node) Resolver
+	// ObjectiveFor supplies the objective a node's resolver maximizes
+	// (paper §3.2). May be nil. The closure may capture the node to
+	// consult its predictive model (e.g. network estimates).
+	ObjectiveFor func(n *Node) explore.Objective
+	// Properties are safety properties checked during every lookahead and
+	// used by execution steering.
+	Properties []explore.Property
+	// CheckpointInterval is the period of neighborhood checkpoint
+	// exchange. Zero disables checkpointing (and thus prediction quality
+	// degrades to self-state-only worlds).
+	CheckpointInterval time.Duration
+	// CheckpointSize is the modeled wire size of a checkpoint.
+	CheckpointSize int
+	// Steering enables execution steering: inbound messages whose
+	// delivery is predicted to violate a property are dropped and the
+	// connection to the sender broken, when doing so is predicted safe.
+	Steering bool
+	// SteeringDepth and SteeringMaxStates bound the per-message steering
+	// prediction. Defaults 3 / 128.
+	SteeringDepth     int
+	SteeringMaxStates int
+	// EnvelopeOverhead is added to every message's modeled size.
+	EnvelopeOverhead int
+	// Trace receives structured log entries (nil = discard).
+	Trace *trace.Log
+}
+
+func (c *Config) fill() {
+	if c.NewResolver == nil {
+		c.NewResolver = func(*Node) Resolver { return Random{} }
+	}
+	if c.CheckpointSize == 0 {
+		c.CheckpointSize = 512
+	}
+	if c.SteeringDepth == 0 {
+		c.SteeringDepth = 3
+	}
+	if c.SteeringMaxStates == 0 {
+		c.SteeringMaxStates = 128
+	}
+	if c.EnvelopeOverhead == 0 {
+		c.EnvelopeOverhead = 32
+	}
+}
+
+// Stats aggregates per-node runtime counters.
+type Stats struct {
+	Choices          uint64 // Choose() calls resolved
+	Predictions      uint64 // predictive resolutions computed inline
+	AsyncPredictions uint64 // background predictions completed (§3.4)
+	CacheHits        uint64 // predictive resolutions answered from cache
+	LookaheadStates  uint64 // handler executions inside lookahead worlds
+	Steered          uint64 // messages dropped by execution steering
+	SteeringChecks   uint64 // messages inspected by steering
+	Checkpoints      uint64 // checkpoint responses integrated
+}
+
+func (s *Stats) add(o Stats) {
+	s.Choices += o.Choices
+	s.Predictions += o.Predictions
+	s.AsyncPredictions += o.AsyncPredictions
+	s.CacheHits += o.CacheHits
+	s.LookaheadStates += o.LookaheadStates
+	s.Steered += o.Steered
+	s.SteeringChecks += o.SteeringChecks
+	s.Checkpoints += o.Checkpoints
+}
+
+// envelope wraps application payloads with runtime metadata used to
+// maintain the network model passively.
+type envelope struct {
+	Body   any
+	SentAt time.Duration
+}
+
+// pendingEvent is the event currently being dispatched on a node,
+// replayable inside lookahead worlds.
+type pendingEvent struct {
+	msg   *sm.Msg // nil for timer events
+	timer string
+}
+
+func (e *pendingEvent) label() string {
+	if e.msg != nil {
+		return "m:" + e.msg.Kind
+	}
+	return "t:" + e.timer
+}
+
+func (e *pendingEvent) injectInto(w *explore.World, self NodeID) {
+	if e.msg != nil {
+		cp := *e.msg
+		w.InjectMessage(&cp)
+	} else {
+		if w.Timers[self] == nil {
+			w.Timers[self] = make(map[string]bool)
+		}
+		w.Timers[self][e.timer] = true
+	}
+}
+
+// Cluster is a set of runtime nodes sharing one simulated deployment.
+type Cluster struct {
+	eng   *sim.Engine
+	net   *transport.Network
+	cfg   Config
+	nodes map[NodeID]*Node
+	order []NodeID
+}
+
+// NewCluster creates a cluster over the given engine and network.
+func NewCluster(eng *sim.Engine, net *transport.Network, cfg Config) *Cluster {
+	cfg.fill()
+	return &Cluster{eng: eng, net: net, cfg: cfg, nodes: make(map[NodeID]*Node)}
+}
+
+// Engine returns the simulation engine.
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Network returns the transport network.
+func (c *Cluster) Network() *transport.Network { return c.net }
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// AddNode registers a node running svc. Call before Start.
+func (c *Cluster) AddNode(id NodeID, svc sm.Service) *Node {
+	if _, dup := c.nodes[id]; dup {
+		panic(fmt.Sprintf("core: duplicate node %v", id))
+	}
+	n := &Node{
+		id:            id,
+		svc:           svc,
+		cluster:       c,
+		rng:           c.eng.Fork(),
+		lookRng:       c.eng.Fork(),
+		timers:        make(map[string]*sim.Timer),
+		model:         model.New(id),
+		decisionCache: make(map[uint64]int),
+	}
+	if c.cfg.CheckpointInterval > 0 {
+		// Checkpoints older than a few rounds are presumed to describe
+		// departed or unreachable nodes and are excluded from lookahead.
+		n.model.MaxAge = 6 * c.cfg.CheckpointInterval
+	}
+	n.resolver = c.cfg.NewResolver(n)
+	if c.cfg.ObjectiveFor != nil {
+		n.objective = c.cfg.ObjectiveFor(n)
+	}
+	n.ckpt = checkpoint.NewManager(id)
+	n.ckpt.CheckpointSize = c.cfg.CheckpointSize
+	n.ckpt.Neighbors = n.checkpointNeighbors
+	n.ckpt.SelfState = func() sm.Service { return n.svc.Clone() }
+	n.ckpt.Now = func() time.Duration { return time.Duration(c.eng.Now()) }
+	n.ckpt.Send = func(dst NodeID, kind string, body any, size int) {
+		n.sendRaw(dst, kind, body, size, true)
+	}
+	c.nodes[id] = n
+	c.order = append(c.order, id)
+	c.net.Attach(id, n.onDeliver)
+	c.net.SetConnListener(id, n.onConnDown)
+	return n
+}
+
+// Node returns the node with the given ID, or nil.
+func (c *Cluster) Node(id NodeID) *Node { return c.nodes[id] }
+
+// Nodes returns all nodes in insertion order.
+func (c *Cluster) Nodes() []*Node {
+	out := make([]*Node, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.nodes[id])
+	}
+	return out
+}
+
+// Start initializes every node and begins checkpoint exchange.
+func (c *Cluster) Start() {
+	for _, id := range c.order {
+		c.nodes[id].start()
+	}
+}
+
+// Crash fails a node: its timers stop, its endpoint goes down, and traffic
+// to and from it is dropped.
+func (c *Cluster) Crash(id NodeID) {
+	n := c.nodes[id]
+	if n == nil || n.down {
+		return
+	}
+	n.down = true
+	for _, t := range n.timers {
+		t.Cancel()
+	}
+	n.timers = make(map[string]*sim.Timer)
+	if n.ckptTimer != nil {
+		n.ckptTimer.Cancel()
+	}
+	c.net.Crash(id)
+	c.cfg.Trace.Add(time.Duration(c.eng.Now()), int(id), "CRASH")
+}
+
+// Restart revives a crashed node. If fresh is non-nil it replaces the
+// service state (modeling a process restart from scratch); otherwise the
+// pre-crash state is kept.
+func (c *Cluster) Restart(id NodeID, fresh sm.Service) {
+	n := c.nodes[id]
+	if n == nil {
+		return
+	}
+	if fresh != nil {
+		n.svc = fresh
+	}
+	n.down = false
+	n.decisionCache = make(map[uint64]int)
+	c.net.Restart(id)
+	c.cfg.Trace.Add(time.Duration(c.eng.Now()), int(id), "RESTART")
+	n.start()
+}
+
+// Stats sums runtime counters over all nodes.
+func (c *Cluster) Stats() Stats {
+	var s Stats
+	for _, id := range c.order {
+		s.add(c.nodes[id].stats)
+	}
+	return s
+}
+
+// Node is one CrystalBall-enabled runtime instance (Figure 1): it
+// interposes between the network and the service state machine, maintains
+// the predictive model, and resolves the service's exposed choices.
+type Node struct {
+	id       NodeID
+	svc      sm.Service
+	cluster  *Cluster
+	rng      *rand.Rand
+	lookRng  *rand.Rand
+	lookSeed int64
+
+	resolver  Resolver
+	objective explore.Objective
+	model     *model.Model
+	ckpt      *checkpoint.Manager
+	ckptTimer *sim.Timer
+
+	timers map[string]*sim.Timer
+	down   bool
+
+	currentEvent  *pendingEvent
+	preEventState sm.Service
+
+	decisionCache map[uint64]int
+	stats         Stats
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() NodeID { return n.id }
+
+// Service returns the live service state machine. Callers must not mutate
+// it; use it for read-only inspection in experiments.
+func (n *Node) Service() sm.Service { return n.svc }
+
+// Model returns the node's predictive system model.
+func (n *Node) Model() *model.Model { return n.model }
+
+// Rand returns the node's deterministic RNG, for resolvers implemented
+// outside this package.
+func (n *Node) Rand() *rand.Rand { return n.rng }
+
+// SendApp transmits an application-level message from this node over the
+// reliable service, exactly as the service itself would. Harnesses use it
+// to model stale or adversarial protocol traffic.
+func (n *Node) SendApp(dst NodeID, kind string, body any, size int) {
+	n.sendRaw(dst, kind, body, size, true)
+}
+
+// Inject delivers an externally originated message (e.g. a client request
+// entering the system) to this node through the normal dispatch path, so
+// interposition — steering, pre-event cloning, choice resolution — applies
+// exactly as for network-delivered messages.
+func (n *Node) Inject(kind string, body any, size int) {
+	if n.down {
+		return
+	}
+	n.dispatchMessage(&sm.Msg{Src: n.id, Dst: n.id, Kind: kind, Body: body, Size: size})
+}
+
+// Resolver returns the node's choice resolver.
+func (n *Node) Resolver() Resolver { return n.resolver }
+
+// Stats returns the node's runtime counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// Down reports whether the node is crashed.
+func (n *Node) Down() bool { return n.down }
+
+// Snapshot returns the node's latest neighborhood snapshot.
+func (n *Node) Snapshot() checkpoint.Snapshot { return n.ckpt.Snapshot() }
+
+func (n *Node) start() {
+	n.svc.Init(n.env())
+	if iv := n.cluster.cfg.CheckpointInterval; iv > 0 {
+		n.scheduleCheckpoint(iv)
+	}
+}
+
+func (n *Node) scheduleCheckpoint(iv time.Duration) {
+	// Jitter the period ±10% so checkpoint storms do not synchronize.
+	jit := time.Duration(float64(iv) * (0.9 + 0.2*n.rng.Float64()))
+	n.ckptTimer = n.cluster.eng.Schedule(jit, func() {
+		if n.down {
+			return
+		}
+		n.ckpt.Tick()
+		n.scheduleCheckpoint(iv)
+	})
+}
+
+func (n *Node) checkpointNeighbors() []NodeID {
+	if nb, ok := n.svc.(sm.Neighborly); ok {
+		return nb.Neighbors()
+	}
+	// Full global knowledge fallback (paper §2: "CrystalBall also works
+	// with systems with full global knowledge").
+	out := make([]NodeID, 0, len(n.cluster.order)-1)
+	for _, id := range n.cluster.order {
+		if id != n.id {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// env returns the sm.Env view of this node.
+func (n *Node) env() sm.Env { return (*liveEnv)(n) }
+
+func (n *Node) sendRaw(dst NodeID, kind string, body any, size int, reliable bool) {
+	wrapped := envelope{Body: body, SentAt: time.Duration(n.cluster.eng.Now())}
+	total := size + n.cluster.cfg.EnvelopeOverhead
+	if reliable {
+		n.cluster.net.Send(n.id, dst, kind, wrapped, total)
+	} else {
+		n.cluster.net.SendDatagram(n.id, dst, kind, wrapped, total)
+	}
+}
+
+// onDeliver is the transport handler: it unwraps the envelope, feeds the
+// network model, routes runtime-internal kinds, applies execution
+// steering, and finally dispatches to the service.
+func (n *Node) onDeliver(tm *transport.Message) {
+	if n.down {
+		return
+	}
+	env, ok := tm.Payload.(envelope)
+	if !ok {
+		return
+	}
+	now := time.Duration(n.cluster.eng.Now())
+	if lat := now - env.SentAt; lat >= 0 {
+		n.model.Net.ObserveLatency(tm.Src, lat, now)
+		if tm.Size > 1024 && lat > 0 {
+			n.model.Net.ObserveBandwidth(tm.Src, float64(tm.Size)/lat.Seconds(), now)
+		}
+	}
+	if strings.HasPrefix(tm.Kind, "cb.ckpt.") {
+		if resp, isResp := env.Body.(checkpoint.Response); isResp {
+			n.stats.Checkpoints++
+			n.model.State.Update(tm.Src, resp.State.Clone(), resp.At, resp.Epoch)
+		}
+		n.ckpt.HandleMessage(tm.Src, tm.Kind, env.Body)
+		return
+	}
+	msg := &sm.Msg{Src: tm.Src, Dst: tm.Dst, Kind: tm.Kind, Body: env.Body, Size: tm.Size, Unreliable: !tm.Reliable}
+	if n.cluster.cfg.Steering && len(n.cluster.cfg.Properties) > 0 {
+		if n.steerAway(msg) {
+			return
+		}
+	}
+	n.dispatchMessage(msg)
+}
+
+// steerAway reports whether delivering msg is predicted to violate a
+// safety property while not delivering it is predicted safe; if so the
+// message is dropped and the connection to its sender broken (paper §2).
+func (n *Node) steerAway(msg *sm.Msg) bool {
+	n.stats.SteeringChecks++
+	cfg := n.cluster.cfg
+	now := time.Duration(n.cluster.eng.Now())
+	mkExplorer := func() *explore.Explorer {
+		x := explore.NewExplorer(cfg.SteeringDepth)
+		x.MaxStates = cfg.SteeringMaxStates
+		x.Properties = cfg.Properties
+		return x
+	}
+	withMsg := n.model.BuildWorld(n.svc.Clone(), now, explore.RandomPolicy(n.lookRng), n.lookSeed)
+	n.lookSeed++
+	cp := *msg
+	withMsg.InjectMessage(&cp)
+	rWith := mkExplorer().Explore(withMsg)
+	n.stats.LookaheadStates += uint64(rWith.StatesExplored)
+	if rWith.Safe() {
+		return false
+	}
+	// Only steer if the alternative (dropping the message) is not itself
+	// predicted to lead to a violation.
+	without := n.model.BuildWorld(n.svc.Clone(), now, explore.RandomPolicy(n.lookRng), n.lookSeed)
+	n.lookSeed++
+	rWithout := mkExplorer().Explore(without)
+	n.stats.LookaheadStates += uint64(rWithout.StatesExplored)
+	if !rWithout.Safe() {
+		return false
+	}
+	n.stats.Steered++
+	cfg.Trace.Add(now, int(n.id), "STEER drop %s from %v", msg.Kind, msg.Src)
+	n.cluster.net.BreakConnection(n.id, msg.Src)
+	return true
+}
+
+func (n *Node) needsLookahead() bool {
+	if n.cluster.cfg.Steering {
+		return true
+	}
+	if ln, ok := n.resolver.(lookaheadNeeder); ok {
+		return ln.needsLookahead()
+	}
+	return false
+}
+
+func (n *Node) dispatchMessage(msg *sm.Msg) {
+	n.currentEvent = &pendingEvent{msg: msg}
+	if n.needsLookahead() {
+		n.preEventState = n.svc.Clone()
+	} else {
+		n.preEventState = nil
+	}
+	n.svc.OnMessage(n.env(), msg)
+	n.currentEvent = nil
+	n.preEventState = nil
+}
+
+func (n *Node) dispatchTimer(name string) {
+	if n.down {
+		return
+	}
+	delete(n.timers, name)
+	n.currentEvent = &pendingEvent{timer: name}
+	if n.needsLookahead() {
+		n.preEventState = n.svc.Clone()
+	} else {
+		n.preEventState = nil
+	}
+	n.svc.OnTimer(n.env(), name)
+	n.currentEvent = nil
+	n.preEventState = nil
+}
+
+func (n *Node) onConnDown(peer NodeID) {
+	if n.down {
+		return
+	}
+	if ca, ok := n.svc.(sm.ConnAware); ok {
+		ca.OnConnDown(n.env(), peer)
+	}
+}
+
+// liveEnv adapts *Node to sm.Env for the live deployment.
+type liveEnv Node
+
+func (e *liveEnv) node() *Node { return (*Node)(e) }
+
+// ID returns the node's identity.
+func (e *liveEnv) ID() NodeID { return e.id }
+
+// Now returns virtual time since simulation start.
+func (e *liveEnv) Now() time.Duration { return time.Duration(e.cluster.eng.Now()) }
+
+// Send transmits over the reliable service.
+func (e *liveEnv) Send(dst NodeID, kind string, body any, size int) {
+	e.node().sendRaw(dst, kind, body, size, true)
+}
+
+// SendDatagram transmits a best-effort datagram.
+func (e *liveEnv) SendDatagram(dst NodeID, kind string, body any, size int) {
+	e.node().sendRaw(dst, kind, body, size, false)
+}
+
+// SetTimer (re)schedules the named timer.
+func (e *liveEnv) SetTimer(name string, d time.Duration) {
+	n := e.node()
+	if t := n.timers[name]; t != nil {
+		t.Cancel()
+	}
+	n.timers[name] = n.cluster.eng.Schedule(d, func() { n.dispatchTimer(name) })
+}
+
+// CancelTimer cancels the named timer.
+func (e *liveEnv) CancelTimer(name string) {
+	n := e.node()
+	if t := n.timers[name]; t != nil {
+		t.Cancel()
+		delete(n.timers, name)
+	}
+}
+
+// Rand returns the node's deterministic RNG.
+func (e *liveEnv) Rand() *rand.Rand { return e.rng }
+
+// Choose resolves an exposed choice via the node's resolver.
+func (e *liveEnv) Choose(c sm.Choice) int {
+	n := e.node()
+	n.stats.Choices++
+	idx := n.resolver.Resolve(n, c)
+	if idx < 0 || idx >= c.N {
+		idx = 0
+	}
+	if n.cluster.cfg.Trace != nil && c.Label != nil {
+		n.cluster.cfg.Trace.Add(time.Duration(n.cluster.eng.Now()), int(n.id), "CHOOSE %s -> %s", c.Name, c.Label(idx))
+	}
+	return idx
+}
+
+// Logf records a trace line.
+func (e *liveEnv) Logf(format string, args ...any) {
+	e.cluster.cfg.Trace.Add(time.Duration(e.cluster.eng.Now()), int(e.id), format, args...)
+}

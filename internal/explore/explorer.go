@@ -1,0 +1,376 @@
+package explore
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"crystalchoice/internal/sm"
+)
+
+// Property is a safety property over global states (paper §3.2): Check
+// returns true when the property holds. Violations found during
+// exploration are reported and, in the live runtime, steered away from.
+type Property struct {
+	Name  string
+	Check func(w *World) bool
+}
+
+// Objective scores a world; the runtime resolves choices to maximize it
+// (paper §3.2). Implementations must be pure.
+type Objective interface {
+	Name() string
+	Score(w *World) float64
+}
+
+// ObjectiveFunc adapts a function to the Objective interface.
+type ObjectiveFunc struct {
+	ObjectiveName string
+	Fn            func(w *World) float64
+}
+
+// Name returns the objective's name.
+func (o ObjectiveFunc) Name() string { return o.ObjectiveName }
+
+// Score evaluates the objective on w.
+func (o ObjectiveFunc) Score(w *World) float64 { return o.Fn(w) }
+
+// Violation records a safety property violated in a predicted future.
+type Violation struct {
+	Property string
+	// Trace is the chain of events from the start world to the violation.
+	Trace []string
+	Depth int
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("violation of %s at depth %d via %v", v.Property, v.Depth, v.Trace)
+}
+
+// Report summarizes one exploration.
+type Report struct {
+	StatesExplored int
+	MaxDepth       int
+	Violations     []Violation
+	// MinScore, MeanScore and MaxScore aggregate the objective over every
+	// explored state (not just leaves), so transient bad states count.
+	MinScore, MeanScore, MaxScore float64
+	scoreSum                      float64
+	scoreCount                    int
+	Truncated                     bool // budget exhausted before frontier
+	Elapsed                       time.Duration
+}
+
+// Safe reports whether no violations were predicted.
+func (r *Report) Safe() bool { return len(r.Violations) == 0 }
+
+// Explorer runs consequence prediction: depth-bounded exploration of
+// causally related event chains (paper §2). Rather than interleaving all
+// nodes' actions, it starts one chain per enabled action and follows each
+// chain's consequences — the messages the previous step produced — which is
+// what lets CrystalBall look several levels into the future quickly.
+type Explorer struct {
+	// Depth bounds the length of each causal chain.
+	Depth int
+	// MaxStates bounds the total number of handler executions.
+	MaxStates int
+	// Properties are checked on every explored state.
+	Properties []Property
+	// Objective, if set, is evaluated on every explored state.
+	Objective Objective
+	// ExploreTimers includes pending timer firings as chain starts and
+	// chain steps. Defaults to true via NewExplorer.
+	ExploreTimers bool
+	// DropBranches additionally explores dropping each initial datagram
+	// (loss branch). Off by default; chains grow quadratically with it.
+	DropBranches bool
+}
+
+// NewExplorer returns an explorer with the given chain depth and a state
+// budget proportionate to it.
+func NewExplorer(depth int) *Explorer {
+	return &Explorer{Depth: depth, MaxStates: 4096, ExploreTimers: true}
+}
+
+type action struct {
+	kind  byte // 'm' or 't'
+	msgIx int
+	node  NodeID
+	timer string
+	label string
+}
+
+func (x *Explorer) enabled(w *World) []action {
+	var acts []action
+	for i, m := range w.Inflight {
+		if w.Down[m.Dst] {
+			continue
+		}
+		acts = append(acts, action{kind: 'm', msgIx: i, label: m.String()})
+	}
+	if x.ExploreTimers {
+		for _, id := range w.Nodes() {
+			if w.Down[id] {
+				continue
+			}
+			names := make([]string, 0, len(w.Timers[id]))
+			for name, on := range w.Timers[id] {
+				if on {
+					names = append(names, name)
+				}
+			}
+			// Deterministic order.
+			for i := 1; i < len(names); i++ {
+				for j := i; j > 0 && names[j] < names[j-1]; j-- {
+					names[j], names[j-1] = names[j-1], names[j]
+				}
+			}
+			for _, name := range names {
+				acts = append(acts, action{kind: 't', node: id, timer: name, label: fmt.Sprintf("%v!%s", id, name)})
+			}
+		}
+	}
+	return acts
+}
+
+// Explore runs consequence prediction from w. The world is not modified:
+// every branch works on clones.
+func (x *Explorer) Explore(w *World) *Report {
+	r := &Report{MinScore: math.Inf(1), MaxScore: math.Inf(-1)}
+	seen := make(map[uint64]bool)
+	budget := x.MaxStates
+	if budget <= 0 {
+		budget = 4096
+	}
+	x.check(w, r, nil, 0) // score the root state too
+	for _, a := range x.enabled(w) {
+		if r.scoreCount >= budget {
+			r.Truncated = true
+			break
+		}
+		x.chain(w.Clone(), a, 1, r, seen, []string{a.label}, &budget)
+		// Loss branch: an unreliable message may simply never arrive.
+		if x.DropBranches && a.kind == 'm' && a.msgIx < len(w.Inflight) && w.Inflight[a.msgIx].Unreliable {
+			wc := w.Clone()
+			wc.Inflight = append(wc.Inflight[:a.msgIx:a.msgIx], wc.Inflight[a.msgIx+1:]...)
+			x.check(wc, r, []string{"drop " + a.label}, 1)
+			if 1 > r.MaxDepth {
+				r.MaxDepth = 1
+			}
+		}
+	}
+	if r.scoreCount > 0 {
+		r.MeanScore = r.scoreSum / float64(r.scoreCount)
+	} else {
+		r.MinScore, r.MaxScore = 0, 0
+	}
+	return r
+}
+
+// IterativeExplore runs Explore with increasing chain depth (1, 2, ...,
+// maxDepth) until the real-time budget is exhausted, returning the report
+// of the deepest completed iteration and the depth it reached. This is the
+// paper's operating point: look as many levels into the future as the
+// available time allows (§2: "fast enough to look several levels of state
+// space into the future fairly quickly").
+func (x *Explorer) IterativeExplore(w *World, maxDepth int, budget time.Duration) (*Report, int) {
+	deadline := time.Now().Add(budget)
+	saved := x.Depth
+	defer func() { x.Depth = saved }()
+	var best *Report
+	reached := 0
+	for d := 1; d <= maxDepth; d++ {
+		x.Depth = d
+		r := x.Explore(w)
+		r.Elapsed = time.Until(deadline)
+		best = r
+		reached = d
+		if r.MaxDepth < d {
+			break // chains exhausted before the bound: deeper adds nothing
+		}
+		if !time.Now().Before(deadline) {
+			break
+		}
+	}
+	return best, reached
+}
+
+// chain executes action a on w (which the callee owns), then recurses on
+// the consequences of a plus any newly enabled timers on the acting node.
+func (x *Explorer) chain(w *World, a action, depth int, r *Report, seen map[uint64]bool, trace []string, budget *int) {
+	if r.scoreCount >= *budget {
+		r.Truncated = true
+		return
+	}
+	var out []*actionRef
+	switch a.kind {
+	case 'm':
+		if a.msgIx >= len(w.Inflight) {
+			return
+		}
+		if m := w.Inflight[a.msgIx]; w.Generic != nil {
+			if _, modeled := w.Services[m.Dst]; !modeled {
+				x.genericDelivery(w, a.msgIx, depth, r, seen, trace, budget)
+				return
+			}
+		}
+		msgs := w.DeliverMessage(a.msgIx)
+		out = consequences(w, msgs)
+	case 't':
+		msgs := w.FireTimer(a.node, a.timer)
+		out = consequences(w, msgs)
+	}
+	if depth > r.MaxDepth {
+		r.MaxDepth = depth
+	}
+	x.check(w, r, trace, depth)
+	if depth >= x.Depth {
+		return
+	}
+	d := w.Digest()
+	if seen[d] {
+		return
+	}
+	seen[d] = true
+	if len(out) == 0 {
+		return
+	}
+	for _, next := range out {
+		if r.scoreCount >= *budget {
+			r.Truncated = true
+			return
+		}
+		// Locate the consequence message in the clone by identity of
+		// content: messages are immutable, so pointer equality survives
+		// Clone's shallow copy of Inflight.
+		wc := w.Clone()
+		ix := -1
+		for i, m := range wc.Inflight {
+			if m == next.msg {
+				ix = i
+				break
+			}
+		}
+		if next.msg != nil && ix == -1 {
+			continue // consumed on another branch bookkeeping path
+		}
+		var na action
+		if next.msg != nil {
+			na = action{kind: 'm', msgIx: ix, label: next.msg.String()}
+		} else {
+			na = action{kind: 't', node: next.node, timer: next.timer, label: fmt.Sprintf("%v!%s", next.node, next.timer)}
+		}
+		x.chain(wc, na, depth+1, r, seen, append(append([]string{}, trace...), na.label), budget)
+		// Loss branch: this consequence, if a datagram, may never arrive.
+		if x.DropBranches && next.msg != nil && next.msg.Unreliable {
+			wd := w.Clone()
+			for i, m := range wd.Inflight {
+				if m == next.msg {
+					wd.Inflight = append(wd.Inflight[:i:i], wd.Inflight[i+1:]...)
+					break
+				}
+			}
+			if depth+1 > r.MaxDepth {
+				r.MaxDepth = depth + 1
+			}
+			x.check(wd, r, append(append([]string{}, trace...), "drop "+na.label), depth+1)
+		}
+	}
+}
+
+// genericDelivery handles a message addressed to an under-specified node
+// (paper §3.3.2): the explorer branches over the generic node staying
+// silent and over each reaction the installed GenericModel enumerates.
+func (x *Explorer) genericDelivery(w *World, ix, depth int, r *Report, seen map[uint64]bool, trace []string, budget *int) {
+	m := w.Inflight[ix]
+	w.Inflight = append(w.Inflight[:ix:ix], w.Inflight[ix+1:]...)
+	if depth > r.MaxDepth {
+		r.MaxDepth = depth
+	}
+	// Silent branch: the unknown node absorbs the message.
+	x.check(w, r, append(append([]string{}, trace...), "generic-silent"), depth)
+	if depth >= x.Depth {
+		return
+	}
+	d := w.Digest()
+	if seen[d] {
+		return
+	}
+	seen[d] = true
+	for bi, reaction := range w.Generic.Reactions(m) {
+		if r.scoreCount >= *budget {
+			r.Truncated = true
+			return
+		}
+		wc := w.Clone()
+		injected := make([]*sm.Msg, 0, len(reaction))
+		for _, rm := range reaction {
+			cp := *rm // models hand out templates; never share pointers
+			wc.Inflight = append(wc.Inflight, &cp)
+			injected = append(injected, &cp)
+		}
+		label := fmt.Sprintf("generic-react#%d", bi)
+		for _, im := range injected {
+			ixc := -1
+			for i, q := range wc.Inflight {
+				if q == im {
+					ixc = i
+					break
+				}
+			}
+			if ixc < 0 {
+				continue
+			}
+			na := action{kind: 'm', msgIx: ixc, label: im.String()}
+			x.chain(wc.Clone(), na, depth+1, r, seen,
+				append(append([]string{}, trace...), label, na.label), budget)
+		}
+	}
+}
+
+type actionRef struct {
+	msg   *sm.Msg
+	node  NodeID
+	timer string
+}
+
+func consequences(w *World, msgs []*sm.Msg) []*actionRef {
+	out := make([]*actionRef, 0, len(msgs))
+	for _, m := range msgs {
+		// Only messages that actually entered the world (destination
+		// modeled) are consequences.
+		for _, q := range w.Inflight {
+			if q == m {
+				out = append(out, &actionRef{msg: m})
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (x *Explorer) check(w *World, r *Report, trace []string, depth int) {
+	r.StatesExplored++
+	for _, p := range x.Properties {
+		if p.Check != nil && !p.Check(w) {
+			r.Violations = append(r.Violations, Violation{
+				Property: p.Name,
+				Trace:    append([]string{}, trace...),
+				Depth:    depth,
+			})
+		}
+	}
+	if x.Objective != nil {
+		s := x.Objective.Score(w)
+		r.scoreSum += s
+		r.scoreCount++
+		if s < r.MinScore {
+			r.MinScore = s
+		}
+		if s > r.MaxScore {
+			r.MaxScore = s
+		}
+	} else {
+		r.scoreCount++
+	}
+}

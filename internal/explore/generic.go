@@ -1,0 +1,59 @@
+package explore
+
+import "crystalchoice/internal/sm"
+
+// This file implements the paper's generic (dummy) node (§3.3.2): "To move
+// the horizon beyond the currently collected node neighborhood, we propose
+// the notion of a generic (dummy) node. The state of such a node is
+// under-specified, which allows the model to explicitly take the partial
+// nature of the available information [into account]."
+//
+// A World without a GenericModel silently drops messages addressed outside
+// the modeled neighborhood (conservative under-modeling). With a
+// GenericModel installed, such messages become exploration branch points:
+// the unknown recipient may stay silent, or react in any of the ways the
+// model enumerates — a poor man's symbolic execution over the unknown
+// node's behavior, which is exactly how the paper frames it ("taking into
+// account the actions of generic node in principle requires the use of
+// symbolic execution").
+
+// GenericModel enumerates the possible reactions of an under-specified
+// node to a message. Each element of the returned slice is one branch: the
+// set of messages the unknown node sends in that future. The explorer
+// always additionally branches on the node staying silent.
+type GenericModel interface {
+	Reactions(m *sm.Msg) [][]*sm.Msg
+}
+
+// GenericFunc adapts a function to GenericModel.
+type GenericFunc func(m *sm.Msg) [][]*sm.Msg
+
+// Reactions invokes the function.
+func (f GenericFunc) Reactions(m *sm.Msg) [][]*sm.Msg { return f(m) }
+
+// Silent is the GenericModel under which unknown nodes absorb messages
+// without reacting. Unlike a nil model, messages to unknown nodes are kept
+// in flight and their delivery consumes an exploration step, so chain
+// depth accounting matches the with-reactions case.
+type Silent struct{}
+
+// Reactions returns no reaction branches.
+func (Silent) Reactions(*sm.Msg) [][]*sm.Msg { return nil }
+
+// ReplyKinds builds a GenericModel that answers selected request kinds
+// with each of the listed reply kinds (empty bodies), addressed back to
+// the requester. It covers the common case where the protocol's possible
+// response vocabulary is known even though the responder's state is not.
+func ReplyKinds(vocab map[string][]string) GenericModel {
+	return GenericFunc(func(m *sm.Msg) [][]*sm.Msg {
+		kinds := vocab[m.Kind]
+		if len(kinds) == 0 {
+			return nil
+		}
+		out := make([][]*sm.Msg, 0, len(kinds))
+		for _, k := range kinds {
+			out = append(out, []*sm.Msg{{Src: m.Dst, Dst: m.Src, Kind: k}})
+		}
+		return out
+	})
+}

@@ -1,0 +1,128 @@
+package explore
+
+import (
+	"testing"
+	"time"
+
+	"crystalchoice/internal/sm"
+)
+
+// dgram sends an unreliable datagram on "go"; the receiver flips a flag.
+type dgram struct {
+	id  NodeID
+	got bool
+}
+
+func (d *dgram) Init(env sm.Env) {}
+func (d *dgram) OnMessage(env sm.Env, m *sm.Msg) {
+	switch m.Kind {
+	case "go":
+		env.SendDatagram(1, "flag", nil, 0)
+	case "flag":
+		d.got = true
+	}
+}
+func (d *dgram) OnTimer(env sm.Env, name string) {}
+func (d *dgram) Clone() sm.Service               { c := *d; return &c }
+func (d *dgram) Digest() uint64 {
+	return sm.NewHasher().WriteNode(d.id).WriteBool(d.got).Sum()
+}
+
+func TestDropBranchesExploresLoss(t *testing.T) {
+	mk := func() *World {
+		w := NewWorld(FirstPolicy, 1)
+		w.AddNode(0, &dgram{id: 0})
+		w.AddNode(1, &dgram{id: 1})
+		w.InjectMessage(&sm.Msg{Src: 1, Dst: 0, Kind: "go"})
+		return w
+	}
+	// Without drop branches, the datagram always arrives: a property that
+	// requires the flag to stay false is always violated at depth 2.
+	neverFlag := Property{Name: "never-flag", Check: func(w *World) bool {
+		return !w.Services[1].(*dgram).got
+	}}
+	x := NewExplorer(4)
+	x.Properties = []Property{neverFlag}
+	if r := x.Explore(mk()); r.Safe() {
+		t.Fatal("delivery branch missing")
+	}
+
+	// With drop branches, the explorer also visits the future where the
+	// datagram is lost. A property requiring the flag to become true must
+	// be violated on that branch.
+	x = NewExplorer(4)
+	x.DropBranches = true
+	flagRequired := Property{Name: "flag-required", Check: func(w *World) bool {
+		// Only meaningful once the channel drained.
+		if len(w.Inflight) > 0 {
+			return true
+		}
+		return w.Services[1].(*dgram).got
+	}}
+	x.Properties = []Property{flagRequired}
+	r := x.Explore(mk())
+	found := false
+	for _, v := range r.Violations {
+		for _, step := range v.Trace {
+			if len(step) >= 4 && step[:4] == "drop" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("loss branch not explored: %+v", r.Violations)
+	}
+}
+
+func TestReliableMessagesNotDropBranched(t *testing.T) {
+	w := NewWorld(FirstPolicy, 1)
+	w.AddNode(0, &relay{id: 0, n: 1})
+	w.InjectMessage(&sm.Msg{Src: 0, Dst: 0, Kind: "ping", Body: 0}) // reliable
+	x := NewExplorer(2)
+	x.DropBranches = true
+	r := x.Explore(w)
+	// Exactly: root + one delivery. No drop state.
+	if r.StatesExplored != 2 {
+		t.Fatalf("states = %d, want 2 (no loss branch for reliable)", r.StatesExplored)
+	}
+}
+
+func TestIterativeExploreReachesDepth(t *testing.T) {
+	w := relayWorld(6, 5)
+	x := NewExplorer(0)
+	r, reached := x.IterativeExplore(w, 10, time.Second)
+	if r == nil {
+		t.Fatal("no report")
+	}
+	// The 5-hop chain exhausts at depth 6; iterative deepening should
+	// stop there rather than burn the whole budget.
+	if reached > 7 {
+		t.Fatalf("kept deepening past exhaustion: reached %d", reached)
+	}
+	if r.MaxDepth != 6 {
+		t.Fatalf("MaxDepth = %d, want 6", r.MaxDepth)
+	}
+}
+
+func TestIterativeExploreHonorsBudget(t *testing.T) {
+	w := relayWorld(8, 1000)
+	x := NewExplorer(0)
+	x.MaxStates = 1 << 20
+	start := time.Now()
+	_, reached := x.IterativeExplore(w, 3, 0) // zero budget: one iteration
+	if reached != 1 {
+		t.Fatalf("zero budget should stop after depth 1, reached %d", reached)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("budget ignored")
+	}
+}
+
+func TestIterativeExploreRestoresDepth(t *testing.T) {
+	w := relayWorld(3, 2)
+	x := NewExplorer(7)
+	x.IterativeExplore(w, 3, time.Millisecond)
+	if x.Depth != 7 {
+		t.Fatalf("explorer depth mutated: %d", x.Depth)
+	}
+}

@@ -1,0 +1,79 @@
+package explore
+
+// Objective combinators (paper §3.2). The paper notes that "given such
+// properties, a generically useful objective can be computed from the
+// number of safety and liveness properties that are expected to hold at
+// various points in the future", and calls for an expressive performance
+// specification language; these combinators are the algebra that
+// experiments compose concrete objectives from.
+
+// PropertyObjective scores a world by the number of properties that hold
+// in it. Used as an exploration objective, its mean over explored futures
+// is exactly the paper's "number of properties expected to hold at various
+// points in the future".
+func PropertyObjective(props ...Property) Objective {
+	return ObjectiveFunc{ObjectiveName: "properties-holding", Fn: func(w *World) float64 {
+		holding := 0
+		for _, p := range props {
+			if p.Check == nil || p.Check(w) {
+				holding++
+			}
+		}
+		return float64(holding)
+	}}
+}
+
+// Weighted scales an objective by a constant factor.
+func Weighted(factor float64, o Objective) Objective {
+	return ObjectiveFunc{ObjectiveName: o.Name(), Fn: func(w *World) float64 {
+		return factor * o.Score(w)
+	}}
+}
+
+// Sum combines objectives additively — e.g. a performance objective plus a
+// weighted property-count objective.
+func Sum(objs ...Objective) Objective {
+	name := "sum"
+	if len(objs) > 0 {
+		name = objs[0].Name() + "+…"
+	}
+	return ObjectiveFunc{ObjectiveName: name, Fn: func(w *World) float64 {
+		total := 0.0
+		for _, o := range objs {
+			total += o.Score(w)
+		}
+		return total
+	}}
+}
+
+// Lexicographic prefers primary and uses secondary only to break (near-)
+// ties: score = primary*scale + secondary, with scale large enough that a
+// full unit of primary always dominates the secondary's range. bound must
+// exceed the absolute range of the secondary objective.
+func Lexicographic(primary, secondary Objective, bound float64) Objective {
+	if bound <= 0 {
+		bound = 1e6
+	}
+	return ObjectiveFunc{ObjectiveName: primary.Name() + ">" + secondary.Name(), Fn: func(w *World) float64 {
+		return primary.Score(w)*2*bound + secondary.Score(w)
+	}}
+}
+
+// Guarded hard-disqualifies worlds violating any property (score −penalty
+// per violation) and otherwise defers to the inner objective. This is the
+// safety-dominates-performance composition the predictive resolver applies
+// implicitly; Guarded makes it available to objectives themselves.
+func Guarded(inner Objective, penalty float64, props ...Property) Objective {
+	if penalty <= 0 {
+		penalty = 1e12
+	}
+	return ObjectiveFunc{ObjectiveName: "guarded-" + inner.Name(), Fn: func(w *World) float64 {
+		score := inner.Score(w)
+		for _, p := range props {
+			if p.Check != nil && !p.Check(w) {
+				score -= penalty
+			}
+		}
+		return score
+	}}
+}

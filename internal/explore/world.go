@@ -1,0 +1,329 @@
+// Package explore implements CrystalBall's consequence-prediction state
+// space exploration (paper §2, §3.4).
+//
+// A World is a materialized global state — per-node service clones, the
+// in-flight message set, and pending timers — typically assembled from a
+// node's latest consistent snapshot of its neighborhood. The Explorer runs
+// depth-bounded exploration over causally related chains of events,
+// checking safety properties and scoring objectives, which turns the model
+// checker into "a simulator that runs a large number of simulations"
+// (paper §3.3.2).
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"crystalchoice/internal/sm"
+)
+
+// NodeID aliases sm.NodeID.
+type NodeID = sm.NodeID
+
+// ChoicePolicy resolves exposed choices during exploration. seq is the
+// 0-based index of the choice within the current event handler invocation
+// on the given node.
+type ChoicePolicy func(node NodeID, c sm.Choice, seq int) int
+
+// RandomPolicy resolves every choice uniformly at random from rng.
+func RandomPolicy(rng *rand.Rand) ChoicePolicy {
+	return func(_ NodeID, c sm.Choice, _ int) int {
+		if c.N <= 1 {
+			return 0
+		}
+		return rng.Intn(c.N)
+	}
+}
+
+// FirstPolicy always picks alternative 0.
+func FirstPolicy(NodeID, sm.Choice, int) int { return 0 }
+
+// ForceFirst wraps base so that the first choice named name made by node
+// resolves to idx; all other choices fall through to base.
+func ForceFirst(node NodeID, name string, idx int, base ChoicePolicy) ChoicePolicy {
+	done := false
+	return func(n NodeID, c sm.Choice, seq int) int {
+		if !done && n == node && c.Name == name {
+			done = true
+			if idx < c.N {
+				return idx
+			}
+		}
+		return base(n, c, seq)
+	}
+}
+
+// World is a global state the explorer can fork and evolve. Worlds own
+// their services: constructing a World must hand it clones, never live
+// service state.
+type World struct {
+	Services map[NodeID]sm.Service
+	Inflight []*sm.Msg
+	Timers   map[NodeID]map[string]bool
+	Down     map[NodeID]bool
+	Now      time.Duration
+	Policy   ChoicePolicy
+	Seed     int64
+	// Generic, when set, models nodes outside the neighborhood as
+	// under-specified "generic nodes" (paper §3.3.2): messages to them
+	// stay explorable and branch over the model's possible reactions.
+	Generic GenericModel
+
+	rngs map[NodeID]*rand.Rand
+}
+
+// NewWorld returns an empty world with the given choice policy and seed.
+func NewWorld(policy ChoicePolicy, seed int64) *World {
+	if policy == nil {
+		policy = FirstPolicy
+	}
+	return &World{
+		Services: make(map[NodeID]sm.Service),
+		Timers:   make(map[NodeID]map[string]bool),
+		Down:     make(map[NodeID]bool),
+		Policy:   policy,
+		Seed:     seed,
+	}
+}
+
+// AddNode installs svc (which must already be a clone owned by the world)
+// as node id's state.
+func (w *World) AddNode(id NodeID, svc sm.Service) {
+	w.Services[id] = svc
+	if w.Timers[id] == nil {
+		w.Timers[id] = make(map[string]bool)
+	}
+}
+
+// Clone deep-copies the world. The choice policy is shared (policies are
+// expected to be either stateless or installed fresh per exploration
+// branch via WithPolicy).
+func (w *World) Clone() *World {
+	c := &World{
+		Services: make(map[NodeID]sm.Service, len(w.Services)),
+		Inflight: make([]*sm.Msg, len(w.Inflight)),
+		Timers:   make(map[NodeID]map[string]bool, len(w.Timers)),
+		Down:     make(map[NodeID]bool, len(w.Down)),
+		Now:      w.Now,
+		Policy:   w.Policy,
+		Seed:     w.Seed + 1,
+		Generic:  w.Generic,
+	}
+	for id, svc := range w.Services {
+		c.Services[id] = svc.Clone()
+	}
+	copy(c.Inflight, w.Inflight) // messages are immutable once in flight
+	for id, set := range w.Timers {
+		ts := make(map[string]bool, len(set))
+		for k, v := range set {
+			ts[k] = v
+		}
+		c.Timers[id] = ts
+	}
+	for id, v := range w.Down {
+		c.Down[id] = v
+	}
+	return c
+}
+
+// WithPolicy returns the world itself after swapping the choice policy.
+func (w *World) WithPolicy(p ChoicePolicy) *World {
+	w.Policy = p
+	return w
+}
+
+// Nodes returns the world's node IDs in ascending order.
+func (w *World) Nodes() []NodeID {
+	ids := make([]NodeID, 0, len(w.Services))
+	for id := range w.Services {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Digest returns a stable hash of the entire world, used for state
+// deduplication during exploration.
+func (w *World) Digest() uint64 {
+	h := sm.NewHasher()
+	for _, id := range w.Nodes() {
+		h.WriteNode(id)
+		h.WriteUint(w.Services[id].Digest())
+		h.WriteBool(w.Down[id])
+		// Pending timers, sorted.
+		names := make([]string, 0, len(w.Timers[id]))
+		for name, on := range w.Timers[id] {
+			if on {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		h.WriteInt(int64(len(names)))
+		for _, name := range names {
+			h.WriteString(name)
+		}
+	}
+	// In-flight messages, order-insensitively (channel contents form a
+	// multiset for exploration purposes).
+	digests := make([]uint64, 0, len(w.Inflight))
+	for _, m := range w.Inflight {
+		digests = append(digests, msgDigest(m))
+	}
+	sort.Slice(digests, func(i, j int) bool { return digests[i] < digests[j] })
+	h.WriteInt(int64(len(digests)))
+	for _, d := range digests {
+		h.WriteUint(d)
+	}
+	return h.Sum()
+}
+
+// BodyDigester lets message bodies provide a stable digest. Bodies that do
+// not implement it are hashed via their fmt representation, which is stable
+// for struct and scalar bodies (avoid maps in message bodies).
+type BodyDigester interface {
+	DigestBody(h *sm.Hasher)
+}
+
+func msgDigest(m *sm.Msg) uint64 {
+	h := sm.NewHasher()
+	h.WriteNode(m.Src).WriteNode(m.Dst).WriteString(m.Kind).WriteBool(m.Unreliable)
+	if d, ok := m.Body.(BodyDigester); ok {
+		d.DigestBody(h)
+	} else if m.Body != nil {
+		h.WriteString(fmt.Sprintf("%v", m.Body))
+	}
+	return h.Sum()
+}
+
+// worldEnv adapts a World to sm.Env for one handler invocation. Effects
+// mutate the world: sends append to a staging buffer (exposed afterward as
+// the causal consequences of the event), timer ops update the pending set.
+type worldEnv struct {
+	w         *World
+	id        NodeID
+	choiceSeq int
+	produced  []*sm.Msg // messages sent by this invocation
+	logf      func(string, ...any)
+}
+
+func (e *worldEnv) ID() NodeID         { return e.id }
+func (e *worldEnv) Now() time.Duration { return e.w.Now }
+func (e *worldEnv) Logf(f string, a ...any) {
+	if e.logf != nil {
+		e.logf(f, a...)
+	}
+}
+
+func (e *worldEnv) Send(dst NodeID, kind string, body any, size int) {
+	m := &sm.Msg{Src: e.id, Dst: dst, Kind: kind, Body: body, Size: size}
+	e.produced = append(e.produced, m)
+}
+
+func (e *worldEnv) SendDatagram(dst NodeID, kind string, body any, size int) {
+	// Exploration treats datagrams like messages that may be delivered;
+	// loss is a separate branch the explorer takes when DropBranches is
+	// enabled (the Unreliable mark drives that).
+	m := &sm.Msg{Src: e.id, Dst: dst, Kind: kind, Body: body, Size: size, Unreliable: true}
+	e.produced = append(e.produced, m)
+}
+
+func (e *worldEnv) SetTimer(name string, d time.Duration) {
+	if e.w.Timers[e.id] == nil {
+		e.w.Timers[e.id] = make(map[string]bool)
+	}
+	e.w.Timers[e.id][name] = true
+}
+
+func (e *worldEnv) CancelTimer(name string) {
+	if set := e.w.Timers[e.id]; set != nil {
+		delete(set, name)
+	}
+}
+
+func (e *worldEnv) Rand() *rand.Rand {
+	if e.w.rngs == nil {
+		e.w.rngs = make(map[NodeID]*rand.Rand)
+	}
+	r := e.w.rngs[e.id]
+	if r == nil {
+		r = rand.New(rand.NewSource(e.w.Seed*1315423911 + int64(e.id)))
+		e.w.rngs[e.id] = r
+	}
+	return r
+}
+
+func (e *worldEnv) Choose(c sm.Choice) int {
+	idx := e.w.Policy(e.id, c, e.choiceSeq)
+	e.choiceSeq++
+	if idx < 0 || idx >= c.N {
+		idx = 0
+	}
+	return idx
+}
+
+// DeliverMessage executes the handler for in-flight message index i,
+// removing it from the channel and appending the messages it produces.
+// It reports the produced messages.
+func (w *World) DeliverMessage(i int) []*sm.Msg {
+	m := w.Inflight[i]
+	w.Inflight = append(w.Inflight[:i:i], w.Inflight[i+1:]...)
+	if w.Down[m.Dst] {
+		return nil
+	}
+	svc := w.Services[m.Dst]
+	if svc == nil {
+		return nil
+	}
+	env := &worldEnv{w: w, id: m.Dst}
+	svc.OnMessage(env, m)
+	w.absorb(env.produced)
+	return env.produced
+}
+
+// FireTimer executes node id's named timer handler, clearing its pending
+// flag, and returns the messages produced.
+func (w *World) FireTimer(id NodeID, name string) []*sm.Msg {
+	if set := w.Timers[id]; set != nil {
+		delete(set, name)
+	}
+	if w.Down[id] {
+		return nil
+	}
+	svc := w.Services[id]
+	if svc == nil {
+		return nil
+	}
+	env := &worldEnv{w: w, id: id}
+	svc.OnTimer(env, name)
+	w.absorb(env.produced)
+	return env.produced
+}
+
+// InjectMessage places a message into the in-flight set without executing
+// anything, e.g. the triggering event of a lookahead.
+func (w *World) InjectMessage(m *sm.Msg) { w.Inflight = append(w.Inflight, m) }
+
+func (w *World) absorb(msgs []*sm.Msg) {
+	for _, m := range msgs {
+		if _, ok := w.Services[m.Dst]; !ok && w.Generic == nil {
+			// Destination outside the modeled neighborhood and no generic
+			// node installed: drop rather than speculate (conservative
+			// under-modeling).
+			continue
+		}
+		w.Inflight = append(w.Inflight, m)
+	}
+}
+
+// FindInflight returns the index of the first in-flight message matching
+// the predicate, or -1.
+func (w *World) FindInflight(pred func(*sm.Msg) bool) int {
+	for i, m := range w.Inflight {
+		if pred(m) {
+			return i
+		}
+	}
+	return -1
+}

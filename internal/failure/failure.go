@@ -1,0 +1,97 @@
+// Package failure provides declarative fault schedules for experiments:
+// crash/restart groups of nodes, partition and heal the network, at fixed
+// virtual times. Experiments build a Schedule up front and install it on a
+// cluster, keeping fault logic out of the measurement loops.
+package failure
+
+import (
+	"sort"
+	"time"
+
+	"crystalchoice/internal/core"
+	"crystalchoice/internal/sm"
+)
+
+// Event is one scheduled fault action.
+type Event struct {
+	At    time.Duration
+	Apply func(cl *core.Cluster)
+	Label string
+}
+
+// Schedule is an ordered fault plan.
+type Schedule struct {
+	events []Event
+}
+
+// CrashAt schedules the given nodes to crash at time at.
+func (s *Schedule) CrashAt(at time.Duration, ids ...sm.NodeID) *Schedule {
+	ids = append([]sm.NodeID(nil), ids...)
+	s.events = append(s.events, Event{
+		At:    at,
+		Label: "crash",
+		Apply: func(cl *core.Cluster) {
+			for _, id := range ids {
+				cl.Crash(id)
+			}
+		},
+	})
+	return s
+}
+
+// RestartAt schedules the given nodes to restart at time at. fresh, if
+// non-nil, supplies a new service per node (a cold restart); nil keeps the
+// pre-crash state (a warm restart).
+func (s *Schedule) RestartAt(at time.Duration, fresh func(id sm.NodeID) sm.Service, ids ...sm.NodeID) *Schedule {
+	ids = append([]sm.NodeID(nil), ids...)
+	s.events = append(s.events, Event{
+		At:    at,
+		Label: "restart",
+		Apply: func(cl *core.Cluster) {
+			for _, id := range ids {
+				var svc sm.Service
+				if fresh != nil {
+					svc = fresh(id)
+				}
+				cl.Restart(id, svc)
+			}
+		},
+	})
+	return s
+}
+
+// PartitionAt schedules a network partition between groups a and b.
+func (s *Schedule) PartitionAt(at time.Duration, a, b []sm.NodeID) *Schedule {
+	a = append([]sm.NodeID(nil), a...)
+	b = append([]sm.NodeID(nil), b...)
+	s.events = append(s.events, Event{
+		At:    at,
+		Label: "partition",
+		Apply: func(cl *core.Cluster) { cl.Network().Partition(a, b) },
+	})
+	return s
+}
+
+// HealAt schedules all partitions to be removed.
+func (s *Schedule) HealAt(at time.Duration) *Schedule {
+	s.events = append(s.events, Event{
+		At:    at,
+		Label: "heal",
+		Apply: func(cl *core.Cluster) { cl.Network().Heal() },
+	})
+	return s
+}
+
+// Len returns the number of scheduled events.
+func (s *Schedule) Len() int { return len(s.events) }
+
+// Install registers every event with the cluster's engine. The schedule
+// may be installed once per cluster; events fire in time order.
+func (s *Schedule) Install(cl *core.Cluster) {
+	evs := append([]Event(nil), s.events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	for _, ev := range evs {
+		ev := ev
+		cl.Engine().Schedule(ev.At, func() { ev.Apply(cl) })
+	}
+}

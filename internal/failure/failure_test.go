@@ -1,0 +1,112 @@
+package failure
+
+import (
+	"testing"
+	"time"
+
+	"crystalchoice/internal/core"
+	"crystalchoice/internal/netmodel"
+	"crystalchoice/internal/sim"
+	"crystalchoice/internal/sm"
+	"crystalchoice/internal/transport"
+)
+
+// echo counts messages it receives.
+type echo struct {
+	id    sm.NodeID
+	count int
+}
+
+func (e *echo) Init(sm.Env)                     {}
+func (e *echo) OnMessage(env sm.Env, m *sm.Msg) { e.count++ }
+func (e *echo) OnTimer(sm.Env, string)          {}
+func (e *echo) Clone() sm.Service               { c := *e; return &c }
+func (e *echo) Digest() uint64 {
+	return sm.NewHasher().WriteNode(e.id).WriteInt(int64(e.count)).Sum()
+}
+
+func rig() (*sim.Engine, *core.Cluster) {
+	eng := sim.NewEngine(5)
+	net := transport.New(eng, netmodel.Uniform(4, time.Millisecond, 0, 0))
+	cl := core.NewCluster(eng, net, core.Config{})
+	for i := 0; i < 4; i++ {
+		cl.AddNode(sm.NodeID(i), &echo{id: sm.NodeID(i)})
+	}
+	cl.Start()
+	return eng, cl
+}
+
+func TestCrashAndRestartSchedule(t *testing.T) {
+	eng, cl := rig()
+	var s Schedule
+	s.CrashAt(time.Second, 1).RestartAt(3*time.Second, nil, 1)
+	s.Install(cl)
+	eng.RunFor(2 * time.Second)
+	if !cl.Node(1).Down() {
+		t.Fatal("node 1 should be down at t=2s")
+	}
+	eng.RunFor(2 * time.Second)
+	if cl.Node(1).Down() {
+		t.Fatal("node 1 should be up at t=4s")
+	}
+}
+
+func TestColdRestartReplacesState(t *testing.T) {
+	eng, cl := rig()
+	cl.Node(2).Service().(*echo).count = 9
+	var s Schedule
+	s.CrashAt(time.Second, 2)
+	s.RestartAt(2*time.Second, func(id sm.NodeID) sm.Service { return &echo{id: id} }, 2)
+	s.Install(cl)
+	eng.RunFor(3 * time.Second)
+	if got := cl.Node(2).Service().(*echo).count; got != 0 {
+		t.Fatalf("cold restart kept state: count=%d", got)
+	}
+}
+
+func TestWarmRestartKeepsState(t *testing.T) {
+	eng, cl := rig()
+	cl.Node(2).Service().(*echo).count = 9
+	var s Schedule
+	s.CrashAt(time.Second, 2).RestartAt(2*time.Second, nil, 2)
+	s.Install(cl)
+	eng.RunFor(3 * time.Second)
+	if got := cl.Node(2).Service().(*echo).count; got != 9 {
+		t.Fatalf("warm restart lost state: count=%d", got)
+	}
+}
+
+func TestPartitionAndHealSchedule(t *testing.T) {
+	eng, cl := rig()
+	var s Schedule
+	s.PartitionAt(time.Second, []sm.NodeID{0, 1}, []sm.NodeID{2, 3}).HealAt(3 * time.Second)
+	s.Install(cl)
+	eng.RunFor(2 * time.Second)
+	cl.Node(0).SendApp(2, "x", nil, 0)
+	eng.RunFor(500 * time.Millisecond)
+	if cl.Node(2).Service().(*echo).count != 0 {
+		t.Fatal("message crossed partition")
+	}
+	eng.RunFor(time.Second) // past heal
+	cl.Node(0).SendApp(2, "x", nil, 0)
+	eng.RunFor(500 * time.Millisecond)
+	if cl.Node(2).Service().(*echo).count != 1 {
+		t.Fatal("message blocked after heal")
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	eng, cl := rig()
+	var s Schedule
+	// Added out of order; crash at 1s must precede restart at 2s.
+	s.RestartAt(2*time.Second, nil, 3)
+	s.CrashAt(time.Second, 3)
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	s.Install(cl)
+	eng.RunFor(90 * time.Second)
+	if cl.Node(3).Down() {
+		t.Fatal("restart did not follow crash")
+	}
+}

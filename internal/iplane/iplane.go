@@ -1,0 +1,98 @@
+// Package iplane simulates an information plane in the spirit of iPlane
+// (Madhyastha et al., OSDI'06), which the paper proposes runtimes should
+// leverage instead of every application probing the network itself
+// (§3.3.1). The Plane holds a (possibly noisy, possibly stale) view of the
+// true topology and answers latency/bandwidth/loss queries for arbitrary
+// pairs, charging a per-query cost counter so experiments can compare
+// probing overhead against plane lookups.
+package iplane
+
+import (
+	"math/rand"
+	"time"
+
+	"crystalchoice/internal/netmodel"
+)
+
+// NodeID aliases netmodel.NodeID.
+type NodeID = netmodel.NodeID
+
+// Prediction is the plane's answer for one directed pair.
+type Prediction struct {
+	Latency      time.Duration
+	BandwidthBps float64
+	Loss         float64
+	// Confidence reflects measurement staleness in [0,1].
+	Confidence float64
+}
+
+// Plane is a shared network-prediction oracle.
+type Plane struct {
+	top *netmodel.Topology
+	rng *rand.Rand
+	// NoiseFrac perturbs each answer by ±NoiseFrac (relative). Models
+	// imperfect inference from vantage points.
+	NoiseFrac float64
+	// Confidence is attached to every answer.
+	Confidence float64
+	queries    uint64
+}
+
+// New builds a plane over the true topology. The plane keeps a private
+// clone: later mutations of the live topology (e.g. induced bottlenecks)
+// are invisible until Refresh, modeling measurement staleness.
+func New(top *netmodel.Topology, seed int64) *Plane {
+	return &Plane{
+		top:        top.Clone(),
+		rng:        rand.New(rand.NewSource(seed)),
+		NoiseFrac:  0.1,
+		Confidence: 0.9,
+	}
+}
+
+// Refresh re-measures: the plane adopts a fresh clone of the topology.
+func (p *Plane) Refresh(top *netmodel.Topology) { p.top = top.Clone() }
+
+// Queries returns how many predictions have been served.
+func (p *Plane) Queries() uint64 { return p.queries }
+
+// Query predicts the path quality from src to dst.
+func (p *Plane) Query(src, dst NodeID) Prediction {
+	p.queries++
+	q := p.top.Quality(src, dst)
+	noise := func(v float64) float64 {
+		if p.NoiseFrac <= 0 {
+			return v
+		}
+		return v * (1 + (p.rng.Float64()*2-1)*p.NoiseFrac)
+	}
+	return Prediction{
+		Latency:      time.Duration(noise(float64(q.Latency))),
+		BandwidthBps: noise(q.BandwidthBps),
+		Loss:         q.Loss,
+		Confidence:   p.Confidence,
+	}
+}
+
+// RankByLatency returns candidate IDs ordered by predicted latency from
+// src, fastest first. Ties break by ID for determinism.
+func (p *Plane) RankByLatency(src NodeID, candidates []NodeID) []NodeID {
+	type scored struct {
+		id  NodeID
+		lat time.Duration
+	}
+	s := make([]scored, 0, len(candidates))
+	for _, c := range candidates {
+		s = append(s, scored{c, p.Query(src, c).Latency})
+	}
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && (s[j].lat < s[j-1].lat || (s[j].lat == s[j-1].lat && s[j].id < s[j-1].id)); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	out := make([]NodeID, len(s))
+	for i, v := range s {
+		out[i] = v.id
+	}
+	return out
+}

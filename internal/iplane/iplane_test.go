@@ -1,0 +1,75 @@
+package iplane
+
+import (
+	"testing"
+	"time"
+
+	"crystalchoice/internal/netmodel"
+)
+
+func TestQueryTracksTopology(t *testing.T) {
+	top := netmodel.Uniform(3, 20*time.Millisecond, 1e6, 0.05)
+	p := New(top, 1)
+	p.NoiseFrac = 0
+	pred := p.Query(0, 1)
+	if pred.Latency != 20*time.Millisecond || pred.BandwidthBps != 1e6 || pred.Loss != 0.05 {
+		t.Fatalf("prediction = %+v", pred)
+	}
+	if p.Queries() != 1 {
+		t.Fatal("query counter not incremented")
+	}
+}
+
+func TestNoiseBounded(t *testing.T) {
+	top := netmodel.Uniform(2, 100*time.Millisecond, 0, 0)
+	p := New(top, 7)
+	p.NoiseFrac = 0.1
+	for i := 0; i < 100; i++ {
+		lat := p.Query(0, 1).Latency
+		if lat < 90*time.Millisecond || lat > 110*time.Millisecond {
+			t.Fatalf("noisy latency %v outside ±10%%", lat)
+		}
+	}
+}
+
+func TestStalenessUntilRefresh(t *testing.T) {
+	top := netmodel.Uniform(2, 10*time.Millisecond, 0, 0)
+	p := New(top, 1)
+	p.NoiseFrac = 0
+	top.SetQuality(0, 1, netmodel.LinkQuality{Latency: time.Second})
+	if p.Query(0, 1).Latency != 10*time.Millisecond {
+		t.Fatal("plane observed live mutation without Refresh (should be stale)")
+	}
+	p.Refresh(top)
+	if p.Query(0, 1).Latency != time.Second {
+		t.Fatal("Refresh did not adopt new measurements")
+	}
+}
+
+func TestRankByLatency(t *testing.T) {
+	top := netmodel.Uniform(4, 10*time.Millisecond, 0, 0)
+	top.SetQuality(0, 2, netmodel.LinkQuality{Latency: time.Millisecond})
+	top.SetQuality(0, 3, netmodel.LinkQuality{Latency: 100 * time.Millisecond})
+	p := New(top, 1)
+	p.NoiseFrac = 0
+	got := p.RankByLatency(0, []NodeID{1, 2, 3})
+	want := []NodeID{2, 1, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRankTieBreaksByID(t *testing.T) {
+	top := netmodel.Uniform(4, 10*time.Millisecond, 0, 0)
+	p := New(top, 1)
+	p.NoiseFrac = 0
+	got := p.RankByLatency(0, []NodeID{3, 1, 2})
+	want := []NodeID{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tie-break rank = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+const sample = `package p
+
+// A comment line.
+import "fmt"
+
+type Env interface{ X() }
+
+// handler: takes Env.
+func OnThing(env Env, v int) {
+	if v > 0 {
+		fmt.Println(v)
+	} else if v < -10 {
+		fmt.Println("small")
+	}
+}
+
+// not a handler: no Env param.
+func helper(v int) int {
+	if v == 0 {
+		return 1
+	}
+	return v
+}
+`
+
+func TestAnalyzeSource(t *testing.T) {
+	fm, err := AnalyzeSource("sample.go", []byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fm.Handlers() != 1 {
+		t.Fatalf("handlers = %d, want 1", fm.Handlers())
+	}
+	// OnThing has 2 ifs (if + else-if), helper has 1.
+	if fm.Ifs() != 3 {
+		t.Fatalf("ifs = %d, want 3", fm.Ifs())
+	}
+	if got := fm.IfsPerHandler(); got != 3 {
+		t.Fatalf("ifs/handler = %v, want 3", got)
+	}
+	if fm.CodeLines == 0 {
+		t.Fatal("code lines not counted")
+	}
+}
+
+func TestCodeLinesExcludesCommentsAndBlanks(t *testing.T) {
+	src := []byte("package p\n\n// only comment\nvar X = 1\n\n/* block\ncomment */\nvar Y = 2\n")
+	fm, err := AnalyzeSource("s.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// package p, var X, var Y = 3 code lines.
+	if fm.CodeLines != 3 {
+		t.Fatalf("code lines = %d, want 3", fm.CodeLines)
+	}
+}
+
+func TestHandlerDetectionByEnvType(t *testing.T) {
+	src := []byte(`package p
+import "crystalchoice/internal/sm"
+func A(env sm.Env) {}
+func B(e *sm.Env) {}
+func C(x int) {}
+`)
+	fm, err := AnalyzeSource("s.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"A": true, "B": true, "C": false}
+	for _, fn := range fm.Funcs {
+		if fn.IsHandler != want[fn.Name] {
+			t.Errorf("func %s handler=%v, want %v", fn.Name, fn.IsHandler, want[fn.Name])
+		}
+	}
+}
+
+func TestParseErrorReported(t *testing.T) {
+	if _, err := AnalyzeSource("bad.go", []byte("not go")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestMissingFileReported(t *testing.T) {
+	if _, err := AnalyzeFile("/does/not/exist.go"); err == nil {
+		t.Fatal("expected read error")
+	}
+}
+
+// TestE1OnRealVariants is the experiment E1 assertion: the exposed-choice
+// RandTree must have substantially less handler code and a substantially
+// lower if-else density than the baseline, mirroring the paper's 43% LoC
+// reduction and 1.94->0.28 complexity drop.
+func TestE1OnRealVariants(t *testing.T) {
+	base := filepath.Join("..", "apps", "randtree", "baseline.go")
+	choice := filepath.Join("..", "apps", "randtree", "choice.go")
+	cmp, err := Compare(base, choice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Baseline.HandlerLines() <= cmp.Choice.HandlerLines() {
+		t.Errorf("handler LoC: baseline %d <= choice %d — expected a reduction",
+			cmp.Baseline.HandlerLines(), cmp.Choice.HandlerLines())
+	}
+	if r := cmp.HandlerLoCReduction(); r < 0.15 {
+		t.Errorf("handler LoC reduction %.0f%% — expected a substantial cut", r*100)
+	}
+	if ratio := cmp.ComplexityRatio(); ratio < 1.5 {
+		t.Errorf("complexity ratio %.2f — baseline should be markedly more branchy", ratio)
+	}
+}

@@ -1,0 +1,224 @@
+// Package model maintains the predictive system model of paper §3.3: a
+// network model (passively inferred latency/bandwidth/loss estimates with
+// confidence that decays with age) and a state model (the freshest known
+// checkpoints of other participants). The runtime keeps one Model per node
+// and feeds it measurements and checkpoints; choice resolvers consult it to
+// build lookahead worlds and to score network-sensitive objectives.
+package model
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"crystalchoice/internal/explore"
+	"crystalchoice/internal/sm"
+)
+
+// NodeID aliases sm.NodeID.
+type NodeID = sm.NodeID
+
+// PeerEstimate is the inferred quality of the path to one peer.
+type PeerEstimate struct {
+	Latency      time.Duration
+	BandwidthBps float64
+	Loss         float64
+	Samples      int
+	LastUpdate   time.Duration
+}
+
+// NetEstimator passively infers network conditions from observed traffic
+// (paper §3.3.1: "explicitly probing ... or by passively inferring").
+type NetEstimator struct {
+	// Alpha is the EWMA weight of a new sample (0,1]. Default 0.25.
+	Alpha float64
+	// ConfidenceTau controls how fast confidence decays with estimate age:
+	// confidence = exp(-age/tau). Default 30s.
+	ConfidenceTau time.Duration
+
+	peers map[NodeID]*PeerEstimate
+}
+
+// NewNetEstimator returns an estimator with default smoothing.
+func NewNetEstimator() *NetEstimator {
+	return &NetEstimator{Alpha: 0.25, ConfidenceTau: 30 * time.Second, peers: make(map[NodeID]*PeerEstimate)}
+}
+
+func (e *NetEstimator) peer(id NodeID) *PeerEstimate {
+	p := e.peers[id]
+	if p == nil {
+		p = &PeerEstimate{}
+		e.peers[id] = p
+	}
+	return p
+}
+
+// ObserveLatency folds one latency sample for the path to peer, observed at
+// virtual time now.
+func (e *NetEstimator) ObserveLatency(peer NodeID, d time.Duration, now time.Duration) {
+	p := e.peer(peer)
+	if p.Samples == 0 || p.Latency == 0 {
+		p.Latency = d
+	} else {
+		p.Latency = time.Duration(float64(p.Latency)*(1-e.Alpha) + float64(d)*e.Alpha)
+	}
+	p.Samples++
+	p.LastUpdate = now
+}
+
+// ObserveBandwidth folds one throughput sample (bytes/sec) for peer.
+func (e *NetEstimator) ObserveBandwidth(peer NodeID, bps float64, now time.Duration) {
+	if bps <= 0 {
+		return
+	}
+	p := e.peer(peer)
+	if p.BandwidthBps == 0 {
+		p.BandwidthBps = bps
+	} else {
+		p.BandwidthBps = p.BandwidthBps*(1-e.Alpha) + bps*e.Alpha
+	}
+	p.Samples++
+	p.LastUpdate = now
+}
+
+// ObserveLoss folds a loss indication (lost=true) for datagrams to peer.
+func (e *NetEstimator) ObserveLoss(peer NodeID, lost bool, now time.Duration) {
+	p := e.peer(peer)
+	sample := 0.0
+	if lost {
+		sample = 1.0
+	}
+	p.Loss = p.Loss*(1-e.Alpha) + sample*e.Alpha
+	p.Samples++
+	p.LastUpdate = now
+}
+
+// Estimate returns the current estimate for peer and its confidence in
+// [0,1]; ok is false if no samples exist.
+func (e *NetEstimator) Estimate(peer NodeID, now time.Duration) (PeerEstimate, float64, bool) {
+	p, ok := e.peers[peer]
+	if !ok || p.Samples == 0 {
+		return PeerEstimate{}, 0, false
+	}
+	age := now - p.LastUpdate
+	if age < 0 {
+		age = 0
+	}
+	conf := math.Exp(-float64(age) / float64(e.ConfidenceTau))
+	return *p, conf, true
+}
+
+// Latency returns the latency estimate for peer, or def if unknown.
+func (e *NetEstimator) Latency(peer NodeID, def time.Duration) time.Duration {
+	if p, ok := e.peers[peer]; ok && p.Samples > 0 && p.Latency > 0 {
+		return p.Latency
+	}
+	return def
+}
+
+// Known returns the peers with at least one sample, ascending.
+func (e *NetEstimator) Known() []NodeID {
+	ids := make([]NodeID, 0, len(e.peers))
+	for id, p := range e.peers {
+		if p.Samples > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// StateEntry is a retained remote-state checkpoint.
+type StateEntry struct {
+	State sm.Service
+	At    time.Duration
+	Epoch uint64
+}
+
+// StateModel retains the freshest known checkpoint per participant.
+type StateModel struct {
+	entries map[NodeID]StateEntry
+}
+
+// NewStateModel returns an empty state model.
+func NewStateModel() *StateModel {
+	return &StateModel{entries: make(map[NodeID]StateEntry)}
+}
+
+// Update retains svc (a clone owned by the model) if fresher than the
+// current entry.
+func (m *StateModel) Update(id NodeID, svc sm.Service, at time.Duration, epoch uint64) {
+	cur, ok := m.entries[id]
+	if ok && (cur.Epoch > epoch || (cur.Epoch == epoch && cur.At > at)) {
+		return
+	}
+	m.entries[id] = StateEntry{State: svc, At: at, Epoch: epoch}
+}
+
+// Get returns the entry for id.
+func (m *StateModel) Get(id NodeID) (StateEntry, bool) {
+	e, ok := m.entries[id]
+	return e, ok
+}
+
+// Forget discards the entry for id.
+func (m *StateModel) Forget(id NodeID) { delete(m.entries, id) }
+
+// Known returns the IDs with retained state, ascending.
+func (m *StateModel) Known() []NodeID {
+	ids := make([]NodeID, 0, len(m.entries))
+	for id := range m.entries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Age returns how stale the entry for id is at virtual time now.
+func (m *StateModel) Age(id NodeID, now time.Duration) (time.Duration, bool) {
+	e, ok := m.entries[id]
+	if !ok {
+		return 0, false
+	}
+	age := now - e.At
+	if age < 0 {
+		age = 0
+	}
+	return age, true
+}
+
+// Model bundles the network and state models for one node.
+type Model struct {
+	Owner NodeID
+	Net   *NetEstimator
+	State *StateModel
+	// MaxAge excludes state-model entries older than this from lookahead
+	// worlds (paper §3.3.2: confidence as a function of information age).
+	// Zero means no age filter.
+	MaxAge time.Duration
+}
+
+// New returns an empty model for the given node.
+func New(owner NodeID) *Model {
+	return &Model{Owner: owner, Net: NewNetEstimator(), State: NewStateModel()}
+}
+
+// BuildWorld assembles a lookahead world from the state model: the caller's
+// own (pre-event) state plus clones of every retained neighbor checkpoint.
+// selfState must already be a clone owned by the caller; the world takes
+// ownership. now is the virtual time of the lookahead's origin.
+func (m *Model) BuildWorld(selfState sm.Service, now time.Duration, policy explore.ChoicePolicy, seed int64) *explore.World {
+	w := explore.NewWorld(policy, seed)
+	w.Now = now
+	w.AddNode(m.Owner, selfState)
+	for id, e := range m.State.entries {
+		if id == m.Owner {
+			continue
+		}
+		if m.MaxAge > 0 && now-e.At > m.MaxAge {
+			continue // too stale to trust (likely departed or partitioned)
+		}
+		w.AddNode(id, e.State.Clone())
+	}
+	return w
+}

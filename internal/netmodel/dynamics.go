@@ -1,0 +1,99 @@
+package netmodel
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Dumbbell returns a topology of two n/2-node clusters joined by a
+// bottleneck: intra-cluster paths have lan latency and lanBps bandwidth;
+// cross-cluster paths have wan latency and share the bottleneck's
+// character via wanBps per-pair bandwidth. Odd n puts the extra node in
+// the first cluster.
+func Dumbbell(n int, lan, wan time.Duration, lanBps, wanBps float64) *Topology {
+	t := NewTopology(n, LinkQuality{})
+	left := (n + 1) / 2
+	side := func(id int) int {
+		if id < left {
+			return 0
+		}
+		return 1
+	}
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			if side(s) == side(d) {
+				t.links[s*n+d] = LinkQuality{Latency: lan, BandwidthBps: lanBps}
+			} else {
+				t.links[s*n+d] = LinkQuality{Latency: wan, BandwidthBps: wanBps}
+			}
+		}
+	}
+	return t
+}
+
+// Dynamics perturbs a live topology over virtual time, modeling the
+// "change in the underlying network" the paper lists among the events
+// systems must adapt to (§1). Each Step draws new per-pair multipliers
+// around the base topology captured at construction.
+type Dynamics struct {
+	base *Topology
+	live *Topology
+	rng  *rand.Rand
+	// LatencyJitter scales each latency by 1±LatencyJitter per step.
+	LatencyJitter float64
+	// FlapProb is the per-step probability that a directed pair degrades
+	// sharply (latency ×DegradeFactor) for one step.
+	FlapProb      float64
+	DegradeFactor float64
+	steps         int
+}
+
+// NewDynamics wraps live; the current state of live becomes the baseline.
+func NewDynamics(live *Topology, seed int64) *Dynamics {
+	return &Dynamics{
+		base:          live.Clone(),
+		live:          live,
+		rng:           rand.New(rand.NewSource(seed)),
+		LatencyJitter: 0.1,
+		FlapProb:      0.01,
+		DegradeFactor: 5,
+	}
+}
+
+// Steps returns how many perturbation steps have been applied.
+func (d *Dynamics) Steps() int { return d.steps }
+
+// Step redraws the live topology around the baseline.
+func (d *Dynamics) Step() {
+	n := d.base.Size()
+	for s := 0; s < n; s++ {
+		for t := 0; t < n; t++ {
+			if s == t {
+				continue
+			}
+			q := d.base.Quality(NodeID(s), NodeID(t))
+			f := 1 + (d.rng.Float64()*2-1)*d.LatencyJitter
+			if d.FlapProb > 0 && d.rng.Float64() < d.FlapProb {
+				f *= d.DegradeFactor
+			}
+			q.Latency = time.Duration(float64(q.Latency) * f)
+			d.live.SetQuality(NodeID(s), NodeID(t), q)
+		}
+	}
+	d.steps++
+}
+
+// Drive schedules Step every interval on the scheduler function (typically
+// a closure over sim.Engine.Schedule), forever. The scheduler must accept
+// (delay, fn) and run fn after delay of virtual time.
+func (d *Dynamics) Drive(schedule func(time.Duration, func()), interval time.Duration) {
+	var tick func()
+	tick = func() {
+		d.Step()
+		schedule(interval, tick)
+	}
+	schedule(interval, tick)
+}

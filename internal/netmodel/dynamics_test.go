@@ -1,0 +1,109 @@
+package netmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDumbbellStructure(t *testing.T) {
+	top := Dumbbell(6, time.Millisecond, 50*time.Millisecond, 1e7, 1e5)
+	if top.Size() != 6 {
+		t.Fatalf("size = %d", top.Size())
+	}
+	// 0,1,2 left; 3,4,5 right.
+	if q := top.Quality(0, 2); q.Latency != time.Millisecond || q.BandwidthBps != 1e7 {
+		t.Fatalf("intra-cluster quality %+v", q)
+	}
+	if q := top.Quality(1, 4); q.Latency != 50*time.Millisecond || q.BandwidthBps != 1e5 {
+		t.Fatalf("cross-bottleneck quality %+v", q)
+	}
+	if q := top.Quality(4, 1); q.Latency != 50*time.Millisecond {
+		t.Fatalf("reverse cross quality %+v", q)
+	}
+}
+
+func TestDumbbellOddSplit(t *testing.T) {
+	top := Dumbbell(5, time.Millisecond, 50*time.Millisecond, 0, 0)
+	// left = {0,1,2}, right = {3,4}.
+	if top.Quality(0, 2).Latency != time.Millisecond {
+		t.Fatal("0 and 2 should share the left cluster")
+	}
+	if top.Quality(2, 3).Latency != 50*time.Millisecond {
+		t.Fatal("2 and 3 should cross the bottleneck")
+	}
+}
+
+func TestDynamicsJitterBounded(t *testing.T) {
+	top := Uniform(4, 100*time.Millisecond, 0, 0)
+	d := NewDynamics(top, 3)
+	d.FlapProb = 0
+	d.LatencyJitter = 0.2
+	for i := 0; i < 20; i++ {
+		d.Step()
+		for s := 0; s < 4; s++ {
+			for dst := 0; dst < 4; dst++ {
+				if s == dst {
+					continue
+				}
+				lat := top.Quality(NodeID(s), NodeID(dst)).Latency
+				if lat < 80*time.Millisecond || lat > 120*time.Millisecond {
+					t.Fatalf("jitter escaped the envelope: %v", lat)
+				}
+			}
+		}
+	}
+	if d.Steps() != 20 {
+		t.Fatalf("steps = %d", d.Steps())
+	}
+}
+
+func TestDynamicsRedrawsAroundBaseline(t *testing.T) {
+	// Jitter is not cumulative: each step re-draws from the captured
+	// baseline, so the mean stays near it.
+	top := Uniform(2, 100*time.Millisecond, 0, 0)
+	d := NewDynamics(top, 5)
+	d.FlapProb = 0
+	var sum time.Duration
+	const steps = 200
+	for i := 0; i < steps; i++ {
+		d.Step()
+		sum += top.Quality(0, 1).Latency
+	}
+	mean := sum / steps
+	if mean < 95*time.Millisecond || mean > 105*time.Millisecond {
+		t.Fatalf("jitter drifted: mean %v", mean)
+	}
+}
+
+func TestDynamicsFlap(t *testing.T) {
+	top := Uniform(2, 10*time.Millisecond, 0, 0)
+	d := NewDynamics(top, 7)
+	d.LatencyJitter = 0
+	d.FlapProb = 1 // every pair degrades every step
+	d.Step()
+	if lat := top.Quality(0, 1).Latency; lat != 50*time.Millisecond {
+		t.Fatalf("flap latency = %v, want 50ms (5x)", lat)
+	}
+	d.FlapProb = 0
+	d.Step()
+	if lat := top.Quality(0, 1).Latency; lat != 10*time.Millisecond {
+		t.Fatalf("flap should not persist: %v", lat)
+	}
+}
+
+func TestDynamicsDrive(t *testing.T) {
+	top := Uniform(2, 10*time.Millisecond, 0, 0)
+	d := NewDynamics(top, 9)
+	// Fake scheduler: run the first 3 ticks synchronously.
+	pending := []func(){}
+	schedule := func(_ time.Duration, fn func()) { pending = append(pending, fn) }
+	d.Drive(schedule, time.Second)
+	for i := 0; i < 3 && len(pending) > 0; i++ {
+		fn := pending[0]
+		pending = pending[1:]
+		fn()
+	}
+	if d.Steps() != 3 {
+		t.Fatalf("steps after 3 ticks = %d", d.Steps())
+	}
+}

@@ -1,0 +1,302 @@
+// Package netmodel describes the simulated network: per-pair link quality
+// (latency, bandwidth, loss) and generators for the topology families the
+// paper's evaluation and motivating examples use.
+//
+// The paper ran its case study on ModelNet with an "Internet-like" topology;
+// the transit-stub generator here plays that role. The WAN-cluster generator
+// models the multi-datacenter settings motivating the Mencius consensus
+// example, and the bottleneck generators model the slow-peer settings from
+// the BAR Gossip and BulletPrime examples.
+package netmodel
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// NodeID identifies a participant in the simulated system. IDs are dense,
+// in [0, N).
+type NodeID int
+
+// String formats the ID as nodeK.
+func (id NodeID) String() string { return fmt.Sprintf("node%d", int(id)) }
+
+// LinkQuality describes one direction of a network path.
+type LinkQuality struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// BandwidthBps is the path bandwidth in bytes per second. Zero means
+	// unconstrained.
+	BandwidthBps float64
+	// Loss is the probability in [0,1] that an unreliable datagram on this
+	// path is dropped. Reliable (TCP-like) channels retransmit internally;
+	// loss then inflates their effective latency instead.
+	Loss float64
+}
+
+// TransferTime returns the modeled time to move size bytes over the path:
+// propagation delay plus serialization at the path bandwidth.
+func (q LinkQuality) TransferTime(size int) time.Duration {
+	d := q.Latency
+	if q.BandwidthBps > 0 && size > 0 {
+		d += time.Duration(float64(size) / q.BandwidthBps * float64(time.Second))
+	}
+	return d
+}
+
+// Topology is a complete per-pair link quality matrix.
+type Topology struct {
+	n     int
+	links []LinkQuality // n*n, row-major [src*n+dst]
+}
+
+// NewTopology returns an n-node topology with all links set to q.
+func NewTopology(n int, q LinkQuality) *Topology {
+	if n <= 0 {
+		panic("netmodel: topology must have at least one node")
+	}
+	t := &Topology{n: n, links: make([]LinkQuality, n*n)}
+	for i := range t.links {
+		t.links[i] = q
+	}
+	return t
+}
+
+// Size returns the number of nodes.
+func (t *Topology) Size() int { return t.n }
+
+// Quality returns the link quality from src to dst. The self-path has zero
+// latency and no loss.
+func (t *Topology) Quality(src, dst NodeID) LinkQuality {
+	if src == dst {
+		return LinkQuality{BandwidthBps: 0}
+	}
+	t.check(src)
+	t.check(dst)
+	return t.links[int(src)*t.n+int(dst)]
+}
+
+// SetQuality sets the link quality from src to dst (one direction).
+func (t *Topology) SetQuality(src, dst NodeID, q LinkQuality) {
+	t.check(src)
+	t.check(dst)
+	if src == dst {
+		return
+	}
+	t.links[int(src)*t.n+int(dst)] = q
+}
+
+// SetSymmetric sets the link quality in both directions.
+func (t *Topology) SetSymmetric(a, b NodeID, q LinkQuality) {
+	t.SetQuality(a, b, q)
+	t.SetQuality(b, a, q)
+}
+
+func (t *Topology) check(id NodeID) {
+	if int(id) < 0 || int(id) >= t.n {
+		panic(fmt.Sprintf("netmodel: node %d out of range [0,%d)", id, t.n))
+	}
+}
+
+// Clone returns a deep copy of the topology.
+func (t *Topology) Clone() *Topology {
+	c := &Topology{n: t.n, links: make([]LinkQuality, len(t.links))}
+	copy(c.links, t.links)
+	return c
+}
+
+// MeanLatency returns the average one-way latency over all ordered pairs.
+func (t *Topology) MeanLatency() time.Duration {
+	if t.n < 2 {
+		return 0
+	}
+	var sum time.Duration
+	for s := 0; s < t.n; s++ {
+		for d := 0; d < t.n; d++ {
+			if s == d {
+				continue
+			}
+			sum += t.links[s*t.n+d].Latency
+		}
+	}
+	return sum / time.Duration(t.n*(t.n-1))
+}
+
+// Uniform returns a topology where every pair has identical quality.
+func Uniform(n int, latency time.Duration, bandwidthBps, loss float64) *Topology {
+	return NewTopology(n, LinkQuality{Latency: latency, BandwidthBps: bandwidthBps, Loss: loss})
+}
+
+// TransitStubConfig parameterizes the Internet-like generator.
+type TransitStubConfig struct {
+	// Stubs is the number of stub domains (access networks).
+	Stubs int
+	// IntraStub is the latency between nodes in the same stub.
+	IntraStub time.Duration
+	// StubToTransit is the access-link latency from a stub to the core.
+	StubToTransit time.Duration
+	// TransitDiameterMin and Max bound the randomly drawn core-crossing
+	// latency between two different stubs.
+	TransitDiameterMin, TransitDiameterMax time.Duration
+	// BandwidthBps is the per-path bandwidth (0 = unconstrained).
+	BandwidthBps float64
+	// Loss is the per-path datagram loss probability.
+	Loss float64
+	// Jitter, in [0,1), randomly scales each latency by 1±Jitter.
+	Jitter float64
+}
+
+// DefaultInternetLike returns the configuration used by the Section-4
+// experiments: a few access networks hanging off a wide-area core, with
+// typical Internet RTTs.
+func DefaultInternetLike() TransitStubConfig {
+	return TransitStubConfig{
+		Stubs:              4,
+		IntraStub:          2 * time.Millisecond,
+		StubToTransit:      8 * time.Millisecond,
+		TransitDiameterMin: 10 * time.Millisecond,
+		TransitDiameterMax: 60 * time.Millisecond,
+		BandwidthBps:       1 << 20, // 1 MiB/s access links
+		Loss:               0,
+		Jitter:             0.1,
+	}
+}
+
+// TransitStub generates an n-node Internet-like topology: nodes are assigned
+// round-robin to cfg.Stubs stub domains; intra-stub paths are fast, and
+// inter-stub paths cross the transit core with a randomly drawn diameter.
+func TransitStub(n int, cfg TransitStubConfig, rng *rand.Rand) *Topology {
+	if cfg.Stubs <= 0 {
+		cfg.Stubs = 1
+	}
+	t := NewTopology(n, LinkQuality{})
+	stub := func(id int) int { return id % cfg.Stubs }
+	// Draw one core-crossing latency per stub pair so paths are coherent.
+	core := make(map[[2]int]time.Duration)
+	for a := 0; a < cfg.Stubs; a++ {
+		for b := a + 1; b < cfg.Stubs; b++ {
+			span := cfg.TransitDiameterMax - cfg.TransitDiameterMin
+			d := cfg.TransitDiameterMin
+			if span > 0 {
+				d += time.Duration(rng.Int63n(int64(span)))
+			}
+			core[[2]int{a, b}] = d
+		}
+	}
+	jitter := func(d time.Duration) time.Duration {
+		if cfg.Jitter <= 0 {
+			return d
+		}
+		f := 1 + (rng.Float64()*2-1)*cfg.Jitter
+		return time.Duration(float64(d) * f)
+	}
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			ss, ds := stub(s), stub(d)
+			var lat time.Duration
+			if ss == ds {
+				lat = cfg.IntraStub
+			} else {
+				a, b := ss, ds
+				if a > b {
+					a, b = b, a
+				}
+				lat = 2*cfg.StubToTransit + core[[2]int{a, b}]
+			}
+			t.links[s*n+d] = LinkQuality{
+				Latency:      jitter(lat),
+				BandwidthBps: cfg.BandwidthBps,
+				Loss:         cfg.Loss,
+			}
+		}
+	}
+	return t
+}
+
+// WANClusters models k datacenters with nc nodes each: LAN latency inside a
+// cluster and the given inter-cluster latency matrix between them.
+// interLatency must be k×k (diagonal ignored); pass nil for a uniform wan
+// latency of 80ms.
+func WANClusters(k, nc int, lan time.Duration, interLatency [][]time.Duration, bandwidthBps float64) *Topology {
+	n := k * nc
+	t := NewTopology(n, LinkQuality{})
+	wanDefault := 80 * time.Millisecond
+	cluster := func(id int) int { return id / nc }
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			cs, cd := cluster(s), cluster(d)
+			var lat time.Duration
+			if cs == cd {
+				lat = lan
+			} else if interLatency != nil {
+				lat = interLatency[cs][cd]
+			} else {
+				lat = wanDefault
+			}
+			t.links[s*n+d] = LinkQuality{Latency: lat, BandwidthBps: bandwidthBps}
+		}
+	}
+	return t
+}
+
+// Star returns a hub-and-spoke topology: node 0 is the hub; spoke↔spoke
+// paths traverse the hub (2× spoke latency).
+func Star(n int, spoke time.Duration, bandwidthBps float64) *Topology {
+	t := NewTopology(n, LinkQuality{})
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			lat := spoke
+			if s != 0 && d != 0 {
+				lat = 2 * spoke
+			}
+			t.links[s*n+d] = LinkQuality{Latency: lat, BandwidthBps: bandwidthBps}
+		}
+	}
+	return t
+}
+
+// SlowNode degrades every path to and from id: latency is multiplied by
+// latFactor and bandwidth divided by bwFactor. It models the "only target is
+// behind a slow network connection" scenario from the BAR Gossip discussion.
+func SlowNode(t *Topology, id NodeID, latFactor, bwFactor float64) {
+	for other := 0; other < t.n; other++ {
+		o := NodeID(other)
+		if o == id {
+			continue
+		}
+		for _, pair := range [][2]NodeID{{id, o}, {o, id}} {
+			q := t.Quality(pair[0], pair[1])
+			q.Latency = time.Duration(float64(q.Latency) * latFactor)
+			if q.BandwidthBps > 0 && bwFactor > 0 {
+				q.BandwidthBps /= bwFactor
+			}
+			t.SetQuality(pair[0], pair[1], q)
+		}
+	}
+}
+
+// BottleneckUpload caps the upload bandwidth of id on every outgoing path.
+// It models a bandwidth-constrained seed in content distribution.
+func BottleneckUpload(t *Topology, id NodeID, bps float64) {
+	for other := 0; other < t.n; other++ {
+		o := NodeID(other)
+		if o == id {
+			continue
+		}
+		q := t.Quality(id, o)
+		if q.BandwidthBps == 0 || q.BandwidthBps > bps {
+			q.BandwidthBps = bps
+		}
+		t.SetQuality(id, o, q)
+	}
+}

@@ -1,0 +1,199 @@
+package netmodel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestUniform(t *testing.T) {
+	top := Uniform(5, 10*time.Millisecond, 1e6, 0.01)
+	q := top.Quality(0, 4)
+	if q.Latency != 10*time.Millisecond || q.BandwidthBps != 1e6 || q.Loss != 0.01 {
+		t.Fatalf("unexpected quality %+v", q)
+	}
+}
+
+func TestSelfPathIsFree(t *testing.T) {
+	top := Uniform(3, 10*time.Millisecond, 1e6, 0.5)
+	q := top.Quality(2, 2)
+	if q.Latency != 0 || q.Loss != 0 {
+		t.Fatalf("self path should be free, got %+v", q)
+	}
+}
+
+func TestSetQualityDirectional(t *testing.T) {
+	top := Uniform(3, time.Millisecond, 0, 0)
+	top.SetQuality(0, 1, LinkQuality{Latency: 9 * time.Millisecond})
+	if top.Quality(0, 1).Latency != 9*time.Millisecond {
+		t.Fatal("forward direction not set")
+	}
+	if top.Quality(1, 0).Latency != time.Millisecond {
+		t.Fatal("reverse direction should be unchanged")
+	}
+	top.SetSymmetric(0, 2, LinkQuality{Latency: 7 * time.Millisecond})
+	if top.Quality(0, 2).Latency != 7*time.Millisecond || top.Quality(2, 0).Latency != 7*time.Millisecond {
+		t.Fatal("SetSymmetric did not set both directions")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	q := LinkQuality{Latency: 10 * time.Millisecond, BandwidthBps: 1000}
+	// 500 bytes at 1000 B/s = 500ms serialization + 10ms propagation.
+	if got := q.TransferTime(500); got != 510*time.Millisecond {
+		t.Fatalf("TransferTime = %v, want 510ms", got)
+	}
+	q.BandwidthBps = 0
+	if got := q.TransferTime(1 << 30); got != 10*time.Millisecond {
+		t.Fatalf("unconstrained path should ignore size, got %v", got)
+	}
+}
+
+func TestTransitStubStructure(t *testing.T) {
+	cfg := DefaultInternetLike()
+	cfg.Jitter = 0
+	top := TransitStub(31, cfg, rand.New(rand.NewSource(1)))
+	// Same stub (ids congruent mod Stubs) should be fast.
+	same := top.Quality(0, 4).Latency // 0 and 4 are both in stub 0 (4 stubs)
+	if same != cfg.IntraStub {
+		t.Fatalf("intra-stub latency = %v, want %v", same, cfg.IntraStub)
+	}
+	// Different stubs should cross the core: at least 2 access links + min diameter.
+	cross := top.Quality(0, 1).Latency
+	if min := 2*cfg.StubToTransit + cfg.TransitDiameterMin; cross < min {
+		t.Fatalf("inter-stub latency %v below floor %v", cross, min)
+	}
+	if cross <= same {
+		t.Fatal("inter-stub path not slower than intra-stub")
+	}
+}
+
+func TestTransitStubDeterministic(t *testing.T) {
+	cfg := DefaultInternetLike()
+	a := TransitStub(16, cfg, rand.New(rand.NewSource(5)))
+	b := TransitStub(16, cfg, rand.New(rand.NewSource(5)))
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			if a.Quality(NodeID(s), NodeID(d)) != b.Quality(NodeID(s), NodeID(d)) {
+				t.Fatalf("same seed produced different topologies at %d->%d", s, d)
+			}
+		}
+	}
+}
+
+func TestWANClusters(t *testing.T) {
+	inter := [][]time.Duration{
+		{0, 50 * time.Millisecond, 120 * time.Millisecond},
+		{50 * time.Millisecond, 0, 90 * time.Millisecond},
+		{120 * time.Millisecond, 90 * time.Millisecond, 0},
+	}
+	top := WANClusters(3, 2, time.Millisecond, inter, 0)
+	if top.Size() != 6 {
+		t.Fatalf("size = %d", top.Size())
+	}
+	if top.Quality(0, 1).Latency != time.Millisecond {
+		t.Fatal("intra-cluster latency wrong")
+	}
+	if top.Quality(0, 2).Latency != 50*time.Millisecond {
+		t.Fatal("cluster 0->1 latency wrong")
+	}
+	if top.Quality(1, 5).Latency != 120*time.Millisecond {
+		t.Fatal("cluster 0->2 latency wrong")
+	}
+}
+
+func TestStar(t *testing.T) {
+	top := Star(4, 5*time.Millisecond, 0)
+	if top.Quality(0, 3).Latency != 5*time.Millisecond {
+		t.Fatal("hub-spoke latency wrong")
+	}
+	if top.Quality(1, 2).Latency != 10*time.Millisecond {
+		t.Fatal("spoke-spoke latency should traverse hub")
+	}
+}
+
+func TestSlowNode(t *testing.T) {
+	top := Uniform(4, 10*time.Millisecond, 1000, 0)
+	SlowNode(top, 2, 5, 10)
+	if top.Quality(0, 2).Latency != 50*time.Millisecond {
+		t.Fatal("inbound latency to slow node not degraded")
+	}
+	if top.Quality(2, 0).BandwidthBps != 100 {
+		t.Fatal("outbound bandwidth of slow node not degraded")
+	}
+	if top.Quality(0, 1).Latency != 10*time.Millisecond {
+		t.Fatal("unrelated path degraded")
+	}
+}
+
+func TestBottleneckUpload(t *testing.T) {
+	top := Uniform(3, time.Millisecond, 1e6, 0)
+	BottleneckUpload(top, 0, 1e3)
+	if top.Quality(0, 1).BandwidthBps != 1e3 {
+		t.Fatal("upload not capped")
+	}
+	if top.Quality(1, 0).BandwidthBps != 1e6 {
+		t.Fatal("download should be uncapped")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	top := Uniform(3, time.Millisecond, 0, 0)
+	c := top.Clone()
+	c.SetQuality(0, 1, LinkQuality{Latency: time.Hour})
+	if top.Quality(0, 1).Latency == time.Hour {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestMeanLatency(t *testing.T) {
+	top := Uniform(3, 10*time.Millisecond, 0, 0)
+	if got := top.MeanLatency(); got != 10*time.Millisecond {
+		t.Fatalf("mean = %v", got)
+	}
+	if Uniform(1, time.Second, 0, 0).MeanLatency() != 0 {
+		t.Fatal("single-node mean should be 0")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range node")
+		}
+	}()
+	Uniform(2, 0, 0, 0).Quality(0, 5)
+}
+
+// Property: TransitStub latencies are symmetric-ish in structure — both
+// directions between any pair are within the jitter envelope of each other,
+// and all latencies are positive.
+func TestTransitStubLatencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := DefaultInternetLike()
+		top := TransitStub(12, cfg, rand.New(rand.NewSource(seed)))
+		for s := 0; s < 12; s++ {
+			for d := 0; d < 12; d++ {
+				if s == d {
+					continue
+				}
+				q := top.Quality(NodeID(s), NodeID(d))
+				if q.Latency <= 0 {
+					return false
+				}
+				// Envelope: jitter scales by at most (1+J)/(1-J).
+				r := top.Quality(NodeID(d), NodeID(s))
+				hi := float64(q.Latency) * (1 + cfg.Jitter) / (1 - cfg.Jitter)
+				lo := float64(q.Latency) * (1 - cfg.Jitter) / (1 + cfg.Jitter)
+				if float64(r.Latency) > hi+1 || float64(r.Latency) < lo-1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of scheduled
+// events. Events scheduled for the same instant fire in scheduling order,
+// which together with a seeded random number generator makes every run of a
+// simulation fully reproducible from its seed.
+//
+// The engine is the substrate for the ModelNet-like network emulation the
+// paper's evaluation runs on: all transports, timers, and protocol handlers
+// in this repository execute inside an Engine.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp, measured in nanoseconds since the start of
+// the simulation.
+type Time int64
+
+// Duration re-exports time.Duration for call-site readability.
+type Duration = time.Duration
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// String formats the time as a duration since simulation start.
+func (t Time) String() string { return Duration(t).String() }
+
+// Event is a scheduled callback.
+type event struct {
+	at       Time
+	seq      uint64 // tie-break: FIFO among events at the same instant
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Timer is a handle to a scheduled event that can be canceled.
+type Timer struct{ ev *event }
+
+// Cancel prevents the timer from firing. It is safe to call on a timer that
+// has already fired or been canceled; it reports whether the call prevented
+// a pending firing.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.canceled || t.ev.index == -1 {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// Pending reports whether the timer is still scheduled to fire.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.canceled && t.ev.index != -1
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event scheduler with a virtual clock.
+// It is not safe for concurrent use; all simulated activity runs on the
+// goroutine that calls Run.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	rng     *rand.Rand
+	seed    int64
+	steps   uint64
+	running bool
+}
+
+// NewEngine returns an engine whose randomness derives from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Seed returns the seed the engine was created with.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Rand returns the engine's deterministic random number generator.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Fork returns a new RNG seeded from the engine's RNG, for components that
+// need an independent deterministic randomness stream.
+func (e *Engine) Fork() *rand.Rand { return rand.New(rand.NewSource(e.rng.Int63())) }
+
+// Schedule runs fn after delay d of virtual time. A negative delay is
+// treated as zero. It returns a cancellable handle.
+func (e *Engine) Schedule(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleAt(e.now.Add(d), fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time at. Times in the past are
+// clamped to the current instant.
+func (e *Engine) ScheduleAt(at Time, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: Schedule with nil function")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// Len returns the number of events currently queued (including canceled
+// events not yet discarded).
+func (e *Engine) Len() int { return len(e.queue) }
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.steps++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or the clock would pass until.
+// It returns the number of events executed. Events scheduled exactly at
+// until are executed.
+func (e *Engine) Run(until Time) int {
+	n := 0
+	for len(e.queue) > 0 {
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.at > until {
+			break
+		}
+		if e.Step() {
+			n++
+		}
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return n
+}
+
+// RunFor executes events for d of virtual time from the current instant.
+func (e *Engine) RunFor(d Duration) int { return e.Run(e.now.Add(d)) }
+
+// Drain executes events until the queue is empty or maxEvents have run.
+// It returns the number of events executed. maxEvents <= 0 means unlimited
+// (bounded only by queue exhaustion).
+func (e *Engine) Drain(maxEvents int) int {
+	n := 0
+	for e.Step() {
+		n++
+		if maxEvents > 0 && n >= maxEvents {
+			break
+		}
+	}
+	return n
+}
+
+func (e *Engine) peek() *event {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if !ev.canceled {
+			return ev
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}
+
+// NextEventAt returns the timestamp of the next pending event and true, or
+// zero and false if the queue is empty.
+func (e *Engine) NextEventAt() (Time, bool) {
+	ev := e.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
+
+// String summarizes engine state for debugging.
+func (e *Engine) String() string {
+	return fmt.Sprintf("sim.Engine{now=%v queued=%d steps=%d seed=%d}", e.now, len(e.queue), e.steps, e.seed)
+}

@@ -1,0 +1,310 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(3*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(1*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(2*time.Millisecond, func() { got = append(got, 2) })
+	e.Drain(0)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Drain(0)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events out of FIFO order: %v", got)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.Schedule(5*time.Second, func() { at = e.Now() })
+	e.Drain(0)
+	if at != Time(5*time.Second) {
+		t.Fatalf("clock at event = %v, want 5s", at)
+	}
+	if e.Now() != Time(5*time.Second) {
+		t.Fatalf("final clock = %v, want 5s", e.Now())
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.Schedule(-time.Second, func() { fired = true })
+	e.Drain(0)
+	if !fired {
+		t.Fatal("negative-delay event did not fire")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("clock moved backwards: %v", e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	tm := e.Schedule(time.Second, func() { fired = true })
+	if !tm.Pending() {
+		t.Fatal("timer should be pending before firing")
+	}
+	if !tm.Cancel() {
+		t.Fatal("first Cancel should report true")
+	}
+	if tm.Cancel() {
+		t.Fatal("second Cancel should report false")
+	}
+	e.Drain(0)
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if tm.Pending() {
+		t.Fatal("canceled timer still pending")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	e := NewEngine(1)
+	tm := e.Schedule(time.Millisecond, func() {})
+	e.Drain(0)
+	if tm.Pending() {
+		t.Fatal("fired timer still pending")
+	}
+	if tm.Cancel() {
+		t.Fatal("Cancel after fire should report false")
+	}
+}
+
+func TestRunUntilBoundary(t *testing.T) {
+	e := NewEngine(1)
+	var fired []int
+	e.Schedule(time.Second, func() { fired = append(fired, 1) })
+	e.Schedule(2*time.Second, func() { fired = append(fired, 2) })
+	e.Schedule(3*time.Second, func() { fired = append(fired, 3) })
+	n := e.Run(Time(2 * time.Second))
+	if n != 2 || len(fired) != 2 {
+		t.Fatalf("Run executed %d events (%v), want 2 (inclusive boundary)", n, fired)
+	}
+	if e.Now() != Time(2*time.Second) {
+		t.Fatalf("clock = %v, want 2s", e.Now())
+	}
+	e.Drain(0)
+	if len(fired) != 3 {
+		t.Fatalf("remaining event not executed: %v", fired)
+	}
+}
+
+func TestRunAdvancesIdleClock(t *testing.T) {
+	e := NewEngine(1)
+	e.Run(Time(10 * time.Second))
+	if e.Now() != Time(10*time.Second) {
+		t.Fatalf("idle Run should advance clock, got %v", e.Now())
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var rec func()
+	rec = func() {
+		count++
+		if count < 5 {
+			e.Schedule(time.Millisecond, rec)
+		}
+	}
+	e.Schedule(0, rec)
+	e.Drain(0)
+	if count != 5 {
+		t.Fatalf("recursive scheduling executed %d, want 5", count)
+	}
+}
+
+func TestDrainBudget(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 100; i++ {
+		e.Schedule(time.Millisecond, func() {})
+	}
+	if n := e.Drain(10); n != 10 {
+		t.Fatalf("Drain(10) executed %d", n)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func(seed int64) []int64 {
+		e := NewEngine(seed)
+		var out []int64
+		for i := 0; i < 50; i++ {
+			d := time.Duration(e.Rand().Intn(1000)) * time.Microsecond
+			e.Schedule(d, func() { out = append(out, int64(e.Now())) })
+		}
+		e.Drain(0)
+		return out
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+}
+
+func TestNextEventAt(t *testing.T) {
+	e := NewEngine(1)
+	if _, ok := e.NextEventAt(); ok {
+		t.Fatal("empty engine reports pending event")
+	}
+	tm := e.Schedule(time.Second, func() {})
+	if at, ok := e.NextEventAt(); !ok || at != Time(time.Second) {
+		t.Fatalf("NextEventAt = %v,%v", at, ok)
+	}
+	tm.Cancel()
+	if _, ok := e.NextEventAt(); ok {
+		t.Fatal("canceled event still visible")
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	e := NewEngine(7)
+	r1 := e.Fork()
+	r2 := e.Fork()
+	a, b := r1.Int63(), r2.Int63()
+	if a == b {
+		t.Fatal("forked RNGs produced identical first values")
+	}
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule(nil) did not panic")
+		}
+	}()
+	NewEngine(1).Schedule(0, nil)
+}
+
+// Property: events always fire in nondecreasing time order, and FIFO within
+// an instant, regardless of the scheduling pattern.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint16, seed int64) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine(seed)
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var fired []rec
+		for i, d := range delays {
+			i := i
+			e.Schedule(time.Duration(d)*time.Microsecond, func() {
+				fired = append(fired, rec{e.Now(), i})
+			})
+		}
+		e.Drain(0)
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i].at < fired[i-1].at {
+				return false
+			}
+			if fired[i].at == fired[i-1].at && fired[i].seq < fired[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Run(until) never executes an event later than until and never
+// leaves an executable event at or before until.
+func TestRunBoundaryProperty(t *testing.T) {
+	f := func(delays []uint16, cut uint16) bool {
+		e := NewEngine(1)
+		until := Time(time.Duration(cut) * time.Microsecond)
+		var maxFired Time = -1
+		for _, d := range delays {
+			at := Time(time.Duration(d) * time.Microsecond)
+			e.ScheduleAt(at, func() {
+				if e.Now() > maxFired {
+					maxFired = e.Now()
+				}
+			})
+		}
+		e.Run(until)
+		if maxFired > until {
+			return false
+		}
+		if at, ok := e.NextEventAt(); ok && at <= until {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndStep(b *testing.B) {
+	e := NewEngine(1)
+	r := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Duration(r.Intn(1000))*time.Microsecond, func() {})
+		e.Step()
+	}
+}
+
+func BenchmarkHeapChurn(b *testing.B) {
+	e := NewEngine(1)
+	for i := 0; i < 1024; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Duration(i%1000)*time.Millisecond, func() {})
+		e.Step()
+	}
+}

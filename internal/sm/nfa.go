@@ -1,0 +1,104 @@
+package sm
+
+// This file implements the paper's second way of exposing choices (§3.1):
+// "Another way of presenting the choices is to implement a distributed
+// system as a non-deterministic finite state automaton (NFA) with multiple
+// applicable handlers. Instead of hard coding the logic for making several
+// choices into one message handler, the programmer can write several,
+// simpler handlers for the same type of message. ... It is then the
+// runtime's task to resolve the non-determinism."
+//
+// A service registers Alternatives — small named handlers with guards —
+// and calls Dispatch; the applicable subset becomes one exposed Choice
+// that the runtime resolves like any other.
+
+// Alternative is one simple handler for an event, applicable when its
+// guard holds.
+type Alternative struct {
+	// Name labels the alternative in traces and choice labels.
+	Name string
+	// Applicable reports whether the alternative is currently legal.
+	// A nil guard means always applicable.
+	Applicable func() bool
+	// Do performs the alternative.
+	Do func(env Env)
+}
+
+// Dispatch filters the applicable alternatives, exposes the selection as a
+// choice named choiceName, and executes the chosen one. It reports whether
+// any alternative was applicable. With exactly one applicable alternative
+// the choice is still exposed (with N=1) so traces record the decision
+// point, but every resolver returns 0.
+func Dispatch(env Env, choiceName string, alts ...Alternative) bool {
+	applicable := make([]Alternative, 0, len(alts))
+	for _, a := range alts {
+		if a.Do == nil {
+			continue
+		}
+		if a.Applicable == nil || a.Applicable() {
+			applicable = append(applicable, a)
+		}
+	}
+	if len(applicable) == 0 {
+		return false
+	}
+	i := env.Choose(Choice{
+		Name: choiceName,
+		N:    len(applicable),
+		Label: func(i int) string {
+			if i >= 0 && i < len(applicable) {
+				return applicable[i].Name
+			}
+			return "?"
+		},
+	})
+	if i < 0 || i >= len(applicable) {
+		i = 0
+	}
+	applicable[i].Do(env)
+	return true
+}
+
+// Handlers composes per-kind alternative sets into an OnMessage body: it
+// dispatches the message's kind against the registered alternatives.
+// Kinds without registrations are ignored (returns false).
+type Handlers struct {
+	byKind map[string][]func(m *Msg) Alternative
+}
+
+// NewHandlers returns an empty handler table.
+func NewHandlers() *Handlers {
+	return &Handlers{byKind: make(map[string][]func(m *Msg) Alternative)}
+}
+
+// On registers an alternative constructor for a message kind. The
+// constructor receives the concrete message and returns the alternative
+// (whose guard may depend on the message contents).
+func (h *Handlers) On(kind string, mk func(m *Msg) Alternative) *Handlers {
+	h.byKind[kind] = append(h.byKind[kind], mk)
+	return h
+}
+
+// Dispatch resolves the message against the registered alternatives,
+// exposing them as the choice "nfa.<kind>". It reports whether any
+// alternative was applicable.
+func (h *Handlers) Dispatch(env Env, m *Msg) bool {
+	mks := h.byKind[m.Kind]
+	if len(mks) == 0 {
+		return false
+	}
+	alts := make([]Alternative, 0, len(mks))
+	for _, mk := range mks {
+		alts = append(alts, mk(m))
+	}
+	return Dispatch(env, "nfa."+m.Kind, alts...)
+}
+
+// Kinds returns the registered message kinds (unordered).
+func (h *Handlers) Kinds() []string {
+	out := make([]string, 0, len(h.byKind))
+	for k := range h.byKind {
+		out = append(out, k)
+	}
+	return out
+}

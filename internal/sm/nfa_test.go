@@ -1,0 +1,141 @@
+package sm
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// chooseEnv is a minimal Env whose Choose is scriptable.
+type chooseEnv struct {
+	choose  func(c Choice) int
+	chosen  []Choice
+	actions []string
+}
+
+func (e *chooseEnv) ID() NodeID                            { return 0 }
+func (e *chooseEnv) Now() time.Duration                    { return 0 }
+func (e *chooseEnv) Send(NodeID, string, any, int)         {}
+func (e *chooseEnv) SendDatagram(NodeID, string, any, int) {}
+func (e *chooseEnv) SetTimer(string, time.Duration)        {}
+func (e *chooseEnv) CancelTimer(string)                    {}
+func (e *chooseEnv) Rand() *rand.Rand                      { return rand.New(rand.NewSource(1)) }
+func (e *chooseEnv) Logf(string, ...any)                   {}
+func (e *chooseEnv) Choose(c Choice) int {
+	e.chosen = append(e.chosen, c)
+	if e.choose != nil {
+		return e.choose(c)
+	}
+	return 0
+}
+
+func alt(e *chooseEnv, name string, applicable bool) Alternative {
+	return Alternative{
+		Name:       name,
+		Applicable: func() bool { return applicable },
+		Do:         func(Env) { e.actions = append(e.actions, name) },
+	}
+}
+
+func TestDispatchFiltersGuards(t *testing.T) {
+	e := &chooseEnv{}
+	ok := Dispatch(e, "pick", alt(e, "a", false), alt(e, "b", true), alt(e, "c", true))
+	if !ok {
+		t.Fatal("dispatch with applicable alternatives reported false")
+	}
+	if len(e.chosen) != 1 || e.chosen[0].N != 2 {
+		t.Fatalf("choice = %+v, want N=2 (guard filtered)", e.chosen)
+	}
+	if e.chosen[0].Label(0) != "b" || e.chosen[0].Label(1) != "c" {
+		t.Fatal("labels misaligned with applicable set")
+	}
+	if len(e.actions) != 1 || e.actions[0] != "b" {
+		t.Fatalf("executed %v, want [b]", e.actions)
+	}
+}
+
+func TestDispatchChoiceHonored(t *testing.T) {
+	e := &chooseEnv{choose: func(c Choice) int { return 1 }}
+	Dispatch(e, "pick", alt(e, "x", true), alt(e, "y", true))
+	if len(e.actions) != 1 || e.actions[0] != "y" {
+		t.Fatalf("executed %v, want [y]", e.actions)
+	}
+}
+
+func TestDispatchNoneApplicable(t *testing.T) {
+	e := &chooseEnv{}
+	if Dispatch(e, "pick", alt(e, "a", false)) {
+		t.Fatal("dispatch with no applicable alternatives reported true")
+	}
+	if len(e.chosen) != 0 {
+		t.Fatal("exposed a choice with zero alternatives")
+	}
+}
+
+func TestDispatchNilGuardAlwaysApplicable(t *testing.T) {
+	e := &chooseEnv{}
+	ran := false
+	Dispatch(e, "pick", Alternative{Name: "only", Do: func(Env) { ran = true }})
+	if !ran {
+		t.Fatal("nil-guard alternative not executed")
+	}
+	if e.chosen[0].N != 1 {
+		t.Fatal("single alternative should still be exposed (N=1)")
+	}
+}
+
+func TestDispatchNilDoSkipped(t *testing.T) {
+	e := &chooseEnv{}
+	if Dispatch(e, "pick", Alternative{Name: "broken"}) {
+		t.Fatal("alternative without Do should not be applicable")
+	}
+}
+
+func TestDispatchOutOfRangeChoiceClamped(t *testing.T) {
+	e := &chooseEnv{choose: func(c Choice) int { return 99 }}
+	Dispatch(e, "pick", alt(e, "a", true), alt(e, "b", true))
+	if len(e.actions) != 1 || e.actions[0] != "a" {
+		t.Fatalf("executed %v, want clamped [a]", e.actions)
+	}
+}
+
+func TestHandlersTable(t *testing.T) {
+	e := &chooseEnv{}
+	h := NewHandlers()
+	h.On("join", func(m *Msg) Alternative {
+		return Alternative{
+			Name:       "accept",
+			Applicable: func() bool { return m.Body.(int) < 10 },
+			Do:         func(Env) { e.actions = append(e.actions, "accept") },
+		}
+	})
+	h.On("join", func(m *Msg) Alternative {
+		return Alternative{
+			Name: "forward",
+			Do:   func(Env) { e.actions = append(e.actions, "forward") },
+		}
+	})
+
+	// Body 5: both applicable; resolver picks 0 -> accept.
+	if !h.Dispatch(e, &Msg{Kind: "join", Body: 5}) {
+		t.Fatal("dispatch failed")
+	}
+	if e.actions[len(e.actions)-1] != "accept" {
+		t.Fatalf("actions = %v", e.actions)
+	}
+	if e.chosen[len(e.chosen)-1].Name != "nfa.join" {
+		t.Fatalf("choice name = %q", e.chosen[len(e.chosen)-1].Name)
+	}
+	// Body 50: guard excludes accept; only forward runs without choice N=2.
+	h.Dispatch(e, &Msg{Kind: "join", Body: 50})
+	if e.actions[len(e.actions)-1] != "forward" {
+		t.Fatalf("actions = %v", e.actions)
+	}
+	// Unknown kind: not consumed.
+	if h.Dispatch(e, &Msg{Kind: "nope"}) {
+		t.Fatal("unknown kind consumed")
+	}
+	if len(h.Kinds()) != 1 {
+		t.Fatalf("kinds = %v", h.Kinds())
+	}
+}

@@ -1,0 +1,246 @@
+// Package sm is the distributed state-machine framework the services in
+// this repository are written against — the role Mace plays in the paper.
+//
+// A Service is a deterministic event-driven state machine: it reacts to
+// message deliveries, timer firings, and connection failures, and performs
+// effects (sending, timer management, random draws, exposed choices) only
+// through its Env. Because every effect is mediated by Env, the same
+// Service code runs unmodified in three places:
+//
+//   - the live simulated deployment (internal/core runtime),
+//   - CrystalBall's lookahead worlds (internal/explore), and
+//   - checkpoint clones shipped between nodes (internal/checkpoint).
+//
+// Services must be cloneable (deep copy) and digestible (stable state hash)
+// so the model checker can snapshot, fork, and deduplicate them.
+package sm
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"time"
+
+	"crystalchoice/internal/netmodel"
+)
+
+// NodeID aliases netmodel.NodeID.
+type NodeID = netmodel.NodeID
+
+// Msg is a protocol message as seen by a service.
+type Msg struct {
+	Src, Dst NodeID
+	Kind     string
+	Body     any
+	Size     int
+	// Unreliable marks datagram messages, which the network may drop;
+	// the explorer can branch on their loss (Explorer.DropBranches).
+	Unreliable bool
+}
+
+func (m *Msg) String() string {
+	return fmt.Sprintf("%v->%v %s", m.Src, m.Dst, m.Kind)
+}
+
+// Choice is an exposed decision with N alternatives, to be resolved by the
+// runtime (paper §3.1). Label is optional and used for tracing.
+type Choice struct {
+	Name  string
+	N     int
+	Label func(i int) string
+}
+
+// Env is the effect interface a service performs all interaction through.
+type Env interface {
+	// ID returns this node's identity.
+	ID() NodeID
+	// Now returns elapsed virtual time since the start of the run.
+	Now() time.Duration
+	// Send transmits over the reliable connection-oriented service.
+	Send(dst NodeID, kind string, body any, size int)
+	// SendDatagram transmits a best-effort datagram.
+	SendDatagram(dst NodeID, kind string, body any, size int)
+	// SetTimer (re)schedules the named timer to fire after d.
+	SetTimer(name string, d time.Duration)
+	// CancelTimer cancels the named timer if pending.
+	CancelTimer(name string)
+	// Rand returns a deterministic per-node RNG.
+	Rand() *rand.Rand
+	// Choose resolves an exposed choice, returning an index in [0, c.N).
+	// How it is resolved — randomly, by a fixed policy, or by CrystalBall
+	// prediction — is the runtime's business, not the service's.
+	Choose(c Choice) int
+	// Logf records a trace line (may be a no-op).
+	Logf(format string, args ...any)
+}
+
+// Service is a distributed protocol node.
+type Service interface {
+	// Init is invoked once when the node starts (or restarts).
+	Init(env Env)
+	// OnMessage handles a delivered message.
+	OnMessage(env Env, m *Msg)
+	// OnTimer handles a fired timer.
+	OnTimer(env Env, name string)
+	// Clone returns a deep copy of the service state.
+	Clone() Service
+	// Digest returns a stable hash of the service state, used by the model
+	// checker to deduplicate explored states.
+	Digest() uint64
+}
+
+// ConnAware is implemented by services that react to reliable-connection
+// failures (e.g., RandTree's parent-death detection after execution
+// steering breaks a connection).
+type ConnAware interface {
+	OnConnDown(env Env, peer NodeID)
+}
+
+// Neighborly is implemented by services that can enumerate their current
+// protocol neighborhood (e.g. parent + children in an overlay tree). The
+// runtime checkpoints with these neighbors; services that do not implement
+// it are checkpointed against the full membership (global knowledge).
+type Neighborly interface {
+	Neighbors() []NodeID
+}
+
+// Named is implemented by services that want a protocol name in traces.
+type Named interface {
+	ProtocolName() string
+}
+
+// Hasher builds stable state digests. It is a thin wrapper over FNV-1a with
+// helpers that force deterministic encoding of common state shapes.
+type Hasher struct{ h uint64 }
+
+// NewHasher returns a Hasher with the FNV-1a offset basis.
+func NewHasher() *Hasher { return &Hasher{h: 14695981039346656037} }
+
+func (s *Hasher) mix(b byte) {
+	s.h ^= uint64(b)
+	s.h *= 1099511628211
+}
+
+// WriteInt folds a signed integer into the digest.
+func (s *Hasher) WriteInt(v int64) *Hasher {
+	u := uint64(v)
+	for i := 0; i < 8; i++ {
+		s.mix(byte(u >> (8 * i)))
+	}
+	return s
+}
+
+// WriteUint folds an unsigned integer into the digest.
+func (s *Hasher) WriteUint(v uint64) *Hasher {
+	for i := 0; i < 8; i++ {
+		s.mix(byte(v >> (8 * i)))
+	}
+	return s
+}
+
+// WriteBool folds a boolean into the digest.
+func (s *Hasher) WriteBool(v bool) *Hasher {
+	if v {
+		s.mix(1)
+	} else {
+		s.mix(0)
+	}
+	return s
+}
+
+// WriteString folds a length-prefixed string into the digest.
+func (s *Hasher) WriteString(v string) *Hasher {
+	s.WriteInt(int64(len(v)))
+	for i := 0; i < len(v); i++ {
+		s.mix(v[i])
+	}
+	return s
+}
+
+// WriteNode folds a node ID into the digest.
+func (s *Hasher) WriteNode(id NodeID) *Hasher { return s.WriteInt(int64(id)) }
+
+// WriteNodes folds a node slice, order-sensitively.
+func (s *Hasher) WriteNodes(ids []NodeID) *Hasher {
+	s.WriteInt(int64(len(ids)))
+	for _, id := range ids {
+		s.WriteNode(id)
+	}
+	return s
+}
+
+// WriteNodeSet folds a node set (map keys) order-insensitively by sorting.
+func (s *Hasher) WriteNodeSet(set map[NodeID]bool) *Hasher {
+	ids := make([]NodeID, 0, len(set))
+	for id, ok := range set {
+		if ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return s.WriteNodes(ids)
+}
+
+// WriteIntMap folds a map[int]int64 deterministically.
+func (s *Hasher) WriteIntMap(m map[int]int64) *Hasher {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	s.WriteInt(int64(len(keys)))
+	for _, k := range keys {
+		s.WriteInt(int64(k))
+		s.WriteInt(m[k])
+	}
+	return s
+}
+
+// WriteBytes folds a byte slice into the digest.
+func (s *Hasher) WriteBytes(b []byte) *Hasher {
+	s.WriteInt(int64(len(b)))
+	for _, c := range b {
+		s.mix(c)
+	}
+	return s
+}
+
+// Sum returns the digest value.
+func (s *Hasher) Sum() uint64 { return s.h }
+
+// HashString is a convenience for hashing a single string (e.g., a message
+// kind) outside a Hasher chain.
+func HashString(v string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(v))
+	return h.Sum64()
+}
+
+// CloneNodeSet deep-copies a node set.
+func CloneNodeSet(m map[NodeID]bool) map[NodeID]bool {
+	c := make(map[NodeID]bool, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// CloneNodes copies a node slice.
+func CloneNodes(s []NodeID) []NodeID {
+	c := make([]NodeID, len(s))
+	copy(c, s)
+	return c
+}
+
+// SortedNodes returns the set's members in ascending order.
+func SortedNodes(m map[NodeID]bool) []NodeID {
+	ids := make([]NodeID, 0, len(m))
+	for id, ok := range m {
+		if ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

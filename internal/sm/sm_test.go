@@ -1,0 +1,118 @@
+package sm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHasherDeterministic(t *testing.T) {
+	build := func() uint64 {
+		return NewHasher().
+			WriteInt(-7).
+			WriteUint(42).
+			WriteBool(true).
+			WriteString("randtree").
+			WriteNode(3).
+			WriteNodes([]NodeID{1, 2, 3}).
+			Sum()
+	}
+	if build() != build() {
+		t.Fatal("identical writes produced different digests")
+	}
+}
+
+func TestHasherSensitive(t *testing.T) {
+	a := NewHasher().WriteInt(1).WriteInt(2).Sum()
+	b := NewHasher().WriteInt(2).WriteInt(1).Sum()
+	if a == b {
+		t.Fatal("digest insensitive to write order of distinct values")
+	}
+	c := NewHasher().WriteString("ab").WriteString("c").Sum()
+	d := NewHasher().WriteString("a").WriteString("bc").Sum()
+	if c == d {
+		t.Fatal("length prefixing failed: boundary-shifted strings collide")
+	}
+}
+
+func TestWriteNodeSetOrderInsensitive(t *testing.T) {
+	a := map[NodeID]bool{1: true, 5: true, 9: true}
+	b := map[NodeID]bool{9: true, 1: true, 5: true}
+	if NewHasher().WriteNodeSet(a).Sum() != NewHasher().WriteNodeSet(b).Sum() {
+		t.Fatal("node-set digest depends on map iteration order")
+	}
+	// False entries are excluded.
+	c := map[NodeID]bool{1: true, 5: true, 9: true, 11: false}
+	if NewHasher().WriteNodeSet(a).Sum() != NewHasher().WriteNodeSet(c).Sum() {
+		t.Fatal("false entries should not affect the digest")
+	}
+}
+
+func TestWriteIntMapDeterministic(t *testing.T) {
+	m := map[int]int64{3: 30, 1: 10, 2: 20}
+	a := NewHasher().WriteIntMap(m).Sum()
+	for i := 0; i < 20; i++ {
+		if NewHasher().WriteIntMap(m).Sum() != a {
+			t.Fatal("int-map digest unstable")
+		}
+	}
+}
+
+func TestCloneNodeSetIsDeep(t *testing.T) {
+	orig := map[NodeID]bool{1: true}
+	c := CloneNodeSet(orig)
+	c[2] = true
+	if orig[2] {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestCloneNodes(t *testing.T) {
+	orig := []NodeID{3, 1}
+	c := CloneNodes(orig)
+	c[0] = 99
+	if orig[0] != 3 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestSortedNodes(t *testing.T) {
+	got := SortedNodes(map[NodeID]bool{5: true, 1: true, 3: true, 4: false})
+	want := []NodeID{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: set digests are permutation-invariant; slice digests are not
+// (unless the permutation is identity).
+func TestSetDigestProperty(t *testing.T) {
+	f := func(ids []uint8) bool {
+		set := make(map[NodeID]bool)
+		for _, id := range ids {
+			set[NodeID(id)] = true
+		}
+		// Build the same set in reverse insertion order.
+		set2 := make(map[NodeID]bool)
+		for i := len(ids) - 1; i >= 0; i-- {
+			set2[NodeID(ids[i])] = true
+		}
+		return NewHasher().WriteNodeSet(set).Sum() == NewHasher().WriteNodeSet(set2).Sum()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashString(t *testing.T) {
+	if HashString("join") == HashString("joinreply") {
+		t.Fatal("distinct kinds collide (suspicious)")
+	}
+	if HashString("join") != HashString("join") {
+		t.Fatal("HashString unstable")
+	}
+}

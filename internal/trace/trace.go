@@ -1,0 +1,181 @@
+// Package trace provides the structured event log and the summary
+// statistics (counters, histograms, percentiles) the experiment harness
+// reports.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Entry is one logged event.
+type Entry struct {
+	At   time.Duration
+	Node int
+	Text string
+}
+
+// Log is an append-only event log. The zero value is ready to use; a nil
+// *Log is a no-op sink.
+type Log struct {
+	entries []Entry
+	// Capacity bounds retained entries (0 = unbounded); oldest dropped.
+	Capacity int
+	dropped  int
+}
+
+// Add appends an entry.
+func (l *Log) Add(at time.Duration, node int, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.entries = append(l.entries, Entry{At: at, Node: node, Text: fmt.Sprintf(format, args...)})
+	if l.Capacity > 0 && len(l.entries) > l.Capacity {
+		over := len(l.entries) - l.Capacity
+		l.entries = append(l.entries[:0], l.entries[over:]...)
+		l.dropped += over
+	}
+}
+
+// Len returns the number of retained entries.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.entries)
+}
+
+// Dropped returns how many entries were evicted by the capacity bound.
+func (l *Log) Dropped() int {
+	if l == nil {
+		return 0
+	}
+	return l.dropped
+}
+
+// Entries returns the retained entries (shared slice; do not mutate).
+func (l *Log) Entries() []Entry {
+	if l == nil {
+		return nil
+	}
+	return l.entries
+}
+
+// Filter returns the entries whose text contains sub.
+func (l *Log) Filter(match func(Entry) bool) []Entry {
+	if l == nil {
+		return nil
+	}
+	var out []Entry
+	for _, e := range l.entries {
+		if match(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump writes the log to w, one line per entry.
+func (l *Log) Dump(w io.Writer) {
+	if l == nil {
+		return
+	}
+	for _, e := range l.entries {
+		fmt.Fprintf(w, "%12v node%-3d %s\n", e.At, e.Node, e.Text)
+	}
+}
+
+// Counter is a named monotonically increasing count.
+type Counter struct {
+	Name  string
+	Value uint64
+}
+
+// Inc adds n to the counter.
+func (c *Counter) Inc(n uint64) { c.Value += n }
+
+// Sample is a collection of float64 observations with summary statistics.
+type Sample struct {
+	values []float64
+	sorted bool
+}
+
+// Observe records a value.
+func (s *Sample) Observe(v float64) {
+	s.values = append(s.values, v)
+	s.sorted = false
+}
+
+// ObserveDuration records a duration in seconds.
+func (s *Sample) ObserveDuration(d time.Duration) { s.Observe(d.Seconds()) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean, or 0 if empty.
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Min returns the smallest observation, or 0 if empty.
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.values[0]
+}
+
+// Max returns the largest observation, or 0 if empty.
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.values[len(s.values)-1]
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using
+// nearest-rank, or 0 if empty.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if p <= 0 {
+		return s.values[0]
+	}
+	if p >= 100 {
+		return s.values[len(s.values)-1]
+	}
+	rank := int(p/100*float64(len(s.values))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s.values) {
+		rank = len(s.values) - 1
+	}
+	return s.values[rank]
+}
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+}
+
+// Summary formats n/mean/p50/p99/max in one line.
+func (s *Sample) Summary() string {
+	return fmt.Sprintf("n=%d mean=%.4f p50=%.4f p99=%.4f max=%.4f",
+		s.N(), s.Mean(), s.Percentile(50), s.Percentile(99), s.Max())
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLogAddAndFilter(t *testing.T) {
+	var l Log
+	l.Add(time.Second, 1, "joined under %d", 3)
+	l.Add(2*time.Second, 2, "left")
+	if l.Len() != 2 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	got := l.Filter(func(e Entry) bool { return strings.Contains(e.Text, "joined") })
+	if len(got) != 1 || got[0].Node != 1 {
+		t.Fatalf("filter = %+v", got)
+	}
+}
+
+func TestNilLogIsNoop(t *testing.T) {
+	var l *Log
+	l.Add(0, 0, "x") // must not panic
+	if l.Len() != 0 || l.Dropped() != 0 || l.Entries() != nil || l.Filter(func(Entry) bool { return true }) != nil {
+		t.Fatal("nil log should be inert")
+	}
+	l.Dump(nil)
+}
+
+func TestCapacityEvictsOldest(t *testing.T) {
+	l := &Log{Capacity: 3}
+	for i := 0; i < 5; i++ {
+		l.Add(time.Duration(i), i, "e%d", i)
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len = %d, want 3", l.Len())
+	}
+	if l.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", l.Dropped())
+	}
+	if l.Entries()[0].Text != "e2" {
+		t.Fatalf("oldest retained = %q", l.Entries()[0].Text)
+	}
+}
+
+func TestDump(t *testing.T) {
+	var l Log
+	l.Add(time.Second, 7, "hello")
+	var sb strings.Builder
+	l.Dump(&sb)
+	if !strings.Contains(sb.String(), "node7") || !strings.Contains(sb.String(), "hello") {
+		t.Fatalf("dump = %q", sb.String())
+	}
+}
+
+func TestSampleStats(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Observe(v)
+	}
+	if s.N() != 5 || s.Mean() != 3 || s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("stats: n=%d mean=%v min=%v max=%v", s.N(), s.Mean(), s.Min(), s.Max())
+	}
+	if got := s.Percentile(50); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+}
+
+func TestObserveAfterPercentileStaysSorted(t *testing.T) {
+	var s Sample
+	s.Observe(10)
+	_ = s.Percentile(50)
+	s.Observe(1)
+	if s.Min() != 1 {
+		t.Fatal("post-sort observation lost ordering")
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	var s Sample
+	s.ObserveDuration(1500 * time.Millisecond)
+	if s.Mean() != 1.5 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := Counter{Name: "msgs"}
+	c.Inc(3)
+	c.Inc(4)
+	if c.Value != 7 {
+		t.Fatalf("counter = %d", c.Value)
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	var s Sample
+	s.Observe(1)
+	if !strings.Contains(s.Summary(), "n=1") {
+		t.Fatalf("summary = %q", s.Summary())
+	}
+}

@@ -1,0 +1,340 @@
+// Package transport simulates message delivery between nodes over a
+// netmodel.Topology inside a sim.Engine.
+//
+// Two services are offered, mirroring what the Mace runtime gave the paper's
+// protocols:
+//
+//   - a reliable, in-order, connection-oriented service (TCP-like). Per
+//     ordered pair the channel is FIFO; loss inflates effective latency
+//     (retransmission) instead of dropping; connections can be broken, which
+//     is the corrective action CrystalBall's execution steering uses.
+//   - an unreliable datagram service (UDP-like) subject to the path loss
+//     probability.
+//
+// Delivery time models propagation latency plus serialization at the path
+// bandwidth, with per-ordered-pair FIFO queueing for the reliable service.
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"crystalchoice/internal/netmodel"
+	"crystalchoice/internal/sim"
+)
+
+// NodeID aliases netmodel.NodeID for convenience.
+type NodeID = netmodel.NodeID
+
+// Message is a delivered protocol message.
+type Message struct {
+	Src, Dst NodeID
+	Kind     string
+	Payload  any
+	Size     int    // bytes, for bandwidth modeling; 0 means header-only
+	Seq      uint64 // network-assigned, unique per simulation
+	Reliable bool
+}
+
+func (m *Message) String() string {
+	return fmt.Sprintf("%v->%v %s(seq=%d,%dB)", m.Src, m.Dst, m.Kind, m.Seq, m.Size)
+}
+
+// Handler receives delivered messages at an endpoint.
+type Handler func(m *Message)
+
+// ConnListener is notified when a reliable connection involving the
+// endpoint breaks (the peer is identified). Protocols use this for failure
+// detection, as RandTree does when CrystalBall severs a connection.
+type ConnListener func(peer NodeID)
+
+// Filter inspects an inbound message before delivery; returning true drops
+// the message. CrystalBall's execution steering installs filters to steer
+// away from predicted inconsistencies.
+type Filter func(m *Message) bool
+
+// Stats counts traffic through the network.
+type Stats struct {
+	Sent, Delivered, Dropped uint64
+	Bytes                    uint64
+}
+
+type endpoint struct {
+	id       NodeID
+	handler  Handler
+	connDown ConnListener
+	filter   Filter
+	up       bool
+}
+
+type pairKey struct{ src, dst NodeID }
+
+// Network connects endpoints over a topology.
+type Network struct {
+	eng   *sim.Engine
+	top   *netmodel.Topology
+	rng   *rand.Rand
+	eps   map[NodeID]*endpoint
+	seq   uint64
+	stats Stats
+
+	// busyUntil models the serialization queue of the reliable channel per
+	// ordered pair: a message cannot begin transmission before the previous
+	// one finished. lastDeliver enforces in-order delivery despite variable
+	// retransmission delay.
+	busyUntil   map[pairKey]sim.Time
+	lastDeliver map[pairKey]sim.Time
+	// uploadBps, when set for a node, models a shared uplink: all of the
+	// node's outgoing messages serialize through one queue at this rate
+	// before entering their per-pair channels (uploadBusy tracks the
+	// queue's horizon).
+	uploadBps  map[NodeID]float64
+	uploadBusy map[NodeID]sim.Time
+	// brokenUntil marks reliable connections severed until the given time;
+	// zero value means healthy.
+	brokenUntil map[pairKey]sim.Time
+	// partitioned marks pairs cut by a network partition (both services).
+	partitioned map[pairKey]bool
+
+	// ReconnectDelay is how long a broken connection stays down before a
+	// fresh connection may be established. Default 1s.
+	ReconnectDelay time.Duration
+
+	// Monitor, when set, observes every delivered message (after filters,
+	// before the handler). Experiment harnesses use it for traffic
+	// accounting, e.g. cross-ISP byte counts.
+	Monitor func(m *Message)
+}
+
+// New creates a network over the topology, driven by the engine.
+func New(eng *sim.Engine, top *netmodel.Topology) *Network {
+	return &Network{
+		eng:            eng,
+		top:            top,
+		rng:            eng.Fork(),
+		eps:            make(map[NodeID]*endpoint),
+		busyUntil:      make(map[pairKey]sim.Time),
+		lastDeliver:    make(map[pairKey]sim.Time),
+		uploadBps:      make(map[NodeID]float64),
+		uploadBusy:     make(map[NodeID]sim.Time),
+		brokenUntil:    make(map[pairKey]sim.Time),
+		partitioned:    make(map[pairKey]bool),
+		ReconnectDelay: time.Second,
+	}
+}
+
+// Topology returns the underlying topology (shared, not a copy).
+func (n *Network) Topology() *netmodel.Topology { return n.top }
+
+// Engine returns the driving simulation engine.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Stats returns a snapshot of traffic counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Attach registers a node's message handler and brings the endpoint up.
+func (n *Network) Attach(id NodeID, h Handler) {
+	if h == nil {
+		panic("transport: Attach with nil handler")
+	}
+	ep := n.eps[id]
+	if ep == nil {
+		ep = &endpoint{id: id}
+		n.eps[id] = ep
+	}
+	ep.handler = h
+	ep.up = true
+}
+
+// SetConnListener registers the callback invoked when a reliable connection
+// involving id is broken.
+func (n *Network) SetConnListener(id NodeID, l ConnListener) {
+	n.ep(id).connDown = l
+}
+
+// SetFilter installs (or clears, with nil) the inbound filter for id.
+func (n *Network) SetFilter(id NodeID, f Filter) { n.ep(id).filter = f }
+
+func (n *Network) ep(id NodeID) *endpoint {
+	ep := n.eps[id]
+	if ep == nil {
+		ep = &endpoint{id: id}
+		n.eps[id] = ep
+	}
+	return ep
+}
+
+// Crash takes the endpoint down: all queued and future messages to or from
+// it are dropped until Restart.
+func (n *Network) Crash(id NodeID) { n.ep(id).up = false }
+
+// Restart brings a crashed endpoint back up. Its handler must have been
+// attached (or be re-attached) for delivery to resume.
+func (n *Network) Restart(id NodeID) { n.ep(id).up = true }
+
+// Up reports whether the endpoint is attached and running.
+func (n *Network) Up(id NodeID) bool {
+	ep := n.eps[id]
+	return ep != nil && ep.up && ep.handler != nil
+}
+
+// Partition cuts connectivity between every node in a and every node in b,
+// in both directions, until Heal is called.
+func (n *Network) Partition(a, b []NodeID) {
+	for _, x := range a {
+		for _, y := range b {
+			n.partitioned[pairKey{x, y}] = true
+			n.partitioned[pairKey{y, x}] = true
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (n *Network) Heal() { n.partitioned = make(map[pairKey]bool) }
+
+// BreakConnection severs the reliable channel between a and b in both
+// directions for ReconnectDelay, notifying both connection listeners. This
+// is the corrective action available to execution steering.
+func (n *Network) BreakConnection(a, b NodeID) {
+	until := n.eng.Now().Add(n.ReconnectDelay)
+	n.brokenUntil[pairKey{a, b}] = until
+	n.brokenUntil[pairKey{b, a}] = until
+	if ep := n.eps[a]; ep != nil && ep.connDown != nil && ep.up {
+		peer := b
+		n.eng.Schedule(0, func() { ep.connDown(peer) })
+	}
+	if ep := n.eps[b]; ep != nil && ep.connDown != nil && ep.up {
+		peer := a
+		n.eng.Schedule(0, func() { ep.connDown(peer) })
+	}
+}
+
+// ConnectionBroken reports whether the reliable channel a->b is currently
+// severed.
+func (n *Network) ConnectionBroken(a, b NodeID) bool {
+	return n.brokenUntil[pairKey{a, b}] > n.eng.Now()
+}
+
+// SetUploadCapacity gives a node a shared uplink of bps bytes/sec: all its
+// outgoing traffic, to every destination, serializes through one queue at
+// that rate (in addition to per-path constraints). Zero removes the cap.
+func (n *Network) SetUploadCapacity(id NodeID, bps float64) {
+	if bps <= 0 {
+		delete(n.uploadBps, id)
+		return
+	}
+	n.uploadBps[id] = bps
+}
+
+// Send transmits a message over the reliable connection-oriented service.
+// It reports whether the message was accepted for delivery (false if either
+// endpoint is down, the pair is partitioned, or the connection is broken).
+// Accepted messages are delivered in FIFO order per ordered pair.
+func (n *Network) Send(src, dst NodeID, kind string, payload any, size int) bool {
+	return n.send(src, dst, kind, payload, size, true)
+}
+
+// SendDatagram transmits a best-effort datagram subject to path loss.
+// It reports whether the datagram was put on the wire (not whether it will
+// arrive).
+func (n *Network) SendDatagram(src, dst NodeID, kind string, payload any, size int) bool {
+	return n.send(src, dst, kind, payload, size, false)
+}
+
+func (n *Network) send(src, dst NodeID, kind string, payload any, size int, reliable bool) bool {
+	n.stats.Sent++
+	n.stats.Bytes += uint64(size)
+	srcEp := n.eps[src]
+	if srcEp == nil || !srcEp.up {
+		n.stats.Dropped++
+		return false
+	}
+	if n.partitioned[pairKey{src, dst}] {
+		n.stats.Dropped++
+		return false
+	}
+	if reliable && n.ConnectionBroken(src, dst) {
+		n.stats.Dropped++
+		return false
+	}
+	q := n.top.Quality(src, dst)
+	if !reliable && q.Loss > 0 && n.rng.Float64() < q.Loss {
+		n.stats.Dropped++
+		return true // on the wire, lost in flight
+	}
+	// Serialization occupies the channel; propagation overlaps with the
+	// next message's serialization.
+	var serialization time.Duration
+	if q.BandwidthBps > 0 && size > 0 {
+		serialization = time.Duration(float64(size) / q.BandwidthBps * float64(time.Second))
+	}
+	propagation := q.Latency
+	if reliable && q.Loss > 0 && q.Loss < 1 {
+		// Model retransmission: geometric number of attempts, each costing
+		// one RTT-ish latency.
+		for n.rng.Float64() < q.Loss {
+			propagation += 2 * q.Latency
+		}
+	}
+	// Shared uplink: the message first serializes through the sender's
+	// upload queue (if capacitated), regardless of destination.
+	ready := n.eng.Now()
+	if upBps, capped := n.uploadBps[src]; capped && size > 0 {
+		upStart := ready
+		if prev := n.uploadBusy[src]; prev > upStart {
+			upStart = prev
+		}
+		upEnd := upStart.Add(time.Duration(float64(size) / upBps * float64(time.Second)))
+		n.uploadBusy[src] = upEnd
+		ready = upEnd
+	}
+	var deliverAt sim.Time
+	if reliable {
+		key := pairKey{src, dst}
+		start := ready
+		if prev := n.busyUntil[key]; prev > start {
+			start = prev // FIFO: wait for the previous transmission
+		}
+		txEnd := start.Add(serialization)
+		n.busyUntil[key] = txEnd
+		deliverAt = txEnd.Add(propagation)
+		// Retransmission variance must not reorder the stream.
+		if prev := n.lastDeliver[key]; prev > deliverAt {
+			deliverAt = prev
+		}
+		n.lastDeliver[key] = deliverAt
+	} else {
+		deliverAt = ready.Add(serialization + propagation)
+	}
+	n.seq++
+	m := &Message{Src: src, Dst: dst, Kind: kind, Payload: payload, Size: size, Seq: n.seq, Reliable: reliable}
+	n.eng.ScheduleAt(deliverAt, func() { n.deliver(m) })
+	return true
+}
+
+func (n *Network) deliver(m *Message) {
+	ep := n.eps[m.Dst]
+	if ep == nil || !ep.up || ep.handler == nil {
+		n.stats.Dropped++
+		return
+	}
+	if n.partitioned[pairKey{m.Src, m.Dst}] {
+		n.stats.Dropped++
+		return
+	}
+	if srcEp := n.eps[m.Src]; m.Reliable && (srcEp == nil || !srcEp.up) {
+		// TCP-like: a crashed sender's in-flight stream is torn down.
+		n.stats.Dropped++
+		return
+	}
+	if ep.filter != nil && ep.filter(m) {
+		n.stats.Dropped++
+		return
+	}
+	n.stats.Delivered++
+	if n.Monitor != nil {
+		n.Monitor(m)
+	}
+	ep.handler(m)
+}
