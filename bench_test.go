@@ -9,7 +9,9 @@
 package crystalchoice
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -85,35 +87,7 @@ func BenchmarkE3FailureRejoin(b *testing.B) {
 // the future fairly quickly": it explores RandTree worlds at increasing
 // depth and reports states visited per second.
 func BenchmarkE4ConsequencePrediction(b *testing.B) {
-	// Build a fully joined 31-node tree so injected joins are forwarded
-	// down long causal chains — the regime consequence prediction is for.
-	mkWorld := func() *explore.World {
-		w := explore.NewWorld(explore.FirstPolicy, 1)
-		svcs := make([]*randtree.Choice, 31)
-		for i := 0; i < 31; i++ {
-			svcs[i] = randtree.NewChoice(sm.NodeID(i), 0)
-			w.AddNode(sm.NodeID(i), svcs[i])
-		}
-		// Wire a complete binary tree via the protocol's own handlers.
-		env := &benchEnv{}
-		for i := 0; i < 31; i++ {
-			svcs[i].Init(env)
-		}
-		for i := 1; i < 31; i++ {
-			parent := (i - 1) / 2
-			svcs[parent].OnMessage(env, &sm.Msg{Src: sm.NodeID(i), Dst: sm.NodeID(parent),
-				Kind: randtree.KindJoin, Body: randtree.Join{Joiner: sm.NodeID(i)}})
-			svcs[i].OnMessage(env, &sm.Msg{Src: sm.NodeID(parent), Dst: sm.NodeID(i),
-				Kind: randtree.KindJoinReply, Body: randtree.JoinReply{Parent: sm.NodeID(parent), Depth: depthOf(i) + 1}})
-		}
-		// Now inject fresh joins at the (full) root: each must be routed
-		// down to a leaf, a causal chain as long as the tree is deep.
-		for j := 0; j < 8; j++ {
-			w.InjectMessage(&sm.Msg{Src: sm.NodeID(100 + j), Dst: 0, Kind: randtree.KindJoin,
-				Body: randtree.Join{Joiner: sm.NodeID(100 + j)}})
-		}
-		return w
-	}
+	mkWorld := mkTreeWorld
 	for _, depth := range []int{2, 4, 6, 8} {
 		depth := depth
 		b.Run(time.Duration(depth).String()[:1]+"levels", func(b *testing.B) {
@@ -126,6 +100,89 @@ func BenchmarkE4ConsequencePrediction(b *testing.B) {
 			}
 			b.ReportMetric(float64(states)/float64(b.N), "states/op")
 			b.ReportMetric(float64(depth), "depth")
+		})
+	}
+}
+
+// mkTreeWorld builds a fully joined 31-node tree with fresh joins queued
+// at the root, so injected joins are forwarded down long causal chains —
+// the regime consequence prediction is for (E4, E10, E11).
+func mkTreeWorld() *explore.World {
+	w := explore.NewWorld(explore.FirstPolicy, 1)
+	svcs := make([]*randtree.Choice, 31)
+	for i := 0; i < 31; i++ {
+		svcs[i] = randtree.NewChoice(sm.NodeID(i), 0)
+		w.AddNode(sm.NodeID(i), svcs[i])
+	}
+	// Wire a complete binary tree via the protocol's own handlers.
+	env := &benchEnv{}
+	for i := 0; i < 31; i++ {
+		svcs[i].Init(env)
+	}
+	for i := 1; i < 31; i++ {
+		parent := (i - 1) / 2
+		svcs[parent].OnMessage(env, &sm.Msg{Src: sm.NodeID(i), Dst: sm.NodeID(parent),
+			Kind: randtree.KindJoin, Body: randtree.Join{Joiner: sm.NodeID(i)}})
+		svcs[i].OnMessage(env, &sm.Msg{Src: sm.NodeID(parent), Dst: sm.NodeID(i),
+			Kind: randtree.KindJoinReply, Body: randtree.JoinReply{Parent: sm.NodeID(parent), Depth: depthOf(i) + 1}})
+	}
+	// Inject fresh joins at the (full) root: each must be routed down to
+	// a leaf, a causal chain as long as the tree is deep.
+	for j := 0; j < 8; j++ {
+		w.InjectMessage(&sm.Msg{Src: sm.NodeID(100 + j), Dst: 0, Kind: randtree.KindJoin,
+			Body: randtree.Join{Joiner: sm.NodeID(100 + j)}})
+	}
+	return w
+}
+
+// BenchmarkE10ParallelPrediction measures the scheduler split: the same
+// consequence prediction run sequentially and across the full worker
+// pool. Reported metric: states visited per second of wall clock.
+func BenchmarkE10ParallelPrediction(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			// Exploration never mutates the start world, so one world
+			// serves every iteration and setup stays out of the window.
+			w := mkTreeWorld()
+			b.ResetTimer()
+			states := 0
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				x := explore.NewExplorer(8)
+				x.MaxStates = 1 << 20
+				x.Workers = workers
+				r := x.Explore(w)
+				states += r.StatesExplored
+			}
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(states)/elapsed, "states/sec")
+			}
+			b.ReportMetric(float64(states)/float64(b.N), "states/op")
+		})
+	}
+}
+
+// BenchmarkE11CloneStrategy measures the copy-on-write world fork against
+// the original eager deep clone on the same prediction workload; run with
+// -benchmem to see the allocation gap COW exists for.
+func BenchmarkE11CloneStrategy(b *testing.B) {
+	for _, mode := range []string{"cow", "deepclone"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			w := mkTreeWorld()
+			b.ResetTimer()
+			states := 0
+			for i := 0; i < b.N; i++ {
+				x := explore.NewExplorer(6)
+				x.MaxStates = 1 << 20
+				x.DeepClones = mode == "deepclone"
+				r := x.Explore(w)
+				states += r.StatesExplored
+			}
+			b.ReportMetric(float64(states)/float64(b.N), "states/op")
 		})
 	}
 }
@@ -240,7 +297,7 @@ func BenchmarkE8ExecutionSteering(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			steered, cycles := 0.0, 0.0
 			for i := 0; i < b.N; i++ {
-				r := randtree.RunSteering(on, 15, int64(i+1))
+				r := randtree.RunSteering(on, 15, int64(i+1), 1)
 				steered += float64(r.Steered)
 				if r.CycleFormed {
 					cycles++

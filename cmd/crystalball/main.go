@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"crystalchoice/internal/apps/dissem"
@@ -17,11 +18,18 @@ import (
 	"crystalchoice/internal/apps/tracker"
 )
 
+// lookaheadWorkers sizes every runtime lookahead's exploration pool.
+var lookaheadWorkers int
+
 func main() {
 	app := flag.String("app", "all", "experiment to run: gossip | dissem | paxos | overload | steering | tracker | all")
 	seed := flag.Int64("seed", 1, "first seed")
 	seeds := flag.Int("seeds", 3, "seeds to average over")
+	flag.IntVar(&lookaheadWorkers, "workers", 1, "lookahead exploration worker pool per node (0 = GOMAXPROCS)")
 	flag.Parse()
+	if lookaheadWorkers == 0 {
+		lookaheadWorkers = runtime.GOMAXPROCS(0)
+	}
 
 	switch *app {
 	case "gossip":
@@ -62,7 +70,7 @@ func runOverload(seed0 int64, seeds int) {
 		committed, submitted := 0, 0
 		for k := 0; k < seeds; k++ {
 			r := paxos.Run(paxos.ExperimentConfig{
-				Seed: seed0 + int64(k), Policy: p,
+				Seed: seed0 + int64(k), Policy: p, LookaheadWorkers: lookaheadWorkers,
 				UniformLatency: 20 * time.Millisecond,
 				WorkDelay:      60 * time.Millisecond,
 				Interarrival:   40 * time.Millisecond,
@@ -80,7 +88,7 @@ func runSteering(seed int64) {
 	fmt.Println("E8 — execution steering (forged parent-cycle message, 15-node tree)")
 	fmt.Printf("%-10s %18s %14s %10s %10s\n", "steering", "forged delivered", "cycle formed", "steered", "checks")
 	for _, on := range []bool{false, true} {
-		r := randtree.RunSteering(on, 15, seed)
+		r := randtree.RunSteering(on, 15, seed, lookaheadWorkers)
 		mode := "off"
 		if on {
 			mode = "on"
@@ -95,7 +103,7 @@ func runGossip(seed0 int64, seeds int) {
 	for _, s := range gossip.Strategies {
 		var mean, max, fmean, fmax float64
 		for k := 0; k < seeds; k++ {
-			r := gossip.Run(gossip.ExperimentConfig{N: 16, Seed: seed0 + int64(k), Strategy: s, SlowNodes: 4, Updates: 6})
+			r := gossip.Run(gossip.ExperimentConfig{N: 16, Seed: seed0 + int64(k), Strategy: s, SlowNodes: 4, Updates: 6, LookaheadWorkers: lookaheadWorkers})
 			mean += r.MeanDissemination.Seconds()
 			max += r.MaxDissemination.Seconds()
 			fmean += r.FastMeanDissemination.Seconds()
@@ -113,7 +121,7 @@ func runDissem(seed0 int64, seeds int) {
 		for _, s := range dissem.Strategies {
 			var mean, max float64
 			for k := 0; k < seeds; k++ {
-				r := dissem.Run(dissem.ExperimentConfig{N: 10, Blocks: 16, Seed: seed0 + int64(k), Strategy: s, Setting: set})
+				r := dissem.Run(dissem.ExperimentConfig{N: 10, Blocks: 16, Seed: seed0 + int64(k), Strategy: s, Setting: set, LookaheadWorkers: lookaheadWorkers})
 				mean += r.MeanCompletion.Seconds()
 				max += r.MaxCompletion.Seconds()
 			}
@@ -130,7 +138,7 @@ func runPaxos(seed0 int64, seeds int) {
 		var mean, p99 float64
 		committed, submitted := 0, 0
 		for k := 0; k < seeds; k++ {
-			r := paxos.Run(paxos.ExperimentConfig{Seed: seed0 + int64(k), Policy: p})
+			r := paxos.Run(paxos.ExperimentConfig{Seed: seed0 + int64(k), Policy: p, LookaheadWorkers: lookaheadWorkers})
 			mean += r.MeanCommit.Seconds()
 			p99 += r.P99Commit.Seconds()
 			committed += r.Committed
@@ -148,7 +156,7 @@ func runTracker(seed0 int64, seeds int) {
 		var frac, mean float64
 		completed, peers := 0, 0
 		for k := 0; k < seeds; k++ {
-			r := tracker.Run(tracker.ExperimentConfig{Seed: seed0 + int64(k), Policy: p})
+			r := tracker.Run(tracker.ExperimentConfig{Seed: seed0 + int64(k), Policy: p, LookaheadWorkers: lookaheadWorkers})
 			frac += r.CrossFraction()
 			mean += r.MeanCompletion.Seconds()
 			completed += r.Completed

@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"crystalchoice/internal/apps/randtree"
@@ -24,10 +25,20 @@ func main() {
 	depth := flag.Int("depth", 6, "consequence-prediction chain depth")
 	budget := flag.Int("budget", 8192, "max handler executions")
 	inject := flag.Bool("inject-cycle", false, "inject a forged parent-cycle message before exploring")
+	workers := flag.Int("workers", 1, "exploration worker pool size (0 = GOMAXPROCS)")
+	strategyName := flag.String("strategy", "chaindfs", "exploration strategy: chaindfs | bfs | randomwalk")
 	flag.Parse()
 
 	if *n < 3 {
 		fmt.Fprintln(os.Stderr, "mc: need -n >= 3")
+		os.Exit(2)
+	}
+	if *workers == 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	strategy, err := explore.ParseStrategy(*strategyName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mc: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -37,7 +48,11 @@ func main() {
 	fmt.Printf("snapshot at %v: %d/%d joined, max depth %d\n", *at, e.JoinedCount(), *n, e.MaxDepth())
 
 	// Materialize the global state as an explorable world.
-	w := explore.NewWorld(explore.RandomPolicy(e.Eng.Fork()), *seed)
+	policy := explore.RandomPolicy(e.Eng.Fork())
+	if *workers > 1 {
+		policy = explore.Locked(policy)
+	}
+	w := explore.NewWorld(policy, *seed)
 	for _, node := range e.Cluster.Nodes() {
 		w.AddNode(node.ID(), node.Service().Clone())
 		if node.Down() {
@@ -63,14 +78,16 @@ func main() {
 
 	x := explore.NewExplorer(*depth)
 	x.MaxStates = *budget
+	x.Workers = *workers
+	x.Strategy = strategy
 	x.Properties = []explore.Property{
 		randtree.NoParentCycleProperty(),
 		randtree.DegreeBoundProperty(),
 	}
 	start := time.Now()
 	r := x.Explore(w)
-	fmt.Printf("explored %d states to depth %d in %v (truncated=%v)\n",
-		r.StatesExplored, r.MaxDepth, time.Since(start).Round(time.Microsecond), r.Truncated)
+	fmt.Printf("explored %d states to depth %d in %v (strategy=%s workers=%d truncated=%v)\n",
+		r.StatesExplored, r.MaxDepth, time.Since(start).Round(time.Microsecond), strategy.Name(), *workers, r.Truncated)
 	if r.Safe() {
 		fmt.Println("no safety violations predicted")
 		return

@@ -7,10 +7,12 @@
 // The library lives under internal/: the discrete-event simulator (sim),
 // network model (netmodel), transport, the Mace-like state-machine
 // framework (sm), checkpoint collection, the consequence-prediction model
-// checker (explore), the predictive system model (model), the iPlane-like
-// information plane (iplane), the explicit-choice runtime (core) — the
-// paper's contribution — and four protocols built on it (apps/randtree,
-// apps/gossip, apps/dissem, apps/paxos).
+// checker (explore — a pluggable engine with swappable search strategies,
+// a parallel work scheduler, and copy-on-write world forking), the
+// predictive system model (model), the iPlane-like information plane
+// (iplane), the explicit-choice runtime (core) — the paper's contribution
+// — and five protocols built on it (apps/randtree, apps/gossip,
+// apps/dissem, apps/paxos, apps/tracker).
 //
 // The benchmarks in bench_test.go regenerate every quantitative result in
 // the paper; see DESIGN.md for the experiment index and EXPERIMENTS.md for

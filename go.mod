@@ -1,0 +1,3 @@
+module crystalchoice
+
+go 1.24

@@ -54,6 +54,8 @@ type ExperimentConfig struct {
 	// SeedBandwidth caps the seed's upload per pair in the
 	// bottleneck-seed setting.
 	SeedBandwidth float64
+	// LookaheadWorkers sizes the worker pool of every runtime lookahead.
+	LookaheadWorkers int
 }
 
 func (c *ExperimentConfig) fill() {
@@ -105,7 +107,7 @@ func Run(cfg ExperimentConfig) Result {
 		net.SetUploadCapacity(0, 4*cfg.SeedBandwidth)
 	}
 
-	ccfg := core.Config{}
+	ccfg := core.Config{LookaheadWorkers: cfg.LookaheadWorkers}
 	switch cfg.Strategy {
 	case StrategyRandom:
 		ccfg.NewResolver = func(*core.Node) core.Resolver { return core.Random{} }

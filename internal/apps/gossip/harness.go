@@ -44,6 +44,8 @@ type ExperimentConfig struct {
 	// the predictive resolver re-learns link quality from its passive
 	// measurements while fixed strategies cannot react.
 	Dynamic bool
+	// LookaheadWorkers sizes the worker pool of every runtime lookahead.
+	LookaheadWorkers int
 }
 
 func (c *ExperimentConfig) fill() {
@@ -95,7 +97,7 @@ func Run(cfg ExperimentConfig) Result {
 		dyn.Drive(func(d time.Duration, fn func()) { eng.Schedule(d, fn) }, 500*time.Millisecond)
 	}
 
-	ccfg := core.Config{}
+	ccfg := core.Config{LookaheadWorkers: cfg.LookaheadWorkers}
 	switch cfg.Strategy {
 	case StrategyRandom:
 		ccfg.NewResolver = func(*core.Node) core.Resolver { return core.Random{} }

@@ -46,7 +46,9 @@ type ExperimentConfig struct {
 	// WorkDelay models per-proposal CPU cost at the proposer (see
 	// Replica.WorkDelay). Zero disables CPU modeling.
 	WorkDelay time.Duration
-	Trace     *trace.Log
+	// LookaheadWorkers sizes the worker pool of every runtime lookahead.
+	LookaheadWorkers int
+	Trace            *trace.Log
 }
 
 func (c *ExperimentConfig) fill() {
@@ -146,7 +148,7 @@ func Run(cfg ExperimentConfig) Result {
 	plane := iplane.New(top, cfg.Seed+1)
 	plane.NoiseFrac = 0.05
 
-	ccfg := core.Config{Trace: cfg.Trace}
+	ccfg := core.Config{Trace: cfg.Trace, LookaheadWorkers: cfg.LookaheadWorkers}
 	switch cfg.Policy {
 	case PolicyFixed:
 		ccfg.NewResolver = func(*core.Node) core.Resolver { return core.First{} }

@@ -43,6 +43,9 @@ type ExperimentConfig struct {
 	// OffCriticalPath resolves choices from the cache/randomly and runs
 	// consequence prediction in the background (ablation A6, paper §3.4).
 	OffCriticalPath bool
+	// LookaheadWorkers sizes the worker pool of every runtime lookahead
+	// (consequence prediction and steering). <= 1 stays sequential.
+	LookaheadWorkers int
 	// Steering enables execution steering against Properties (E8).
 	Steering   bool
 	Properties []explore.Property
@@ -80,7 +83,7 @@ func NewExperiment(cfg ExperimentConfig) *Experiment {
 	top := netmodel.TransitStub(cfg.N, netmodel.DefaultInternetLike(), eng.Fork())
 	net := transport.New(eng, top)
 
-	ccfg := core.Config{Trace: cfg.Trace}
+	ccfg := core.Config{Trace: cfg.Trace, LookaheadWorkers: cfg.LookaheadWorkers}
 	switch cfg.Setup {
 	case SetupBaseline:
 		ccfg.NewResolver = func(*core.Node) core.Resolver { return core.First{} }

@@ -29,8 +29,9 @@ type SteeringResult struct {
 // detaches the pair's subtree. With steering enabled, consequence
 // prediction sees the rt.no-parent-cycle violation one step into the
 // future and drops the message, breaking the connection with the sender
-// (the paper's corrective action).
-func RunSteering(enabled bool, n int, seed int64) SteeringResult {
+// (the paper's corrective action). workers sizes the steering lookahead's
+// exploration pool (<= 1 sequential).
+func RunSteering(enabled bool, n int, seed int64, workers int) SteeringResult {
 	e := NewExperiment(ExperimentConfig{
 		N:                  n,
 		Seed:               seed,
@@ -38,6 +39,7 @@ func RunSteering(enabled bool, n int, seed int64) SteeringResult {
 		Steering:           enabled,
 		Properties:         []explore.Property{NoParentCycleProperty()},
 		CheckpointInterval: 150 * time.Millisecond,
+		LookaheadWorkers:   workers,
 	})
 	e.Run(time.Duration(n)*e.Cfg.JoinSpacing + 10*time.Second)
 

@@ -12,7 +12,7 @@ import (
 // steering, and is predicted and dropped with steering on — with no
 // false-positive drops of legitimate protocol traffic.
 func TestE8SteeringMasksInconsistency(t *testing.T) {
-	off := RunSteering(false, 15, 3)
+	off := RunSteering(false, 15, 3, 1)
 	if !off.ForgedDelivered || !off.CycleFormed {
 		t.Fatalf("without steering the attack should succeed: %+v", off)
 	}
@@ -20,7 +20,7 @@ func TestE8SteeringMasksInconsistency(t *testing.T) {
 		t.Fatalf("steering disabled but messages dropped: %+v", off)
 	}
 
-	on := RunSteering(true, 15, 3)
+	on := RunSteering(true, 15, 3, 1)
 	if on.ForgedDelivered || on.CycleFormed {
 		t.Fatalf("steering failed to mask the inconsistency: %+v", on)
 	}

@@ -34,6 +34,8 @@ type ExperimentConfig struct {
 	Policy    Policy
 	// GrantK is how many introductions the tracker returns per request.
 	GrantK int
+	// LookaheadWorkers sizes the worker pool of every runtime lookahead.
+	LookaheadWorkers int
 }
 
 func (c *ExperimentConfig) fill() {
@@ -97,7 +99,7 @@ func Run(cfg ExperimentConfig) Result {
 		}
 	}
 
-	ccfg := core.Config{}
+	ccfg := core.Config{LookaheadWorkers: cfg.LookaheadWorkers}
 	switch cfg.Policy {
 	case PolicyRandom:
 		ccfg.NewResolver = func(*core.Node) core.Resolver { return core.Random{} }

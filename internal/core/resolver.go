@@ -120,6 +120,14 @@ type Predictive struct {
 	// PredictionLatency models how long the background prediction takes.
 	// Default 10ms.
 	PredictionLatency time.Duration
+	// Workers sizes the exploration worker pool per candidate
+	// evaluation. Zero falls back to the cluster's LookaheadWorkers;
+	// values <= 1 keep the deterministic sequential engine.
+	Workers int
+	// Strategy overrides the exploration strategy per candidate
+	// evaluation. Nil falls back to the cluster's LookaheadStrategy,
+	// then to the causal-chain default.
+	Strategy explore.Strategy
 }
 
 // NewPredictive returns a Predictive resolver with default bounds.
@@ -256,7 +264,20 @@ func (p *Predictive) resolveAsync(n *Node, c sm.Choice, base sm.Service) int {
 }
 
 func (p *Predictive) evaluate(n *Node, c sm.Choice, base sm.Service, ev *pendingEvent, candidate int, obj explore.Objective) float64 {
+	workers := p.Workers
+	if workers == 0 {
+		workers = n.cluster.cfg.LookaheadWorkers
+	}
+	strategy := p.Strategy
+	if strategy == nil {
+		strategy = n.cluster.cfg.LookaheadStrategy
+	}
 	policy := explore.ForceFirst(n.id, c.Name, candidate, explore.RandomPolicy(n.lookRng))
+	if workers > 1 {
+		// ForceFirst's latch and the rng are shared by every forked
+		// world; serialize them across the worker pool.
+		policy = explore.Locked(policy)
+	}
 	w := n.model.BuildWorld(base.Clone(), time.Duration(n.cluster.eng.Now()), policy, n.lookSeed)
 	n.lookSeed++
 	if ev != nil {
@@ -266,6 +287,8 @@ func (p *Predictive) evaluate(n *Node, c sm.Choice, base sm.Service, ev *pending
 	x.MaxStates = p.MaxStates
 	x.Properties = n.cluster.cfg.Properties
 	x.Objective = obj
+	x.Workers = workers
+	x.Strategy = strategy
 	r := x.Explore(w)
 	n.stats.LookaheadStates += uint64(r.StatesExplored)
 	score := r.MeanScore

@@ -44,6 +44,14 @@ type Config struct {
 	// prediction. Defaults 3 / 128.
 	SteeringDepth     int
 	SteeringMaxStates int
+	// LookaheadWorkers sizes the worker pool of every explorer the
+	// runtime creates (steering checks and predictive resolution).
+	// Values <= 1 keep the deterministic sequential engine.
+	LookaheadWorkers int
+	// LookaheadStrategy overrides the exploration strategy for runtime
+	// lookaheads. Nil means the paper's causal-chain search
+	// (explore.ChainDFS).
+	LookaheadStrategy explore.Strategy
 	// EnvelopeOverhead is added to every message's modeled size.
 	EnvelopeOverhead int
 	// Trace receives structured log entries (nil = discard).
@@ -416,9 +424,11 @@ func (n *Node) steerAway(msg *sm.Msg) bool {
 		x := explore.NewExplorer(cfg.SteeringDepth)
 		x.MaxStates = cfg.SteeringMaxStates
 		x.Properties = cfg.Properties
+		x.Workers = cfg.LookaheadWorkers
+		x.Strategy = cfg.LookaheadStrategy
 		return x
 	}
-	withMsg := n.model.BuildWorld(n.svc.Clone(), now, explore.RandomPolicy(n.lookRng), n.lookSeed)
+	withMsg := n.model.BuildWorld(n.svc.Clone(), now, n.lookPolicy(), n.lookSeed)
 	n.lookSeed++
 	cp := *msg
 	withMsg.InjectMessage(&cp)
@@ -429,7 +439,7 @@ func (n *Node) steerAway(msg *sm.Msg) bool {
 	}
 	// Only steer if the alternative (dropping the message) is not itself
 	// predicted to lead to a violation.
-	without := n.model.BuildWorld(n.svc.Clone(), now, explore.RandomPolicy(n.lookRng), n.lookSeed)
+	without := n.model.BuildWorld(n.svc.Clone(), now, n.lookPolicy(), n.lookSeed)
 	n.lookSeed++
 	rWithout := mkExplorer().Explore(without)
 	n.stats.LookaheadStates += uint64(rWithout.StatesExplored)
@@ -440,6 +450,17 @@ func (n *Node) steerAway(msg *sm.Msg) bool {
 	cfg.Trace.Add(now, int(n.id), "STEER drop %s from %v", msg.Kind, msg.Src)
 	n.cluster.net.BreakConnection(n.id, msg.Src)
 	return true
+}
+
+// lookPolicy returns the node's lookahead choice policy, serialized when
+// the lookahead explorer runs a parallel worker pool (the rng is stateful
+// and shared by every forked world).
+func (n *Node) lookPolicy() explore.ChoicePolicy {
+	p := explore.RandomPolicy(n.lookRng)
+	if n.cluster.cfg.LookaheadWorkers > 1 {
+		p = explore.Locked(p)
+	}
+	return p
 }
 
 func (n *Node) needsLookahead() bool {

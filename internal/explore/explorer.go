@@ -3,6 +3,7 @@ package explore
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"crystalchoice/internal/sm"
@@ -69,10 +70,19 @@ func (r *Report) Safe() bool { return len(r.Violations) == 0 }
 // nodes' actions, it starts one chain per enabled action and follows each
 // chain's consequences — the messages the previous step produced — which is
 // what lets CrystalBall look several levels into the future quickly.
+//
+// The engine is split into three layers: a Strategy decides the traversal
+// (ChainDFS, the default, preserves the causal-chain semantics; BFS and
+// RandomWalk trade it for scenario diversity), a scheduler drains the
+// strategy's frontier across Workers goroutines with per-worker report
+// shards and a shared digest set, and worlds fork copy-on-write so
+// branching costs pointer copies instead of deep clones.
 type Explorer struct {
 	// Depth bounds the length of each causal chain.
 	Depth int
-	// MaxStates bounds the total number of handler executions.
+	// MaxStates bounds the total number of handler executions. Parallel
+	// runs share the budget through an atomic counter and may overshoot
+	// by at most one state per worker.
 	MaxStates int
 	// Properties are checked on every explored state.
 	Properties []Property
@@ -83,7 +93,31 @@ type Explorer struct {
 	ExploreTimers bool
 	// DropBranches additionally explores dropping each initial datagram
 	// (loss branch). Off by default; chains grow quadratically with it.
+	// Loss branches are a causal-chain notion: only ChainDFS implements
+	// them, BFS and RandomWalk ignore the flag.
 	DropBranches bool
+	// Strategy selects the traversal. Nil means ChainDFS.
+	Strategy Strategy
+	// Workers sizes the scheduler's pool. Values <= 1 run sequentially
+	// and deterministically; with ChainDFS that reproduces the original
+	// engine's reports byte for byte. Parallel runs require the world's
+	// ChoicePolicy to be thread-safe — wrap stateful policies in Locked.
+	Workers int
+	// DeepClones forces eager full-world copies on every branch instead
+	// of copy-on-write forks. Only useful for measuring what COW buys.
+	DeepClones bool
+
+	// forceScheduler routes even Workers<=1 runs through the parallel
+	// scheduler machinery (tests assert it matches the sequential path).
+	forceScheduler bool
+}
+
+// fork branches a world for one exploration step.
+func (x *Explorer) fork(w *World) *World {
+	if x.DeepClones {
+		return w.DeepClone()
+	}
+	return w.Clone()
 }
 
 // NewExplorer returns an explorer with the given chain depth and a state
@@ -92,21 +126,13 @@ func NewExplorer(depth int) *Explorer {
 	return &Explorer{Depth: depth, MaxStates: 4096, ExploreTimers: true}
 }
 
-type action struct {
-	kind  byte // 'm' or 't'
-	msgIx int
-	node  NodeID
-	timer string
-	label string
-}
-
-func (x *Explorer) enabled(w *World) []action {
-	var acts []action
+func (x *Explorer) enabled(w *World) []Action {
+	var acts []Action
 	for i, m := range w.Inflight {
 		if w.Down[m.Dst] {
 			continue
 		}
-		acts = append(acts, action{kind: 'm', msgIx: i, label: m.String()})
+		acts = append(acts, Action{Kind: ActionMessage, MsgIx: i, Label: m.String()})
 	}
 	if x.ExploreTimers {
 		for _, id := range w.Nodes() {
@@ -119,45 +145,61 @@ func (x *Explorer) enabled(w *World) []action {
 					names = append(names, name)
 				}
 			}
-			// Deterministic order.
-			for i := 1; i < len(names); i++ {
-				for j := i; j > 0 && names[j] < names[j-1]; j-- {
-					names[j], names[j-1] = names[j-1], names[j]
-				}
-			}
+			sort.Strings(names) // deterministic order
 			for _, name := range names {
-				acts = append(acts, action{kind: 't', node: id, timer: name, label: fmt.Sprintf("%v!%s", id, name)})
+				acts = append(acts, Action{Kind: ActionTimer, Node: id, Timer: name, Label: fmt.Sprintf("%v!%s", id, name)})
 			}
 		}
 	}
 	return acts
 }
 
-// Explore runs consequence prediction from w. The world is not modified:
-// every branch works on clones.
+// Explore runs the configured strategy from w across the configured worker
+// pool. The start world is not modified: every branch works on
+// copy-on-write forks.
 func (x *Explorer) Explore(w *World) *Report {
-	r := &Report{MinScore: math.Inf(1), MaxScore: math.Inf(-1)}
-	seen := make(map[uint64]bool)
+	strat := x.Strategy
+	if strat == nil {
+		strat = ChainDFS{}
+	}
+	workers := x.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	budget := x.MaxStates
 	if budget <= 0 {
 		budget = 4096
 	}
-	x.check(w, r, nil, 0) // score the root state too
-	for _, a := range x.enabled(w) {
-		if r.scoreCount >= budget {
-			r.Truncated = true
-			break
+	ctx := &Ctx{x: x, root: w, budget: budget}
+	if workers == 1 && !x.forceScheduler {
+		ctx.seen = plainSeen{}
+	} else {
+		ctx.seen = newShardedSeen()
+	}
+	// Freeze before forking so concurrent root forks stay read-only on w.
+	w.Freeze()
+	frontier := strat.Roots(x, ctx, w)
+	if workers > len(frontier) && len(frontier) > 0 {
+		// More workers than frontier entries only helps strategies that
+		// grow the frontier; cap the pool for the chain strategy, whose
+		// frontier never grows.
+		if _, chain := strat.(ChainDFS); chain {
+			workers = len(frontier)
 		}
-		x.chain(w.Clone(), a, 1, r, seen, []string{a.label}, &budget)
-		// Loss branch: an unreliable message may simply never arrive.
-		if x.DropBranches && a.kind == 'm' && a.msgIx < len(w.Inflight) && w.Inflight[a.msgIx].Unreliable {
-			wc := w.Clone()
-			wc.Inflight = append(wc.Inflight[:a.msgIx:a.msgIx], wc.Inflight[a.msgIx+1:]...)
-			x.check(wc, r, []string{"drop " + a.label}, 1)
-			if 1 > r.MaxDepth {
-				r.MaxDepth = 1
-			}
-		}
+	}
+	reports := make([]*Report, workers)
+	for i := range reports {
+		reports[i] = &Report{MinScore: math.Inf(1), MaxScore: math.Inf(-1)}
+	}
+	x.check(ctx, w, reports[0], nil, 0) // score the root state too
+	if workers == 1 && !x.forceScheduler {
+		x.runSequential(ctx, strat, frontier, reports[0])
+	} else {
+		x.runParallel(ctx, strat, frontier, reports)
+	}
+	r := reports[0]
+	for _, o := range reports[1:] {
+		r.merge(o)
 	}
 	if r.scoreCount > 0 {
 		r.MeanScore = r.scoreSum / float64(r.scoreCount)
@@ -181,8 +223,9 @@ func (x *Explorer) IterativeExplore(w *World, maxDepth int, budget time.Duration
 	reached := 0
 	for d := 1; d <= maxDepth; d++ {
 		x.Depth = d
+		iterStart := time.Now()
 		r := x.Explore(w)
-		r.Elapsed = time.Until(deadline)
+		r.Elapsed = time.Since(iterStart)
 		best = r
 		reached = d
 		if r.MaxDepth < d {
@@ -197,53 +240,51 @@ func (x *Explorer) IterativeExplore(w *World, maxDepth int, budget time.Duration
 
 // chain executes action a on w (which the callee owns), then recurses on
 // the consequences of a plus any newly enabled timers on the acting node.
-func (x *Explorer) chain(w *World, a action, depth int, r *Report, seen map[uint64]bool, trace []string, budget *int) {
-	if r.scoreCount >= *budget {
+func (x *Explorer) chain(ctx *Ctx, w *World, a Action, depth int, r *Report, trace []string) {
+	if ctx.Exhausted() {
 		r.Truncated = true
 		return
 	}
 	var out []*actionRef
-	switch a.kind {
-	case 'm':
-		if a.msgIx >= len(w.Inflight) {
+	switch a.Kind {
+	case ActionMessage:
+		if a.MsgIx >= len(w.Inflight) {
 			return
 		}
-		if m := w.Inflight[a.msgIx]; w.Generic != nil {
+		if m := w.Inflight[a.MsgIx]; w.Generic != nil {
 			if _, modeled := w.Services[m.Dst]; !modeled {
-				x.genericDelivery(w, a.msgIx, depth, r, seen, trace, budget)
+				x.genericDelivery(ctx, w, a.MsgIx, depth, r, trace)
 				return
 			}
 		}
-		msgs := w.DeliverMessage(a.msgIx)
+		msgs := w.DeliverMessage(a.MsgIx)
 		out = consequences(w, msgs)
-	case 't':
-		msgs := w.FireTimer(a.node, a.timer)
+	case ActionTimer:
+		msgs := w.FireTimer(a.Node, a.Timer)
 		out = consequences(w, msgs)
 	}
 	if depth > r.MaxDepth {
 		r.MaxDepth = depth
 	}
-	x.check(w, r, trace, depth)
+	x.check(ctx, w, r, trace, depth)
 	if depth >= x.Depth {
 		return
 	}
-	d := w.Digest()
-	if seen[d] {
+	if ctx.Visit(w.Digest()) {
 		return
 	}
-	seen[d] = true
 	if len(out) == 0 {
 		return
 	}
 	for _, next := range out {
-		if r.scoreCount >= *budget {
+		if ctx.Exhausted() {
 			r.Truncated = true
 			return
 		}
-		// Locate the consequence message in the clone by identity of
+		// Locate the consequence message in the fork by identity of
 		// content: messages are immutable, so pointer equality survives
-		// Clone's shallow copy of Inflight.
-		wc := w.Clone()
+		// the fork's shared in-flight slice.
+		wc := x.fork(w)
 		ix := -1
 		for i, m := range wc.Inflight {
 			if m == next.msg {
@@ -254,26 +295,26 @@ func (x *Explorer) chain(w *World, a action, depth int, r *Report, seen map[uint
 		if next.msg != nil && ix == -1 {
 			continue // consumed on another branch bookkeeping path
 		}
-		var na action
+		var na Action
 		if next.msg != nil {
-			na = action{kind: 'm', msgIx: ix, label: next.msg.String()}
+			na = Action{Kind: ActionMessage, MsgIx: ix, Label: next.msg.String()}
 		} else {
-			na = action{kind: 't', node: next.node, timer: next.timer, label: fmt.Sprintf("%v!%s", next.node, next.timer)}
+			na = Action{Kind: ActionTimer, Node: next.node, Timer: next.timer, Label: fmt.Sprintf("%v!%s", next.node, next.timer)}
 		}
-		x.chain(wc, na, depth+1, r, seen, append(append([]string{}, trace...), na.label), budget)
+		x.chain(ctx, wc, na, depth+1, r, appendTrace(trace, na.Label))
 		// Loss branch: this consequence, if a datagram, may never arrive.
 		if x.DropBranches && next.msg != nil && next.msg.Unreliable {
-			wd := w.Clone()
+			wd := x.fork(w)
 			for i, m := range wd.Inflight {
 				if m == next.msg {
-					wd.Inflight = append(wd.Inflight[:i:i], wd.Inflight[i+1:]...)
+					wd.RemoveInflight(i)
 					break
 				}
 			}
 			if depth+1 > r.MaxDepth {
 				r.MaxDepth = depth + 1
 			}
-			x.check(wd, r, append(append([]string{}, trace...), "drop "+na.label), depth+1)
+			x.check(ctx, wd, r, appendTrace(trace, "drop "+na.Label), depth+1)
 		}
 	}
 }
@@ -281,32 +322,30 @@ func (x *Explorer) chain(w *World, a action, depth int, r *Report, seen map[uint
 // genericDelivery handles a message addressed to an under-specified node
 // (paper §3.3.2): the explorer branches over the generic node staying
 // silent and over each reaction the installed GenericModel enumerates.
-func (x *Explorer) genericDelivery(w *World, ix, depth int, r *Report, seen map[uint64]bool, trace []string, budget *int) {
+func (x *Explorer) genericDelivery(ctx *Ctx, w *World, ix, depth int, r *Report, trace []string) {
 	m := w.Inflight[ix]
-	w.Inflight = append(w.Inflight[:ix:ix], w.Inflight[ix+1:]...)
+	w.RemoveInflight(ix)
 	if depth > r.MaxDepth {
 		r.MaxDepth = depth
 	}
 	// Silent branch: the unknown node absorbs the message.
-	x.check(w, r, append(append([]string{}, trace...), "generic-silent"), depth)
+	x.check(ctx, w, r, appendTrace(trace, "generic-silent"), depth)
 	if depth >= x.Depth {
 		return
 	}
-	d := w.Digest()
-	if seen[d] {
+	if ctx.Visit(w.Digest()) {
 		return
 	}
-	seen[d] = true
 	for bi, reaction := range w.Generic.Reactions(m) {
-		if r.scoreCount >= *budget {
+		if ctx.Exhausted() {
 			r.Truncated = true
 			return
 		}
-		wc := w.Clone()
+		wc := x.fork(w)
 		injected := make([]*sm.Msg, 0, len(reaction))
 		for _, rm := range reaction {
 			cp := *rm // models hand out templates; never share pointers
-			wc.Inflight = append(wc.Inflight, &cp)
+			wc.InjectMessage(&cp)
 			injected = append(injected, &cp)
 		}
 		label := fmt.Sprintf("generic-react#%d", bi)
@@ -321,9 +360,9 @@ func (x *Explorer) genericDelivery(w *World, ix, depth int, r *Report, seen map[
 			if ixc < 0 {
 				continue
 			}
-			na := action{kind: 'm', msgIx: ixc, label: im.String()}
-			x.chain(wc.Clone(), na, depth+1, r, seen,
-				append(append([]string{}, trace...), label, na.label), budget)
+			na := Action{Kind: ActionMessage, MsgIx: ixc, Label: im.String()}
+			x.chain(ctx, x.fork(wc), na, depth+1, r,
+				append(appendTrace(trace, label), na.Label))
 		}
 	}
 }
@@ -349,7 +388,10 @@ func consequences(w *World, msgs []*sm.Msg) []*actionRef {
 	return out
 }
 
-func (x *Explorer) check(w *World, r *Report, trace []string, depth int) {
+// check scores one reached state into the worker's report shard and the
+// run's global budget counter.
+func (x *Explorer) check(ctx *Ctx, w *World, r *Report, trace []string, depth int) {
+	ctx.count.Add(1)
 	r.StatesExplored++
 	for _, p := range x.Properties {
 		if p.Check != nil && !p.Check(w) {

@@ -1,0 +1,159 @@
+package explore
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Ctx is the state one Explore run shares across its workers: the frozen
+// start world, the global handler-execution budget, and the cross-worker
+// digest deduplication set.
+type Ctx struct {
+	x      *Explorer
+	root   *World
+	budget int
+	count  atomic.Int64
+	seen   seenSet
+}
+
+// Root returns the frozen start world of the run. Strategies may fork it
+// (copy-on-write) but must never mutate it.
+func (c *Ctx) Root() *World { return c.root }
+
+// Exhausted reports whether the run's state budget is spent.
+func (c *Ctx) Exhausted() bool { return c.count.Load() >= int64(c.budget) }
+
+// Visit records the digest of a reached state, reporting true when it was
+// already recorded — the caller then prunes the duplicate subtree.
+func (c *Ctx) Visit(d uint64) bool { return c.seen.visit(d) }
+
+// seenSet records visited state digests. The sequential engine uses a
+// plain map; the parallel engine a sharded locked map.
+type seenSet interface {
+	visit(d uint64) bool
+}
+
+type plainSeen map[uint64]bool
+
+func (s plainSeen) visit(d uint64) bool {
+	if s[d] {
+		return true
+	}
+	s[d] = true
+	return false
+}
+
+// seenShards is sized to keep shard-lock contention negligible at any
+// plausible core count.
+const seenShards = 64
+
+type shardedSeen struct {
+	shards [seenShards]struct {
+		mu sync.Mutex
+		m  map[uint64]struct{}
+		// Pad to a cache line so neighboring shard locks do not false-share.
+		_ [40]byte
+	}
+}
+
+func newShardedSeen() *shardedSeen {
+	s := &shardedSeen{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[uint64]struct{})
+	}
+	return s
+}
+
+func (s *shardedSeen) visit(d uint64) bool {
+	sh := &s.shards[((d>>32)^d)&(seenShards-1)]
+	sh.mu.Lock()
+	_, ok := sh.m[d]
+	if !ok {
+		sh.m[d] = struct{}{}
+	}
+	sh.mu.Unlock()
+	return ok
+}
+
+// runSequential drains the frontier on the calling goroutine in FIFO
+// order, accumulating into a single report — with the ChainDFS strategy
+// this is step-for-step the original recursive engine.
+func (x *Explorer) runSequential(ctx *Ctx, strat Strategy, frontier []Unit, r *Report) {
+	for len(frontier) > 0 {
+		if ctx.Exhausted() {
+			r.Truncated = true
+			return
+		}
+		u := frontier[0]
+		frontier = frontier[1:]
+		frontier = append(frontier, strat.Expand(x, ctx, u, r)...)
+	}
+}
+
+// runParallel drains the frontier with a pool of workers sharing one
+// locked queue. Each worker accumulates into its own report shard;
+// `pending` counts queued plus in-expansion units, so the pool terminates
+// exactly when the frontier is drained and no expansion is outstanding.
+func (x *Explorer) runParallel(ctx *Ctx, strat Strategy, frontier []Unit, reports []*Report) {
+	var (
+		mu      sync.Mutex
+		cond    = sync.NewCond(&mu)
+		queue   = frontier
+		pending = len(frontier)
+		wg      sync.WaitGroup
+	)
+	for wi := range reports {
+		r := reports[wi]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for len(queue) == 0 && pending > 0 {
+					cond.Wait()
+				}
+				if len(queue) == 0 {
+					mu.Unlock()
+					return
+				}
+				u := queue[0]
+				queue = queue[1:]
+				mu.Unlock()
+
+				var succ []Unit
+				if ctx.Exhausted() {
+					r.Truncated = true
+				} else {
+					succ = strat.Expand(x, ctx, u, r)
+				}
+
+				mu.Lock()
+				queue = append(queue, succ...)
+				pending += len(succ) - 1
+				if pending == 0 || len(succ) > 0 {
+					cond.Broadcast()
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// merge folds a worker's report shard into r.
+func (r *Report) merge(o *Report) {
+	r.StatesExplored += o.StatesExplored
+	if o.MaxDepth > r.MaxDepth {
+		r.MaxDepth = o.MaxDepth
+	}
+	r.Violations = append(r.Violations, o.Violations...)
+	if o.MinScore < r.MinScore {
+		r.MinScore = o.MinScore
+	}
+	if o.MaxScore > r.MaxScore {
+		r.MaxScore = o.MaxScore
+	}
+	r.scoreSum += o.scoreSum
+	r.scoreCount += o.scoreCount
+	r.Truncated = r.Truncated || o.Truncated
+}

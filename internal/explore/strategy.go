@@ -1,0 +1,233 @@
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Action is one executable step in a world: the delivery of an in-flight
+// message or the firing of a pending timer.
+type Action struct {
+	Kind  byte // ActionMessage or ActionTimer
+	MsgIx int
+	Node  NodeID
+	Timer string
+	Label string
+}
+
+// Action kinds.
+const (
+	ActionMessage byte = 'm'
+	ActionTimer   byte = 't'
+)
+
+// Unit is one schedulable piece of exploration work: a world owned by the
+// unit plus the step to take in it. Strategies produce units; the
+// scheduler distributes them over the worker pool.
+type Unit struct {
+	World *World
+	Act   Action
+	Depth int
+	Trace []string
+	// Seed parameterizes strategies that randomize per unit (RandomWalk).
+	Seed int64
+}
+
+// Strategy decides the shape of the search: how the initial frontier is
+// seeded from the start world and how one unit of work expands into
+// successors. The scheduler (Explorer.Explore) owns the frontier and the
+// worker pool; strategies own the traversal semantics.
+//
+// Expand records everything it explores into r, the invoking worker's
+// report shard; shards are merged after the frontier drains.
+type Strategy interface {
+	Name() string
+	// Roots seeds the frontier from the start world. Each unit must own
+	// its world (fork it from w).
+	Roots(x *Explorer, ctx *Ctx, w *World) []Unit
+	// Expand processes one unit and returns successor units, if any.
+	Expand(x *Explorer, ctx *Ctx, u Unit, r *Report) []Unit
+}
+
+// ParseStrategy resolves a strategy by its command-line name.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "", "chaindfs", "chain":
+		return ChainDFS{}, nil
+	case "bfs":
+		return BFS{}, nil
+	case "randomwalk", "walk":
+		return RandomWalk{}, nil
+	}
+	return nil, fmt.Errorf("unknown exploration strategy %q (chaindfs|bfs|randomwalk)", name)
+}
+
+// ChainDFS is the paper's consequence prediction (§2) and the default
+// strategy: one frontier unit per initially enabled action, each expanded
+// by following the chain of that action's causal consequences
+// depth-first. With Workers=1 it reproduces the original sequential
+// engine's reports byte for byte.
+type ChainDFS struct{}
+
+// Name returns "chaindfs".
+func (ChainDFS) Name() string { return "chaindfs" }
+
+// Roots yields one unit per enabled action in the start world.
+func (ChainDFS) Roots(x *Explorer, ctx *Ctx, w *World) []Unit {
+	acts := x.enabled(w)
+	units := make([]Unit, 0, len(acts))
+	for _, a := range acts {
+		units = append(units, Unit{World: x.fork(w), Act: a, Depth: 1, Trace: []string{a.Label}})
+	}
+	return units
+}
+
+// Expand follows the unit's causal chain to the depth bound, then takes
+// the root-level loss branch for unreliable datagrams when DropBranches is
+// on. Chains recurse internally, so no successor units are produced.
+func (ChainDFS) Expand(x *Explorer, ctx *Ctx, u Unit, r *Report) []Unit {
+	x.chain(ctx, u.World, u.Act, u.Depth, r, u.Trace)
+	// Loss branch: an unreliable message may simply never arrive.
+	root := ctx.root
+	if x.DropBranches && u.Act.Kind == ActionMessage && u.Act.MsgIx < len(root.Inflight) && root.Inflight[u.Act.MsgIx].Unreliable {
+		wd := x.fork(root)
+		wd.RemoveInflight(u.Act.MsgIx)
+		x.check(ctx, wd, r, []string{"drop " + u.Act.Label}, 1)
+		if 1 > r.MaxDepth {
+			r.MaxDepth = 1
+		}
+	}
+	return nil
+}
+
+// BFS explores the full interleaving space breadth-first: every enabled
+// action of every reached state becomes a frontier unit. Unlike ChainDFS
+// it interleaves unrelated events, reaching states no single causal chain
+// produces — more scenario diversity per depth level at a much higher
+// branching factor, so pair it with a budget. Messages to generic nodes
+// are absorbed silently (no reaction branching).
+type BFS struct{}
+
+// Name returns "bfs".
+func (BFS) Name() string { return "bfs" }
+
+// Roots yields one unit per enabled action in the start world.
+func (BFS) Roots(x *Explorer, ctx *Ctx, w *World) []Unit {
+	acts := x.enabled(w)
+	units := make([]Unit, 0, len(acts))
+	for _, a := range acts {
+		units = append(units, Unit{World: x.fork(w), Act: a, Depth: 1, Trace: []string{a.Label}})
+	}
+	return units
+}
+
+// Expand executes the unit's action and fans out every enabled action of
+// the resulting state as successors, deduplicating via the shared digest
+// set.
+func (BFS) Expand(x *Explorer, ctx *Ctx, u Unit, r *Report) []Unit {
+	w := u.World
+	switch u.Act.Kind {
+	case ActionMessage:
+		if u.Act.MsgIx >= len(w.Inflight) {
+			return nil
+		}
+		w.DeliverMessage(u.Act.MsgIx)
+	case ActionTimer:
+		w.FireTimer(u.Act.Node, u.Act.Timer)
+	}
+	if u.Depth > r.MaxDepth {
+		r.MaxDepth = u.Depth
+	}
+	x.check(ctx, w, r, u.Trace, u.Depth)
+	if u.Depth >= x.Depth {
+		return nil
+	}
+	if ctx.Visit(w.Digest()) {
+		return nil
+	}
+	acts := x.enabled(w)
+	succ := make([]Unit, 0, len(acts))
+	for _, a := range acts {
+		succ = append(succ, Unit{World: x.fork(w), Act: a, Depth: u.Depth + 1,
+			Trace: appendTrace(u.Trace, a.Label)})
+	}
+	return succ
+}
+
+// RandomWalk runs independent random trajectories through the state
+// space: each unit follows one uniformly random enabled action per step to
+// the depth bound. Walks sample deep scenarios a bounded exhaustive search
+// cannot reach, and parallelize embarrassingly. Each walk carries its own
+// rng, so as long as the MaxStates budget does not bind, results are
+// deterministic for a fixed (Seed, Walks) pair regardless of worker
+// count; once the shared budget runs out mid-walk, which steps land under
+// it depends on worker interleaving.
+type RandomWalk struct {
+	// Walks is the number of trajectories. Default: twice the enabled
+	// actions of the start world.
+	Walks int
+	// Seed bases each walk's private rng (walk i uses Seed+i). Default:
+	// the start world's seed.
+	Seed int64
+}
+
+// Name returns "randomwalk".
+func (RandomWalk) Name() string { return "randomwalk" }
+
+// Roots yields Walks units, each owning a fork of the start world and a
+// distinct rng seed.
+func (s RandomWalk) Roots(x *Explorer, ctx *Ctx, w *World) []Unit {
+	n := s.Walks
+	if n <= 0 {
+		n = 2 * len(x.enabled(w))
+	}
+	seed := s.Seed
+	if seed == 0 {
+		seed = w.Seed
+	}
+	units := make([]Unit, 0, n)
+	for i := 0; i < n; i++ {
+		units = append(units, Unit{World: x.fork(w), Depth: 1, Seed: seed + int64(i)})
+	}
+	return units
+}
+
+// Expand runs the unit's whole trajectory inline. Walks deliberately skip
+// digest deduplication: revisiting states on different paths is what makes
+// the sample unbiased.
+func (RandomWalk) Expand(x *Explorer, ctx *Ctx, u Unit, r *Report) []Unit {
+	rng := rand.New(rand.NewSource(u.Seed*2654435761 + 1))
+	w := u.World
+	trace := u.Trace
+	for depth := u.Depth; depth <= x.Depth; depth++ {
+		if ctx.Exhausted() {
+			r.Truncated = true
+			return nil
+		}
+		acts := x.enabled(w)
+		if len(acts) == 0 {
+			return nil
+		}
+		a := acts[rng.Intn(len(acts))]
+		switch a.Kind {
+		case ActionMessage:
+			w.DeliverMessage(a.MsgIx)
+		case ActionTimer:
+			w.FireTimer(a.Node, a.Timer)
+		}
+		trace = appendTrace(trace, a.Label)
+		if depth > r.MaxDepth {
+			r.MaxDepth = depth
+		}
+		x.check(ctx, w, r, trace, depth)
+	}
+	return nil
+}
+
+// appendTrace extends a trace without aliasing the parent's backing array
+// (sibling units extend the same prefix).
+func appendTrace(trace []string, label string) []string {
+	out := make([]string, 0, len(trace)+1)
+	out = append(out, trace...)
+	return append(out, label)
+}

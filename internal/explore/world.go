@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"crystalchoice/internal/sm"
@@ -55,6 +56,19 @@ func ForceFirst(node NodeID, name string, idx int, base ChoicePolicy) ChoicePoli
 	}
 }
 
+// Locked serializes a choice policy behind a mutex. Stateful policies
+// (RandomPolicy's rng, ForceFirst's latch) are shared by every world forked
+// from the start world, so a parallel exploration (Explorer.Workers > 1)
+// must wrap them to stay race-free.
+func Locked(p ChoicePolicy) ChoicePolicy {
+	var mu sync.Mutex
+	return func(n NodeID, c sm.Choice, seq int) int {
+		mu.Lock()
+		defer mu.Unlock()
+		return p(n, c, seq)
+	}
+}
+
 // World is a global state the explorer can fork and evolve. Worlds own
 // their services: constructing a World must hand it clones, never live
 // service state.
@@ -72,6 +86,16 @@ type World struct {
 	Generic GenericModel
 
 	rngs map[NodeID]*rand.Rand
+
+	// Copy-on-write bookkeeping. A world forked with Clone shares its
+	// services, per-node timer sets, and in-flight slice with its parent
+	// until either side writes; the owned* sets record which pieces this
+	// world has already forked for itself. cow == false means the world
+	// was never forked and owns everything outright.
+	cow           bool
+	ownedSvc      map[NodeID]bool
+	ownedTimers   map[NodeID]bool
+	inflightOwned bool
 }
 
 // NewWorld returns an empty world with the given choice policy and seed.
@@ -97,10 +121,49 @@ func (w *World) AddNode(id NodeID, svc sm.Service) {
 	}
 }
 
-// Clone deep-copies the world. The choice policy is shared (policies are
-// expected to be either stateless or installed fresh per exploration
-// branch via WithPolicy).
+// Clone forks the world copy-on-write: the fork shares the parent's
+// service states, per-node timer sets, and in-flight slice, and each side
+// copies a piece only immediately before first writing to it. This makes
+// forking a branch O(nodes) pointer copies instead of a deep copy of every
+// service, which dominates exploration cost. The choice policy is shared
+// (policies are expected to be either stateless or installed fresh per
+// exploration branch via WithPolicy).
 func (w *World) Clone() *World {
+	c := &World{
+		Services: make(map[NodeID]sm.Service, len(w.Services)),
+		Inflight: w.Inflight, // shared; messages are immutable once in flight
+		Timers:   make(map[NodeID]map[string]bool, len(w.Timers)),
+		Down:     make(map[NodeID]bool, len(w.Down)),
+		Now:      w.Now,
+		Policy:   w.Policy,
+		Seed:     w.Seed + 1,
+		Generic:  w.Generic,
+		cow:      true,
+	}
+	for id, svc := range w.Services {
+		c.Services[id] = svc
+	}
+	for id, set := range w.Timers {
+		c.Timers[id] = set
+	}
+	for id, v := range w.Down {
+		c.Down[id] = v
+	}
+	// The parent now shares state with the fork, so it must also fork
+	// before its next write. Freeze is skipped when already shared-and-
+	// unowned so that concurrent Clones of a frozen world stay read-only.
+	if !w.cow || len(w.ownedSvc) > 0 || len(w.ownedTimers) > 0 || w.inflightOwned {
+		w.Freeze()
+	}
+	return c
+}
+
+// DeepClone copies the world eagerly — every service cloned, every timer
+// set duplicated, the in-flight slice reallocated. The exploration engine
+// uses copy-on-write forks instead (see Clone); DeepClone remains for
+// callers that want a fully detached world up front and for measuring what
+// copy-on-write buys (Explorer.DeepClones).
+func (w *World) DeepClone() *World {
 	c := &World{
 		Services: make(map[NodeID]sm.Service, len(w.Services)),
 		Inflight: make([]*sm.Msg, len(w.Inflight)),
@@ -114,7 +177,7 @@ func (w *World) Clone() *World {
 	for id, svc := range w.Services {
 		c.Services[id] = svc.Clone()
 	}
-	copy(c.Inflight, w.Inflight) // messages are immutable once in flight
+	copy(c.Inflight, w.Inflight)
 	for id, set := range w.Timers {
 		ts := make(map[string]bool, len(set))
 		for k, v := range set {
@@ -126,6 +189,90 @@ func (w *World) Clone() *World {
 		c.Down[id] = v
 	}
 	return c
+}
+
+// Freeze marks the world as shared so that every subsequent write forks
+// its target first. The scheduler freezes the start world once before
+// handing it to concurrent workers: Clone on a frozen world is then a
+// read-only operation and safe to call from several goroutines.
+func (w *World) Freeze() {
+	w.cow = true
+	w.ownedSvc = nil
+	w.ownedTimers = nil
+	w.inflightOwned = false
+}
+
+// ownService returns node id's service, forking it first if it is still
+// shared with another world. Callers about to execute a handler (which
+// mutates the service) must go through it.
+func (w *World) ownService(id NodeID) sm.Service {
+	svc := w.Services[id]
+	if svc == nil || !w.cow || w.ownedSvc[id] {
+		return svc
+	}
+	svc = svc.Clone()
+	w.Services[id] = svc
+	if w.ownedSvc == nil {
+		w.ownedSvc = make(map[NodeID]bool)
+	}
+	w.ownedSvc[id] = true
+	return svc
+}
+
+// ownTimers returns node id's timer set ready for mutation, forking a
+// shared set and materializing a missing one.
+func (w *World) ownTimers(id NodeID) map[string]bool {
+	set := w.Timers[id]
+	if set == nil {
+		set = make(map[string]bool)
+		w.Timers[id] = set
+		if w.cow {
+			if w.ownedTimers == nil {
+				w.ownedTimers = make(map[NodeID]bool)
+			}
+			w.ownedTimers[id] = true
+		}
+		return set
+	}
+	if !w.cow || w.ownedTimers[id] {
+		return set
+	}
+	cp := make(map[string]bool, len(set))
+	for k, v := range set {
+		cp[k] = v
+	}
+	w.Timers[id] = cp
+	if w.ownedTimers == nil {
+		w.ownedTimers = make(map[NodeID]bool)
+	}
+	w.ownedTimers[id] = true
+	return cp
+}
+
+// ownInflight forks the in-flight slice if it is still shared, so appends
+// cannot write into a sibling world's backing array.
+func (w *World) ownInflight() {
+	if !w.cow || w.inflightOwned {
+		return
+	}
+	cp := make([]*sm.Msg, len(w.Inflight))
+	copy(cp, w.Inflight)
+	w.Inflight = cp
+	w.inflightOwned = true
+}
+
+// RemoveInflight deletes the in-flight message at index i. Removal is safe
+// on a shared in-flight set: the full-slice expression caps the prefix at
+// len == cap, so appending a non-empty tail always reallocates. Appending
+// an empty tail (i was the last index) returns the capped prefix itself —
+// still never writable in place, but aliasing whatever backing array the
+// slice had, so ownership is only claimed when a fresh array was made.
+func (w *World) RemoveInflight(i int) {
+	rest := w.Inflight[i+1:]
+	w.Inflight = append(w.Inflight[:i:i], rest...)
+	if len(rest) > 0 {
+		w.inflightOwned = true
+	}
 }
 
 // WithPolicy returns the world itself after swapping the choice policy.
@@ -230,15 +377,15 @@ func (e *worldEnv) SendDatagram(dst NodeID, kind string, body any, size int) {
 }
 
 func (e *worldEnv) SetTimer(name string, d time.Duration) {
-	if e.w.Timers[e.id] == nil {
-		e.w.Timers[e.id] = make(map[string]bool)
+	if e.w.Timers[e.id][name] {
+		return // already pending: avoid forking a shared set for a no-op
 	}
-	e.w.Timers[e.id][name] = true
+	e.w.ownTimers(e.id)[name] = true
 }
 
 func (e *worldEnv) CancelTimer(name string) {
-	if set := e.w.Timers[e.id]; set != nil {
-		delete(set, name)
+	if set := e.w.Timers[e.id]; set != nil && set[name] {
+		delete(e.w.ownTimers(e.id), name)
 	}
 }
 
@@ -268,11 +415,11 @@ func (e *worldEnv) Choose(c sm.Choice) int {
 // It reports the produced messages.
 func (w *World) DeliverMessage(i int) []*sm.Msg {
 	m := w.Inflight[i]
-	w.Inflight = append(w.Inflight[:i:i], w.Inflight[i+1:]...)
+	w.RemoveInflight(i)
 	if w.Down[m.Dst] {
 		return nil
 	}
-	svc := w.Services[m.Dst]
+	svc := w.ownService(m.Dst)
 	if svc == nil {
 		return nil
 	}
@@ -285,13 +432,13 @@ func (w *World) DeliverMessage(i int) []*sm.Msg {
 // FireTimer executes node id's named timer handler, clearing its pending
 // flag, and returns the messages produced.
 func (w *World) FireTimer(id NodeID, name string) []*sm.Msg {
-	if set := w.Timers[id]; set != nil {
-		delete(set, name)
+	if set := w.Timers[id]; set != nil && set[name] {
+		delete(w.ownTimers(id), name)
 	}
 	if w.Down[id] {
 		return nil
 	}
-	svc := w.Services[id]
+	svc := w.ownService(id)
 	if svc == nil {
 		return nil
 	}
@@ -303,7 +450,10 @@ func (w *World) FireTimer(id NodeID, name string) []*sm.Msg {
 
 // InjectMessage places a message into the in-flight set without executing
 // anything, e.g. the triggering event of a lookahead.
-func (w *World) InjectMessage(m *sm.Msg) { w.Inflight = append(w.Inflight, m) }
+func (w *World) InjectMessage(m *sm.Msg) {
+	w.ownInflight()
+	w.Inflight = append(w.Inflight, m)
+}
 
 func (w *World) absorb(msgs []*sm.Msg) {
 	for _, m := range msgs {
@@ -313,6 +463,7 @@ func (w *World) absorb(msgs []*sm.Msg) {
 			// under-modeling).
 			continue
 		}
+		w.ownInflight()
 		w.Inflight = append(w.Inflight, m)
 	}
 }
