@@ -1,0 +1,24 @@
+# Developer entry points. CI runs the same steps (.github/workflows/ci.yml).
+
+N ?= 0
+BENCHTIME ?= 1s
+
+.PHONY: test race bench bench-json vet
+
+vet:
+	go vet ./...
+
+test:
+	go build ./... && go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) .
+
+# bench-json snapshots the E1–E12 benchmark suite into BENCH_$(N).json so
+# performance trajectories across PRs stay diffable. Example:
+#   make bench-json N=2
+bench-json:
+	go run ./cmd/benchjson -n $(N) -benchtime $(BENCHTIME)

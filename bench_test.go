@@ -91,6 +91,7 @@ func BenchmarkE4ConsequencePrediction(b *testing.B) {
 	for _, depth := range []int{2, 4, 6, 8} {
 		depth := depth
 		b.Run(time.Duration(depth).String()[:1]+"levels", func(b *testing.B) {
+			b.ReportAllocs()
 			states := 0
 			for i := 0; i < b.N; i++ {
 				x := explore.NewExplorer(depth)
@@ -142,6 +143,7 @@ func BenchmarkE10ParallelPrediction(b *testing.B) {
 	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
 		workers := workers
 		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			// Exploration never mutates the start world, so one world
 			// serves every iteration and setup stays out of the window.
 			w := mkTreeWorld()
@@ -179,6 +181,31 @@ func BenchmarkE11CloneStrategy(b *testing.B) {
 				x := explore.NewExplorer(6)
 				x.MaxStates = 1 << 20
 				x.DeepClones = mode == "deepclone"
+				r := x.Explore(w)
+				states += r.StatesExplored
+			}
+			b.ReportMetric(float64(states)/float64(b.N), "states/op")
+		})
+	}
+}
+
+// BenchmarkE12IncrementalDigest measures O(delta) state hashing: the same
+// consequence prediction deduplicated with the maintained incremental
+// world digest versus the from-scratch recomputation ablation
+// (Explorer.FullDigests). Run with -benchmem: the incremental path is the
+// allocation-free one.
+func BenchmarkE12IncrementalDigest(b *testing.B) {
+	for _, mode := range []string{"incremental", "full"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			w := mkTreeWorld()
+			b.ResetTimer()
+			states := 0
+			for i := 0; i < b.N; i++ {
+				x := explore.NewExplorer(6)
+				x.MaxStates = 1 << 20
+				x.FullDigests = mode == "full"
 				r := x.Explore(w)
 				states += r.StatesExplored
 			}

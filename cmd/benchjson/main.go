@@ -1,0 +1,167 @@
+// Command benchjson runs the repository's benchmark suite (experiments
+// E1–E12) and emits a machine-readable BENCH_<n>.json snapshot: ns/op,
+// B/op, allocs/op, and every custom b.ReportMetric quantity (states/op,
+// states/sec, ...), grouped by experiment. Successive PRs archive these
+// files (the CI workflow uploads one per run) so performance trajectories
+// — regressions and wins alike — are diffable instead of anecdotal.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson [-n 2] [-bench .] [-benchtime 1x] [-out FILE]
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson -stdin
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	// Name is the full benchmark name including sub-benchmarks, with the
+	// trailing -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Experiment is the E<n> tag parsed from the name, e.g. "E4".
+	Experiment string  `json:"experiment,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present when run with -benchmem.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds the custom b.ReportMetric quantities (states/op,
+	// states/sec, max-depth, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the emitted file.
+type Snapshot struct {
+	Sequence  string   `json:"sequence"`
+	Generated string   `json:"generated"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Bench     string   `json:"bench"`
+	BenchTime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+	metricPat = regexp.MustCompile(`([\d.e+-]+) (\S+)`)
+	expPat    = regexp.MustCompile(`^BenchmarkE(\d+)`)
+)
+
+func parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		res := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if e := expPat.FindStringSubmatch(m[1]); e != nil {
+			res.Experiment = "E" + e[1]
+		}
+		for _, mm := range metricPat.FindAllStringSubmatch(m[4], -1) {
+			v, err := strconv.ParseFloat(mm[1], 64)
+			if err != nil {
+				continue
+			}
+			switch mm[2] {
+			case "B/op":
+				res.BytesPerOp = &v
+			case "allocs/op":
+				res.AllocsPerOp = &v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[mm[2]] = v
+			}
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	seq := flag.String("n", "0", "sequence number used in the default output name BENCH_<n>.json")
+	bench := flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "1x", "benchtime passed to go test (1x = smoke, 1s = stable numbers)")
+	out := flag.String("out", "", "output path (default BENCH_<n>.json)")
+	stdin := flag.Bool("stdin", false, "parse benchmark output from stdin instead of running go test")
+	pkg := flag.String("pkg", ".", "package pattern to benchmark")
+	flag.Parse()
+
+	var (
+		raw []byte
+		err error
+	)
+	if *stdin {
+		raw, err = io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench,
+			"-benchmem", "-benchtime", *benchtime, *pkg)
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n%s", err, buf.String())
+			os.Exit(1)
+		}
+		raw = buf.Bytes()
+	}
+
+	results, err := parse(bytes.NewReader(raw))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parse: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found")
+		os.Exit(1)
+	}
+	snap := Snapshot{
+		Sequence:  *seq,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Bench:     *bench,
+		BenchTime: *benchtime,
+		Results:   results,
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + strings.ReplaceAll(*seq, string(os.PathSeparator), "_") + ".json"
+	}
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: encode: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d results to %s\n", len(results), path)
+}

@@ -27,6 +27,7 @@ func main() {
 	inject := flag.Bool("inject-cycle", false, "inject a forged parent-cycle message before exploring")
 	workers := flag.Int("workers", 1, "exploration worker pool size (0 = GOMAXPROCS)")
 	strategyName := flag.String("strategy", "chaindfs", "exploration strategy: chaindfs | bfs | randomwalk")
+	fullDigests := flag.Bool("fulldigests", false, "dedup with from-scratch world digests instead of incremental (ablation)")
 	flag.Parse()
 
 	if *n < 3 {
@@ -56,12 +57,12 @@ func main() {
 	for _, node := range e.Cluster.Nodes() {
 		w.AddNode(node.ID(), node.Service().Clone())
 		if node.Down() {
-			w.Down[node.ID()] = true
+			w.SetDown(node.ID(), true)
 		}
 		// The protocol's periodic timers are pending on every live node;
 		// exploring their firings is part of the near future.
 		for _, timer := range []string{"rt.hbSend", "rt.hbCheck", "rt.summarize"} {
-			w.Timers[node.ID()][timer] = true
+			w.SetTimerPending(node.ID(), timer)
 		}
 	}
 	if *inject {
@@ -80,6 +81,7 @@ func main() {
 	x.MaxStates = *budget
 	x.Workers = *workers
 	x.Strategy = strategy
+	x.FullDigests = *fullDigests
 	x.Properties = []explore.Property{
 		randtree.NoParentCycleProperty(),
 		randtree.DegreeBoundProperty(),

@@ -56,6 +56,9 @@ type ExperimentConfig struct {
 	SeedBandwidth float64
 	// LookaheadWorkers sizes the worker pool of every runtime lookahead.
 	LookaheadWorkers int
+	// LookaheadFullDigests disables incremental world digests in runtime
+	// lookaheads (ablation; see core.Config.LookaheadFullDigests).
+	LookaheadFullDigests bool
 }
 
 func (c *ExperimentConfig) fill() {
@@ -107,7 +110,7 @@ func Run(cfg ExperimentConfig) Result {
 		net.SetUploadCapacity(0, 4*cfg.SeedBandwidth)
 	}
 
-	ccfg := core.Config{LookaheadWorkers: cfg.LookaheadWorkers}
+	ccfg := core.Config{LookaheadWorkers: cfg.LookaheadWorkers, LookaheadFullDigests: cfg.LookaheadFullDigests}
 	switch cfg.Strategy {
 	case StrategyRandom:
 		ccfg.NewResolver = func(*core.Node) core.Resolver { return core.Random{} }

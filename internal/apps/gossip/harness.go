@@ -46,6 +46,9 @@ type ExperimentConfig struct {
 	Dynamic bool
 	// LookaheadWorkers sizes the worker pool of every runtime lookahead.
 	LookaheadWorkers int
+	// LookaheadFullDigests disables incremental world digests in runtime
+	// lookaheads (ablation; see core.Config.LookaheadFullDigests).
+	LookaheadFullDigests bool
 }
 
 func (c *ExperimentConfig) fill() {
@@ -97,7 +100,7 @@ func Run(cfg ExperimentConfig) Result {
 		dyn.Drive(func(d time.Duration, fn func()) { eng.Schedule(d, fn) }, 500*time.Millisecond)
 	}
 
-	ccfg := core.Config{LookaheadWorkers: cfg.LookaheadWorkers}
+	ccfg := core.Config{LookaheadWorkers: cfg.LookaheadWorkers, LookaheadFullDigests: cfg.LookaheadFullDigests}
 	switch cfg.Strategy {
 	case StrategyRandom:
 		ccfg.NewResolver = func(*core.Node) core.Resolver { return core.Random{} }

@@ -48,6 +48,9 @@ type ExperimentConfig struct {
 	WorkDelay time.Duration
 	// LookaheadWorkers sizes the worker pool of every runtime lookahead.
 	LookaheadWorkers int
+	// LookaheadFullDigests disables incremental world digests in runtime
+	// lookaheads (ablation; see core.Config.LookaheadFullDigests).
+	LookaheadFullDigests bool
 	Trace            *trace.Log
 }
 
@@ -148,7 +151,7 @@ func Run(cfg ExperimentConfig) Result {
 	plane := iplane.New(top, cfg.Seed+1)
 	plane.NoiseFrac = 0.05
 
-	ccfg := core.Config{Trace: cfg.Trace, LookaheadWorkers: cfg.LookaheadWorkers}
+	ccfg := core.Config{Trace: cfg.Trace, LookaheadWorkers: cfg.LookaheadWorkers, LookaheadFullDigests: cfg.LookaheadFullDigests}
 	switch cfg.Policy {
 	case PolicyFixed:
 		ccfg.NewResolver = func(*core.Node) core.Resolver { return core.First{} }

@@ -15,6 +15,7 @@
 package randtree
 
 import (
+	"slices"
 	"time"
 
 	"crystalchoice/internal/sm"
@@ -132,11 +133,12 @@ func (s *state) isRoot() bool { return s.ID == s.Root }
 
 // childIDs returns the children in ascending order.
 func (s *state) childIDs() []sm.NodeID {
-	set := make(map[sm.NodeID]bool, len(s.Children))
+	ids := make([]sm.NodeID, 0, len(s.Children))
 	for id := range s.Children {
-		set[id] = true
+		ids = append(ids, id)
 	}
-	return sm.SortedNodes(set)
+	slices.Sort(ids)
+	return ids
 }
 
 func (s *state) hasSpace() bool { return len(s.Children) < MaxChildren }

@@ -46,6 +46,9 @@ type ExperimentConfig struct {
 	// LookaheadWorkers sizes the worker pool of every runtime lookahead
 	// (consequence prediction and steering). <= 1 stays sequential.
 	LookaheadWorkers int
+	// LookaheadFullDigests disables incremental world digests in runtime
+	// lookaheads (ablation; see core.Config.LookaheadFullDigests).
+	LookaheadFullDigests bool
 	// Steering enables execution steering against Properties (E8).
 	Steering   bool
 	Properties []explore.Property
@@ -83,7 +86,7 @@ func NewExperiment(cfg ExperimentConfig) *Experiment {
 	top := netmodel.TransitStub(cfg.N, netmodel.DefaultInternetLike(), eng.Fork())
 	net := transport.New(eng, top)
 
-	ccfg := core.Config{Trace: cfg.Trace, LookaheadWorkers: cfg.LookaheadWorkers}
+	ccfg := core.Config{Trace: cfg.Trace, LookaheadWorkers: cfg.LookaheadWorkers, LookaheadFullDigests: cfg.LookaheadFullDigests}
 	switch cfg.Setup {
 	case SetupBaseline:
 		ccfg.NewResolver = func(*core.Node) core.Resolver { return core.First{} }

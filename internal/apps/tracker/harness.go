@@ -36,6 +36,9 @@ type ExperimentConfig struct {
 	GrantK int
 	// LookaheadWorkers sizes the worker pool of every runtime lookahead.
 	LookaheadWorkers int
+	// LookaheadFullDigests disables incremental world digests in runtime
+	// lookaheads (ablation; see core.Config.LookaheadFullDigests).
+	LookaheadFullDigests bool
 }
 
 func (c *ExperimentConfig) fill() {
@@ -99,7 +102,7 @@ func Run(cfg ExperimentConfig) Result {
 		}
 	}
 
-	ccfg := core.Config{LookaheadWorkers: cfg.LookaheadWorkers}
+	ccfg := core.Config{LookaheadWorkers: cfg.LookaheadWorkers, LookaheadFullDigests: cfg.LookaheadFullDigests}
 	switch cfg.Policy {
 	case PolicyRandom:
 		ccfg.NewResolver = func(*core.Node) core.Resolver { return core.Random{} }

@@ -128,6 +128,10 @@ type Predictive struct {
 	// evaluation. Nil falls back to the cluster's LookaheadStrategy,
 	// then to the causal-chain default.
 	Strategy explore.Strategy
+	// FullDigests forces from-scratch world digests during candidate
+	// evaluation (ablation; see Config.LookaheadFullDigests, which it
+	// is OR-ed with).
+	FullDigests bool
 }
 
 // NewPredictive returns a Predictive resolver with default bounds.
@@ -289,6 +293,7 @@ func (p *Predictive) evaluate(n *Node, c sm.Choice, base sm.Service, ev *pending
 	x.Objective = obj
 	x.Workers = workers
 	x.Strategy = strategy
+	x.FullDigests = p.FullDigests || n.cluster.cfg.LookaheadFullDigests
 	r := x.Explore(w)
 	n.stats.LookaheadStates += uint64(r.StatesExplored)
 	score := r.MeanScore

@@ -52,6 +52,11 @@ type Config struct {
 	// lookaheads. Nil means the paper's causal-chain search
 	// (explore.ChainDFS).
 	LookaheadStrategy explore.Strategy
+	// LookaheadFullDigests makes every runtime lookahead deduplicate
+	// states with from-scratch world digests instead of the maintained
+	// incremental ones — the ablation knob for measuring what incremental
+	// digesting buys end to end.
+	LookaheadFullDigests bool
 	// EnvelopeOverhead is added to every message's modeled size.
 	EnvelopeOverhead int
 	// Trace receives structured log entries (nil = discard).
@@ -125,10 +130,7 @@ func (e *pendingEvent) injectInto(w *explore.World, self NodeID) {
 		cp := *e.msg
 		w.InjectMessage(&cp)
 	} else {
-		if w.Timers[self] == nil {
-			w.Timers[self] = make(map[string]bool)
-		}
-		w.Timers[self][e.timer] = true
+		w.SetTimerPending(self, e.timer)
 	}
 }
 
@@ -426,6 +428,7 @@ func (n *Node) steerAway(msg *sm.Msg) bool {
 		x.Properties = cfg.Properties
 		x.Workers = cfg.LookaheadWorkers
 		x.Strategy = cfg.LookaheadStrategy
+		x.FullDigests = cfg.LookaheadFullDigests
 		return x
 	}
 	withMsg := n.model.BuildWorld(n.svc.Clone(), now, n.lookPolicy(), n.lookSeed)

@@ -106,6 +106,11 @@ type Explorer struct {
 	// DeepClones forces eager full-world copies on every branch instead
 	// of copy-on-write forks. Only useful for measuring what COW buys.
 	DeepClones bool
+	// FullDigests deduplicates states with a from-scratch world digest
+	// (World.DigestFull) instead of the incrementally maintained one.
+	// Only useful as an ablation: it measures what incremental digesting
+	// buys and cross-checks its correctness.
+	FullDigests bool
 
 	// forceScheduler routes even Workers<=1 runs through the parallel
 	// scheduler machinery (tests assert it matches the sequential path).
@@ -120,6 +125,14 @@ func (x *Explorer) fork(w *World) *World {
 	return w.Clone()
 }
 
+// digest hashes a world for deduplication, honoring the ablation switch.
+func (x *Explorer) digest(w *World) uint64 {
+	if x.FullDigests {
+		return w.DigestFull()
+	}
+	return w.Digest()
+}
+
 // NewExplorer returns an explorer with the given chain depth and a state
 // budget proportionate to it.
 func NewExplorer(depth int) *Explorer {
@@ -127,7 +140,7 @@ func NewExplorer(depth int) *Explorer {
 }
 
 func (x *Explorer) enabled(w *World) []Action {
-	var acts []Action
+	acts := make([]Action, 0, len(w.Inflight))
 	for i, m := range w.Inflight {
 		if w.Down[m.Dst] {
 			continue
@@ -135,11 +148,12 @@ func (x *Explorer) enabled(w *World) []Action {
 		acts = append(acts, Action{Kind: ActionMessage, MsgIx: i, Label: m.String()})
 	}
 	if x.ExploreTimers {
+		names := borrowNames()
 		for _, id := range w.Nodes() {
 			if w.Down[id] {
 				continue
 			}
-			names := make([]string, 0, len(w.Timers[id]))
+			names = names[:0]
 			for name, on := range w.Timers[id] {
 				if on {
 					names = append(names, name)
@@ -150,6 +164,7 @@ func (x *Explorer) enabled(w *World) []Action {
 				acts = append(acts, Action{Kind: ActionTimer, Node: id, Timer: name, Label: fmt.Sprintf("%v!%s", id, name)})
 			}
 		}
+		returnNames(names)
 	}
 	return acts
 }
@@ -175,6 +190,13 @@ func (x *Explorer) Explore(w *World) *Report {
 		ctx.seen = plainSeen{}
 	} else {
 		ctx.seen = newShardedSeen()
+	}
+	if !x.FullDigests {
+		// Prime the maintained digest (and per-message digest memos)
+		// while the start world is still single-threaded: every fork then
+		// inherits valid caches instead of rebuilding them — and, for
+		// parallel runs, instead of racing to memoize shared messages.
+		w.Digest()
 	}
 	// Freeze before forking so concurrent root forks stay read-only on w.
 	w.Freeze()
@@ -270,7 +292,7 @@ func (x *Explorer) chain(ctx *Ctx, w *World, a Action, depth int, r *Report, tra
 	if depth >= x.Depth {
 		return
 	}
-	if ctx.Visit(w.Digest()) {
+	if ctx.Visit(x.digest(w)) {
 		return
 	}
 	if len(out) == 0 {
@@ -333,7 +355,7 @@ func (x *Explorer) genericDelivery(ctx *Ctx, w *World, ix, depth int, r *Report,
 	if depth >= x.Depth {
 		return
 	}
-	if ctx.Visit(w.Digest()) {
+	if ctx.Visit(x.digest(w)) {
 		return
 	}
 	for bi, reaction := range w.Generic.Reactions(m) {

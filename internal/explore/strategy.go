@@ -142,7 +142,7 @@ func (BFS) Expand(x *Explorer, ctx *Ctx, u Unit, r *Report) []Unit {
 	if u.Depth >= x.Depth {
 		return nil
 	}
-	if ctx.Visit(w.Digest()) {
+	if ctx.Visit(x.digest(w)) {
 		return nil
 	}
 	acts := x.enabled(w)

@@ -11,10 +11,11 @@
 package explore
 
 import (
-	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"crystalchoice/internal/sm"
@@ -96,6 +97,41 @@ type World struct {
 	ownedSvc      map[NodeID]bool
 	ownedTimers   map[NodeID]bool
 	inflightOwned bool
+
+	// forks counts Clone/DeepClone calls on this world; each fork's seed
+	// is derived from (Seed, fork index) so sibling forks get distinct
+	// per-node RNG streams. Atomic because concurrent workers may fork a
+	// frozen start world simultaneously.
+	forks atomic.Int64
+
+	// nodeOrder caches the sorted node IDs (invalidated only by AddNode).
+	// The slice is immutable once built and shared by forks.
+	nodeOrder []NodeID
+
+	// dig is the maintained state digest (see Digest). Forks copy it and
+	// share the per-node component map copy-on-write.
+	dig worldDigest
+}
+
+// worldDigest is the incrementally maintained world digest: a finalized
+// component hash per node (service digest + down flag + timer set) combined
+// as an order-independent sum, plus a commutative multiset hash over the
+// in-flight messages. COW write hooks record changed nodes in dirty; the
+// next Digest call recomputes only those components. inflightSum is updated
+// eagerly in O(1) on inject/remove/absorb.
+type worldDigest struct {
+	valid bool
+	// idx maps node IDs to slots in hashes. It is immutable once built
+	// (AddNode invalidates the whole digest) and therefore shared freely
+	// across forks.
+	idx map[NodeID]int
+	// hashes holds the finalized per-node component hashes, shared with
+	// forks copy-on-write: hashOwned says this world may write in place.
+	hashes      []uint64
+	hashOwned   bool
+	nodeSum     uint64   // sum over hashes
+	inflightSum uint64   // sum of finalized in-flight msg digests
+	dirty       []NodeID // components to recompute on next Digest
 }
 
 // NewWorld returns an empty world with the given choice policy and seed.
@@ -119,6 +155,8 @@ func (w *World) AddNode(id NodeID, svc sm.Service) {
 	if w.Timers[id] == nil {
 		w.Timers[id] = make(map[string]bool)
 	}
+	w.nodeOrder = nil
+	w.dig = worldDigest{} // membership changed: rebuild on next Digest
 }
 
 // Clone forks the world copy-on-write: the fork shares the parent's
@@ -136,7 +174,7 @@ func (w *World) Clone() *World {
 		Down:     make(map[NodeID]bool, len(w.Down)),
 		Now:      w.Now,
 		Policy:   w.Policy,
-		Seed:     w.Seed + 1,
+		Seed:     forkSeed(w.Seed, w.forks.Add(1)),
 		Generic:  w.Generic,
 		cow:      true,
 	}
@@ -149,13 +187,35 @@ func (w *World) Clone() *World {
 	for id, v := range w.Down {
 		c.Down[id] = v
 	}
+	c.nodeOrder = w.nodeOrder
+	c.adoptDigest(&w.dig)
 	// The parent now shares state with the fork, so it must also fork
 	// before its next write. Freeze is skipped when already shared-and-
 	// unowned so that concurrent Clones of a frozen world stay read-only.
-	if !w.cow || len(w.ownedSvc) > 0 || len(w.ownedTimers) > 0 || w.inflightOwned {
+	if !w.cow || len(w.ownedSvc) > 0 || len(w.ownedTimers) > 0 || w.inflightOwned || w.dig.hashOwned {
 		w.Freeze()
 	}
 	return c
+}
+
+// adoptDigest copies the parent's maintained digest into the fork. The
+// per-node component map is shared copy-on-write; a pending dirty list is
+// duplicated so sibling appends cannot clobber each other's entries.
+func (c *World) adoptDigest(d *worldDigest) {
+	c.dig = *d
+	c.dig.hashOwned = false
+	if len(d.dirty) > 0 {
+		c.dig.dirty = append(make([]NodeID, 0, len(d.dirty)), d.dirty...)
+	} else {
+		c.dig.dirty = nil
+	}
+}
+
+// forkSeed derives a fork's world seed from the parent's seed and the
+// 1-based fork index, so sibling forks of the same parent replay distinct
+// per-node RNG streams.
+func forkSeed(parent, k int64) int64 {
+	return int64(sm.Mix64(uint64(parent)*0x9e3779b97f4a7c15 + uint64(k)))
 }
 
 // DeepClone copies the world eagerly — every service cloned, every timer
@@ -171,7 +231,7 @@ func (w *World) DeepClone() *World {
 		Down:     make(map[NodeID]bool, len(w.Down)),
 		Now:      w.Now,
 		Policy:   w.Policy,
-		Seed:     w.Seed + 1,
+		Seed:     forkSeed(w.Seed, w.forks.Add(1)),
 		Generic:  w.Generic,
 	}
 	for id, svc := range w.Services {
@@ -188,6 +248,13 @@ func (w *World) DeepClone() *World {
 	for id, v := range w.Down {
 		c.Down[id] = v
 	}
+	c.nodeOrder = w.nodeOrder // immutable once built
+	// An eager clone owns everything, including its digest components.
+	c.adoptDigest(&w.dig)
+	if c.dig.hashes != nil {
+		c.dig.hashes = append([]uint64(nil), c.dig.hashes...)
+		c.dig.hashOwned = true
+	}
 	return c
 }
 
@@ -200,6 +267,7 @@ func (w *World) Freeze() {
 	w.ownedSvc = nil
 	w.ownedTimers = nil
 	w.inflightOwned = false
+	w.dig.hashOwned = false
 }
 
 // ownService returns node id's service, forking it first if it is still
@@ -207,7 +275,11 @@ func (w *World) Freeze() {
 // mutates the service) must go through it.
 func (w *World) ownService(id NodeID) sm.Service {
 	svc := w.Services[id]
-	if svc == nil || !w.cow || w.ownedSvc[id] {
+	if svc == nil {
+		return nil
+	}
+	w.markDigestDirty(id) // caller is about to mutate the service
+	if !w.cow || w.ownedSvc[id] {
 		return svc
 	}
 	svc = svc.Clone()
@@ -222,6 +294,7 @@ func (w *World) ownService(id NodeID) sm.Service {
 // ownTimers returns node id's timer set ready for mutation, forking a
 // shared set and materializing a missing one.
 func (w *World) ownTimers(id NodeID) map[string]bool {
+	w.markDigestDirty(id) // caller is about to mutate the timer set
 	set := w.Timers[id]
 	if set == nil {
 		set = make(map[string]bool)
@@ -268,6 +341,9 @@ func (w *World) ownInflight() {
 // still never writable in place, but aliasing whatever backing array the
 // slice had, so ownership is only claimed when a fresh array was made.
 func (w *World) RemoveInflight(i int) {
+	if w.dig.valid {
+		w.dig.inflightSum -= sm.Mix64(w.Inflight[i].Digest())
+	}
 	rest := w.Inflight[i+1:]
 	w.Inflight = append(w.Inflight[:i:i], rest...)
 	if len(rest) > 0 {
@@ -281,68 +357,193 @@ func (w *World) WithPolicy(p ChoicePolicy) *World {
 	return w
 }
 
-// Nodes returns the world's node IDs in ascending order.
+// Nodes returns the world's node IDs in ascending order. The returned
+// slice is the world's cached node order, shared across forks: callers
+// must treat it as read-only.
 func (w *World) Nodes() []NodeID {
-	ids := make([]NodeID, 0, len(w.Services))
-	for id := range w.Services {
-		ids = append(ids, id)
+	if w.nodeOrder == nil || len(w.nodeOrder) != len(w.Services) {
+		ids := make([]NodeID, 0, len(w.Services))
+		for id := range w.Services {
+			ids = append(ids, id)
+		}
+		slices.Sort(ids)
+		w.nodeOrder = ids
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return w.nodeOrder
+}
+
+// SetDown marks node id as crashed (or revived), keeping the maintained
+// digest coherent. Writes to the Down map after the world has been
+// digested must go through it; setup code that has not digested yet may
+// keep writing Down directly.
+func (w *World) SetDown(id NodeID, down bool) {
+	if w.Down[id] == down {
+		return
+	}
+	w.Down[id] = down
+	w.markDigestDirty(id)
+}
+
+// SetTimerPending marks node id's named timer as pending without executing
+// anything, e.g. the triggering timer event of a lookahead.
+func (w *World) SetTimerPending(id NodeID, name string) {
+	if w.Timers[id][name] {
+		return
+	}
+	w.ownTimers(id)[name] = true
 }
 
 // Digest returns a stable hash of the entire world, used for state
 // deduplication during exploration.
+//
+// The digest is maintained incrementally: each node contributes a
+// finalized component hash (identity, service digest, down flag, pending
+// timer set) and the in-flight messages contribute a commutative multiset
+// hash (the sum of their finalized per-message digests). The copy-on-write
+// hooks record which node components a write invalidated, so consecutive
+// exploration states — which differ by one handler invocation — re-hash
+// only the changed pieces instead of the whole world. DigestFull is the
+// from-scratch recomputation of the same value.
 func (w *World) Digest() uint64 {
-	h := sm.NewHasher()
-	for _, id := range w.Nodes() {
-		h.WriteNode(id)
-		h.WriteUint(w.Services[id].Digest())
-		h.WriteBool(w.Down[id])
-		// Pending timers, sorted.
-		names := make([]string, 0, len(w.Timers[id]))
-		for name, on := range w.Timers[id] {
-			if on {
-				names = append(names, name)
-			}
-		}
-		sort.Strings(names)
-		h.WriteInt(int64(len(names)))
-		for _, name := range names {
-			h.WriteString(name)
-		}
+	if !w.dig.valid {
+		w.rebuildDigest()
+	} else if len(w.dig.dirty) > 0 {
+		w.flushDigestDirty()
 	}
-	// In-flight messages, order-insensitively (channel contents form a
-	// multiset for exploration purposes).
-	digests := make([]uint64, 0, len(w.Inflight))
+	return w.combineDigest(w.dig.nodeSum, w.dig.inflightSum)
+}
+
+// DigestFull recomputes the world digest from scratch under the same
+// scheme as Digest, consulting no caches (including the per-message memo).
+// It is the ablation baseline (Explorer.FullDigests) and the ground truth
+// the equivalence tests hold the maintained digest to.
+func (w *World) DigestFull() uint64 {
+	var nodeSum uint64
+	for id := range w.Services {
+		nodeSum += w.nodeComponent(id)
+	}
+	var inflightSum uint64
 	for _, m := range w.Inflight {
-		digests = append(digests, msgDigest(m))
+		inflightSum += sm.Mix64(sm.MsgDigestRecompute(m))
 	}
-	sort.Slice(digests, func(i, j int) bool { return digests[i] < digests[j] })
-	h.WriteInt(int64(len(digests)))
-	for _, d := range digests {
-		h.WriteUint(d)
-	}
-	return h.Sum()
+	return w.combineDigest(nodeSum, inflightSum)
 }
 
-// BodyDigester lets message bodies provide a stable digest. Bodies that do
-// not implement it are hashed via their fmt representation, which is stable
-// for struct and scalar bodies (avoid maps in message bodies).
-type BodyDigester interface {
-	DigestBody(h *sm.Hasher)
+// combineDigest folds the two commutative sums and their cardinalities
+// into the final world hash.
+func (w *World) combineDigest(nodeSum, inflightSum uint64) uint64 {
+	h := sm.GetHasher()
+	h.WriteInt(int64(len(w.Services))).WriteUint(nodeSum)
+	h.WriteInt(int64(len(w.Inflight))).WriteUint(inflightSum)
+	d := h.Sum()
+	sm.PutHasher(h)
+	return d
 }
 
-func msgDigest(m *sm.Msg) uint64 {
-	h := sm.NewHasher()
-	h.WriteNode(m.Src).WriteNode(m.Dst).WriteString(m.Kind).WriteBool(m.Unreliable)
-	if d, ok := m.Body.(BodyDigester); ok {
-		d.DigestBody(h)
-	} else if m.Body != nil {
-		h.WriteString(fmt.Sprintf("%v", m.Body))
+// nodeComponent hashes one node's digest component: identity, service
+// state, down flag, and pending timer set, finalized for commutative
+// combination.
+func (w *World) nodeComponent(id NodeID) uint64 {
+	h := sm.GetHasher()
+	h.WriteNode(id)
+	h.WriteUint(w.Services[id].Digest())
+	h.WriteBool(w.Down[id])
+	names := borrowNames()
+	for name, on := range w.Timers[id] {
+		if on {
+			names = append(names, name)
+		}
 	}
-	return h.Sum()
+	sort.Strings(names)
+	h.WriteInt(int64(len(names)))
+	for _, name := range names {
+		h.WriteString(name)
+	}
+	returnNames(names)
+	d := sm.Mix64(h.Sum())
+	sm.PutHasher(h)
+	return d
 }
+
+// markDigestDirty records that node id's digest component is stale. No-op
+// until the world has been digested once (setup code mutates freely; the
+// first Digest call builds the caches from scratch).
+func (w *World) markDigestDirty(id NodeID) {
+	if !w.dig.valid {
+		return
+	}
+	if _, ok := w.dig.idx[id]; !ok {
+		// Not a digested node (no Services entry — AddNode invalidates
+		// the whole digest, so idx mirrors membership): the digest
+		// ignores its timers and down flag, exactly as DigestFull does.
+		return
+	}
+	for _, d := range w.dig.dirty {
+		if d == id {
+			return
+		}
+	}
+	w.dig.dirty = append(w.dig.dirty, id)
+}
+
+// rebuildDigest computes the maintained digest from scratch — the first
+// Digest call on a world that was not forked from an already-digested one.
+func (w *World) rebuildDigest() {
+	order := w.Nodes()
+	idx := make(map[NodeID]int, len(order))
+	hashes := make([]uint64, len(order))
+	var nodeSum uint64
+	for i, id := range order {
+		d := w.nodeComponent(id)
+		idx[id] = i
+		hashes[i] = d
+		nodeSum += d
+	}
+	var inflightSum uint64
+	for _, m := range w.Inflight {
+		inflightSum += sm.Mix64(m.Digest())
+	}
+	w.dig = worldDigest{valid: true, idx: idx, hashes: hashes, hashOwned: true,
+		nodeSum: nodeSum, inflightSum: inflightSum}
+}
+
+// flushDigestDirty re-hashes the components the COW hooks invalidated,
+// adjusting the commutative node sum by the difference.
+func (w *World) flushDigestDirty() {
+	if !w.dig.hashOwned {
+		w.dig.hashes = append([]uint64(nil), w.dig.hashes...)
+		w.dig.hashOwned = true
+	}
+	for _, id := range w.dig.dirty {
+		i := w.dig.idx[id]
+		nh := w.nodeComponent(id)
+		w.dig.nodeSum += nh - w.dig.hashes[i]
+		w.dig.hashes[i] = nh
+	}
+	w.dig.dirty = w.dig.dirty[:0]
+}
+
+// namesPool recycles the scratch slices used to sort pending timer names
+// while hashing a node component.
+var namesPool = sync.Pool{New: func() any {
+	s := make([]string, 0, 8)
+	return &s
+}}
+
+func borrowNames() []string {
+	return (*namesPool.Get().(*[]string))[:0]
+}
+
+func returnNames(s []string) {
+	namesPool.Put(&s)
+}
+
+// BodyDigester lets message bodies provide a stable digest. It is an alias
+// of sm.BodyDigester, kept here because message digesting grew up in this
+// package. Bodies that do not implement it are hashed via their fmt
+// representation, which is stable for struct and scalar bodies (avoid maps
+// in message bodies).
+type BodyDigester = sm.BodyDigester
 
 // worldEnv adapts a World to sm.Env for one handler invocation. Effects
 // mutate the world: sends append to a staging buffer (exposed afterward as
@@ -453,6 +654,13 @@ func (w *World) FireTimer(id NodeID, name string) []*sm.Msg {
 func (w *World) InjectMessage(m *sm.Msg) {
 	w.ownInflight()
 	w.Inflight = append(w.Inflight, m)
+	// Memoize the message digest while this goroutine still owns the
+	// message exclusively; forks sharing the in-flight slice later may
+	// read it concurrently.
+	d := m.Digest()
+	if w.dig.valid {
+		w.dig.inflightSum += sm.Mix64(d)
+	}
 }
 
 func (w *World) absorb(msgs []*sm.Msg) {
@@ -465,6 +673,10 @@ func (w *World) absorb(msgs []*sm.Msg) {
 		}
 		w.ownInflight()
 		w.Inflight = append(w.Inflight, m)
+		d := m.Digest() // memoize pre-sharing, as in InjectMessage
+		if w.dig.valid {
+			w.dig.inflightSum += sm.Mix64(d)
+		}
 	}
 }
 

@@ -19,7 +19,9 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"slices"
 	"sort"
+	"sync"
 	"time"
 
 	"crystalchoice/internal/netmodel"
@@ -37,10 +39,62 @@ type Msg struct {
 	// Unreliable marks datagram messages, which the network may drop;
 	// the explorer can branch on their loss (Explorer.DropBranches).
 	Unreliable bool
+
+	// digest memoizes the message's content hash. Messages are immutable
+	// once in flight, so the hash is computed at most once per message
+	// instead of once per state visit per world. The memo must be filled
+	// while the message is still owned by a single goroutine (the world
+	// that injects or absorbs it does so eagerly); afterwards Digest is
+	// read-only and safe to call from concurrent exploration workers.
+	digest   uint64
+	digested bool
 }
 
 func (m *Msg) String() string {
 	return fmt.Sprintf("%v->%v %s", m.Src, m.Dst, m.Kind)
+}
+
+// BodyDigester lets message bodies provide a stable digest. Bodies that do
+// not implement it are hashed via their fmt representation, which is stable
+// for struct and scalar bodies (avoid maps and pointers in message bodies).
+type BodyDigester interface {
+	DigestBody(h *Hasher)
+}
+
+// ReflectionFallback, when non-nil, is invoked for every message whose
+// body is hashed through the fmt reflection fallback instead of
+// BodyDigester. It is a test hook for enforcing digester coverage; leave
+// nil in production paths.
+var ReflectionFallback func(m *Msg)
+
+// Digest returns the message's content hash, computing and memoizing it on
+// first use. See MsgDigestRecompute for the cache-free variant.
+func (m *Msg) Digest() uint64 {
+	if m.digested {
+		return m.digest
+	}
+	m.digest = MsgDigestRecompute(m)
+	m.digested = true
+	return m.digest
+}
+
+// MsgDigestRecompute hashes a message from scratch, bypassing (and not
+// filling) the memo. The full-recompute digest ablation and equivalence
+// tests use it to check memoized digests against ground truth.
+func MsgDigestRecompute(m *Msg) uint64 {
+	h := GetHasher()
+	h.WriteNode(m.Src).WriteNode(m.Dst).WriteString(m.Kind).WriteBool(m.Unreliable)
+	if d, ok := m.Body.(BodyDigester); ok {
+		d.DigestBody(h)
+	} else if m.Body != nil {
+		if ReflectionFallback != nil {
+			ReflectionFallback(m)
+		}
+		h.WriteString(fmt.Sprintf("%v", m.Body))
+	}
+	d := h.Sum()
+	PutHasher(h)
+	return d
 }
 
 // Choice is an exposed decision with N alternatives, to be resolved by the
@@ -114,8 +168,42 @@ type Named interface {
 // helpers that force deterministic encoding of common state shapes.
 type Hasher struct{ h uint64 }
 
+// fnvOffset is the FNV-1a 64-bit offset basis.
+const fnvOffset = 14695981039346656037
+
 // NewHasher returns a Hasher with the FNV-1a offset basis.
-func NewHasher() *Hasher { return &Hasher{h: 14695981039346656037} }
+func NewHasher() *Hasher { return &Hasher{h: fnvOffset} }
+
+// Reset returns the hasher to the FNV-1a offset basis.
+func (s *Hasher) Reset() *Hasher {
+	s.h = fnvOffset
+	return s
+}
+
+// hasherPool recycles Hasher state for hot digest paths: a hasher handed to
+// an interface method (DigestBody) escapes to the heap, so exploration-rate
+// digesting would otherwise allocate once per message and node component.
+var hasherPool = sync.Pool{New: func() any { return new(Hasher) }}
+
+// GetHasher returns a reset pooled hasher. Pair with PutHasher.
+func GetHasher() *Hasher { return hasherPool.Get().(*Hasher).Reset() }
+
+// PutHasher recycles a hasher obtained from GetHasher. The caller must not
+// use h afterwards.
+func PutHasher(h *Hasher) { hasherPool.Put(h) }
+
+// Mix64 finalizes a 64-bit hash with the SplitMix64 avalanche function.
+// Digests combined commutatively (e.g. summed into a multiset hash) must be
+// finalized first: raw FNV-1a values are too structured for addition to
+// preserve their collision resistance.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
 
 func (s *Hasher) mix(b byte) {
 	s.h ^= uint64(b)
@@ -178,7 +266,7 @@ func (s *Hasher) WriteNodeSet(set map[NodeID]bool) *Hasher {
 			ids = append(ids, id)
 		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return s.WriteNodes(ids)
 }
 
@@ -241,6 +329,6 @@ func SortedNodes(m map[NodeID]bool) []NodeID {
 			ids = append(ids, id)
 		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }
