@@ -17,7 +17,7 @@ race:
 bench:
 	go test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) .
 
-# bench-json snapshots the E1–E12 benchmark suite into BENCH_$(N).json so
+# bench-json snapshots the E1–E13 benchmark suite into BENCH_$(N).json so
 # performance trajectories across PRs stay diffable. Example:
 #   make bench-json N=2
 bench-json:

@@ -214,6 +214,54 @@ func BenchmarkE12IncrementalDigest(b *testing.B) {
 	}
 }
 
+// BenchmarkE13FaultExploration reproduces the §4 failure-rejoin search via
+// lookahead instead of a scripted schedule: the explorer branches over
+// node resets (crash + cold restart from the as-deployed state) under a
+// fault budget and finds the orphaned-child rejoin inconsistency that the
+// scripted E3 failure produces on the live cluster — with budget 0 the
+// same search predicts nothing, pinning faults as the trigger. Reported
+// metrics: states and fault transitions explored, rejoin violations found.
+func BenchmarkE13FaultExploration(b *testing.B) {
+	props := []explore.Property{
+		randtree.NoParentCycleProperty(),
+		randtree.DegreeBoundProperty(),
+		randtree.NoOrphanedChildProperty(),
+	}
+	for _, faults := range []int{0, 1} {
+		faults := faults
+		b.Run(fmt.Sprintf("faults%d", faults), func(b *testing.B) {
+			b.ReportAllocs()
+			w := mkTreeWorld()
+			w.Initial = func(id sm.NodeID) sm.Service { return randtree.NewChoice(id, 0) }
+			b.ResetTimer()
+			states, injected, rejoin := 0, 0, 0
+			for i := 0; i < b.N; i++ {
+				x := explore.NewExplorer(6)
+				x.MaxStates = 8192
+				x.FaultBudget = faults
+				x.Properties = props
+				r := x.Explore(w)
+				states += r.StatesExplored
+				injected += r.FaultsInjected
+				for _, v := range r.Violations {
+					if v.Property == "rt.no-orphaned-child" {
+						rejoin++
+					}
+				}
+				if faults == 0 && !r.Safe() {
+					b.Fatalf("fault-free lookahead predicted %d violations", len(r.Violations))
+				}
+				if faults > 0 && rejoin == 0 {
+					b.Fatalf("fault lookahead missed the rejoin violation")
+				}
+			}
+			b.ReportMetric(float64(states)/float64(b.N), "states/op")
+			b.ReportMetric(float64(injected)/float64(b.N), "faults/op")
+			b.ReportMetric(float64(rejoin)/float64(b.N), "rejoin-violations/op")
+		})
+	}
+}
+
 // depthOf returns the level of index i in a complete binary tree rooted at
 // 0 (root = 1).
 func depthOf(i int) int {

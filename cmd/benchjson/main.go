@@ -1,5 +1,5 @@
 // Command benchjson runs the repository's benchmark suite (experiments
-// E1–E12) and emits a machine-readable BENCH_<n>.json snapshot: ns/op,
+// E1–E13) and emits a machine-readable BENCH_<n>.json snapshot: ns/op,
 // B/op, allocs/op, and every custom b.ReportMetric quantity (states/op,
 // states/sec, ...), grouped by experiment. Successive PRs archive these
 // files (the CI workflow uploads one per run) so performance trajectories

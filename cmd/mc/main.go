@@ -25,6 +25,8 @@ func main() {
 	depth := flag.Int("depth", 6, "consequence-prediction chain depth")
 	budget := flag.Int("budget", 8192, "max handler executions")
 	inject := flag.Bool("inject-cycle", false, "inject a forged parent-cycle message before exploring")
+	faults := flag.Int("faults", 0, "fault-transition budget per explored path (crash/recover/reset as explorer actions)")
+	partitions := flag.Bool("partitions", false, "also explore network-partition transitions (drawn from the fault budget)")
 	workers := flag.Int("workers", 1, "exploration worker pool size (0 = GOMAXPROCS)")
 	strategyName := flag.String("strategy", "chaindfs", "exploration strategy: chaindfs | bfs | randomwalk")
 	fullDigests := flag.Bool("fulldigests", false, "dedup with from-scratch world digests instead of incremental (ablation)")
@@ -48,23 +50,16 @@ func main() {
 	e.Run(*at)
 	fmt.Printf("snapshot at %v: %d/%d joined, max depth %d\n", *at, e.JoinedCount(), *n, e.MaxDepth())
 
-	// Materialize the global state as an explorable world.
+	// Materialize the global state as an explorable world. The protocol's
+	// periodic timers are pending on every live node; exploring their
+	// firings is part of the near future. Fault exploration restarts reset
+	// nodes from the freshest retained checkpoint, cold state otherwise
+	// (the harness's InitialState).
 	policy := explore.RandomPolicy(e.Eng.Fork())
 	if *workers > 1 {
 		policy = explore.Locked(policy)
 	}
-	w := explore.NewWorld(policy, *seed)
-	for _, node := range e.Cluster.Nodes() {
-		w.AddNode(node.ID(), node.Service().Clone())
-		if node.Down() {
-			w.SetDown(node.ID(), true)
-		}
-		// The protocol's periodic timers are pending on every live node;
-		// exploring their firings is part of the near future.
-		for _, timer := range []string{"rt.hbSend", "rt.hbCheck", "rt.summarize"} {
-			w.SetTimerPending(node.ID(), timer)
-		}
-	}
+	w := e.Cluster.MaterializeWorld(policy, *seed, []string{"rt.hbSend", "rt.hbCheck", "rt.summarize"})
 	if *inject {
 		// A stale JoinReply from a child: the inconsistency E8 steers
 		// away from, here surfaced by offline checking instead.
@@ -82,14 +77,17 @@ func main() {
 	x.Workers = *workers
 	x.Strategy = strategy
 	x.FullDigests = *fullDigests
+	x.FaultBudget = *faults
+	x.PartitionFaults = *partitions
 	x.Properties = []explore.Property{
 		randtree.NoParentCycleProperty(),
 		randtree.DegreeBoundProperty(),
+		randtree.NoOrphanedChildProperty(),
 	}
 	start := time.Now()
 	r := x.Explore(w)
-	fmt.Printf("explored %d states to depth %d in %v (strategy=%s workers=%d truncated=%v)\n",
-		r.StatesExplored, r.MaxDepth, time.Since(start).Round(time.Microsecond), strategy.Name(), *workers, r.Truncated)
+	fmt.Printf("explored %d states to depth %d in %v (strategy=%s workers=%d faults=%d injected=%d truncated=%v)\n",
+		r.StatesExplored, r.MaxDepth, time.Since(start).Round(time.Microsecond), strategy.Name(), *workers, *faults, r.FaultsInjected, r.Truncated)
 	if r.Safe() {
 		fmt.Println("no safety violations predicted")
 		return

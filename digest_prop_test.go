@@ -1,8 +1,8 @@
 // Property tests for the maintained (incremental) world digest: across all
 // five applications, arbitrary interleavings of deliver / fire / inject /
-// remove / clone must keep World.Digest equal to the from-scratch
-// recomputation World.DigestFull, and forks must never perturb their
-// ancestors' digests.
+// remove / clone / crash / recover / partition must keep World.Digest
+// equal to the from-scratch recomputation World.DigestFull, and forks must
+// never perturb their ancestors' digests.
 package crystalchoice
 
 import (
@@ -24,6 +24,9 @@ type digestApp struct {
 	name    string
 	mkWorld func() *explore.World
 	mkMsg   func(rng *rand.Rand) *sm.Msg
+	// initial, when set, is installed as the world's cold-restart hook so
+	// the walk's recover steps exercise state replacement too.
+	initial func(id sm.NodeID) sm.Service
 }
 
 func digestApps() []digestApp {
@@ -48,6 +51,7 @@ func digestApps() []digestApp {
 				return &sm.Msg{Src: j, Dst: sm.NodeID(rng.Intn(7)), Kind: randtree.KindJoin,
 					Body: randtree.Join{Joiner: j}}
 			},
+			initial: func(id sm.NodeID) sm.Service { return randtree.NewChoice(id, 0) },
 		},
 		{
 			name: "gossip",
@@ -65,6 +69,7 @@ func digestApps() []digestApp {
 				return &sm.Msg{Src: sm.NodeID(rng.Intn(4)), Dst: sm.NodeID(rng.Intn(4)),
 					Kind: gossip.KindPublish, Body: gossip.Publish{Update: rng.Intn(4)}}
 			},
+			initial: func(id sm.NodeID) sm.Service { return gossip.New(id, []sm.NodeID{0, 1, 2, 3}) },
 		},
 		{
 			name: "paxos",
@@ -146,7 +151,8 @@ func pendingTimer(w *explore.World, rng *rand.Rand) (sm.NodeID, string, bool) {
 }
 
 // TestDigestPropertyAllApps is the cross-app equivalence walk: after every
-// operation the maintained digest must equal the full recomputation, and
+// operation — the fault transitions crash, recover, and partition/heal
+// included — the maintained digest must equal the full recomputation, and
 // mutating a fork must never move an ancestor's digest.
 func TestDigestPropertyAllApps(t *testing.T) {
 	for _, app := range digestApps() {
@@ -155,10 +161,13 @@ func TestDigestPropertyAllApps(t *testing.T) {
 			rng := rand.New(rand.NewSource(7))
 			for trial := 0; trial < 10; trial++ {
 				w := app.mkWorld()
+				w.Initial = app.initial
+				nodes := w.Nodes()
+				pick := func() sm.NodeID { return nodes[rng.Intn(len(nodes))] }
 				var ancestors []*explore.World
 				var ancestorDigs []uint64
-				for step := 0; step < 60; step++ {
-					switch op := rng.Intn(6); {
+				for step := 0; step < 80; step++ {
+					switch op := rng.Intn(10); {
 					case op <= 1 && len(w.Inflight) > 0: // bias toward delivering
 						w.DeliverMessage(rng.Intn(len(w.Inflight)))
 					case op == 2:
@@ -173,6 +182,18 @@ func TestDigestPropertyAllApps(t *testing.T) {
 						ancestors = append(ancestors, w)
 						ancestorDigs = append(ancestorDigs, w.Digest())
 						w = w.Clone()
+					case op == 6:
+						w.Crash(pick())
+					case op == 7:
+						w.Recover(pick(), nil)
+					case op == 8:
+						w.IsolateNode(pick())
+					case op == 9:
+						if rng.Intn(2) == 0 {
+							w.HealNode(pick())
+						} else {
+							w.PartitionPair(pick(), pick())
+						}
 					}
 					if got, want := w.Digest(), w.DigestFull(); got != want {
 						t.Fatalf("trial %d step %d: incremental digest %#x != full recompute %#x",

@@ -133,6 +133,83 @@ func goldenDump() string {
 
 const goldenPath = "testdata/explore_golden.txt"
 
+// goldenFaultDump runs a small fault-enabled randtree exploration: a fully
+// joined 7-node tree explored with one fault transition allowed per path
+// (plus a partition-enabled variant), cold restarts supplied by the
+// as-deployed service factory. It pins the fault semantics — which nodes
+// reset, what recovery replays, which inconsistencies surface at which
+// depth — so they cannot drift silently.
+func goldenFaultDump() string {
+	mkWorld := func() *explore.World {
+		w := explore.NewWorld(explore.RandomPolicy(rand.New(rand.NewSource(21))), 9)
+		svcs := make([]*randtree.Choice, 7)
+		env := &benchEnv{}
+		for i := 0; i < 7; i++ {
+			svcs[i] = randtree.NewChoice(sm.NodeID(i), 0)
+			w.AddNode(sm.NodeID(i), svcs[i])
+			svcs[i].Init(env)
+		}
+		for i := 1; i < 7; i++ {
+			parent := (i - 1) / 2
+			svcs[parent].OnMessage(env, &sm.Msg{Src: sm.NodeID(i), Dst: sm.NodeID(parent),
+				Kind: randtree.KindJoin, Body: randtree.Join{Joiner: sm.NodeID(i)}})
+			svcs[i].OnMessage(env, &sm.Msg{Src: sm.NodeID(parent), Dst: sm.NodeID(i),
+				Kind: randtree.KindJoinReply, Body: randtree.JoinReply{Parent: sm.NodeID(parent), Depth: depthOf(i) + 1}})
+		}
+		w.InjectMessage(&sm.Msg{Src: 100, Dst: 0, Kind: randtree.KindJoin,
+			Body: randtree.Join{Joiner: 100}})
+		w.Initial = func(id sm.NodeID) sm.Service { return randtree.NewChoice(id, 0) }
+		return w
+	}
+	props := []explore.Property{
+		randtree.NoParentCycleProperty(),
+		randtree.DegreeBoundProperty(),
+		randtree.NoOrphanedChildProperty(),
+	}
+
+	var b strings.Builder
+	x := explore.NewExplorer(4)
+	x.MaxStates = 4096
+	x.FaultBudget = 1
+	x.Properties = props
+	r := x.Explore(mkWorld())
+	fmt.Fprintf(&b, "faults-injected=%d\n", r.FaultsInjected)
+	b.WriteString(dumpReport("randtree/faults1", r))
+
+	x = explore.NewExplorer(3)
+	x.MaxStates = 4096
+	x.FaultBudget = 1
+	x.PartitionFaults = true
+	x.Properties = props
+	r = x.Explore(mkWorld())
+	fmt.Fprintf(&b, "faults-injected=%d\n", r.FaultsInjected)
+	b.WriteString(dumpReport("randtree/faults1+partitions", r))
+	return b.String()
+}
+
+const goldenFaultPath = "testdata/explore_fault_golden.txt"
+
+// TestExploreFaultGolden pins the fault-enabled engine output against its
+// captured dump, the companion of TestExploreGolden for FaultBudget > 0.
+// Regenerate with UPDATE_EXPLORE_GOLDEN=1 only when a fault-semantics
+// change is intended and understood.
+func TestExploreFaultGolden(t *testing.T) {
+	got := goldenFaultDump()
+	if os.Getenv("UPDATE_EXPLORE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenFaultPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Skip("fault golden file rewritten")
+	}
+	want, err := os.ReadFile(goldenFaultPath)
+	if err != nil {
+		t.Fatalf("missing fault golden file (rerun with UPDATE_EXPLORE_GOLDEN=1): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("fault-enabled exploration output diverged:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
 // TestExploreGolden compares the engine's output against the captured
 // pre-refactor dump. Regenerate with UPDATE_EXPLORE_GOLDEN=1 only when an
 // output change is intended and understood.

@@ -59,6 +59,12 @@ type ExperimentConfig struct {
 	// LookaheadFullDigests disables incremental world digests in runtime
 	// lookaheads (ablation; see core.Config.LookaheadFullDigests).
 	LookaheadFullDigests bool
+	// LookaheadFaults budgets fault transitions (crash/recover/reset) per
+	// runtime lookahead; zero keeps lookahead fault-free.
+	LookaheadFaults int
+	// LookaheadPartitions additionally explores network-partition
+	// transitions in runtime lookaheads.
+	LookaheadPartitions bool
 }
 
 func (c *ExperimentConfig) fill() {
@@ -110,7 +116,8 @@ func Run(cfg ExperimentConfig) Result {
 		net.SetUploadCapacity(0, 4*cfg.SeedBandwidth)
 	}
 
-	ccfg := core.Config{LookaheadWorkers: cfg.LookaheadWorkers, LookaheadFullDigests: cfg.LookaheadFullDigests}
+	ccfg := core.Config{LookaheadWorkers: cfg.LookaheadWorkers, LookaheadFullDigests: cfg.LookaheadFullDigests,
+		LookaheadFaults: cfg.LookaheadFaults, LookaheadPartitions: cfg.LookaheadPartitions}
 	switch cfg.Strategy {
 	case StrategyRandom:
 		ccfg.NewResolver = func(*core.Node) core.Resolver { return core.Random{} }

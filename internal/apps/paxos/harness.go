@@ -51,7 +51,13 @@ type ExperimentConfig struct {
 	// LookaheadFullDigests disables incremental world digests in runtime
 	// lookaheads (ablation; see core.Config.LookaheadFullDigests).
 	LookaheadFullDigests bool
-	Trace            *trace.Log
+	// LookaheadFaults budgets fault transitions (crash/recover/reset) per
+	// runtime lookahead; zero keeps lookahead fault-free.
+	LookaheadFaults int
+	// LookaheadPartitions additionally explores network-partition
+	// transitions in runtime lookaheads.
+	LookaheadPartitions bool
+	Trace               *trace.Log
 }
 
 func (c *ExperimentConfig) fill() {
@@ -151,7 +157,8 @@ func Run(cfg ExperimentConfig) Result {
 	plane := iplane.New(top, cfg.Seed+1)
 	plane.NoiseFrac = 0.05
 
-	ccfg := core.Config{Trace: cfg.Trace, LookaheadWorkers: cfg.LookaheadWorkers, LookaheadFullDigests: cfg.LookaheadFullDigests}
+	ccfg := core.Config{Trace: cfg.Trace, LookaheadWorkers: cfg.LookaheadWorkers, LookaheadFullDigests: cfg.LookaheadFullDigests,
+		LookaheadFaults: cfg.LookaheadFaults, LookaheadPartitions: cfg.LookaheadPartitions}
 	switch cfg.Policy {
 	case PolicyFixed:
 		ccfg.NewResolver = func(*core.Node) core.Resolver { return core.First{} }

@@ -49,6 +49,13 @@ type ExperimentConfig struct {
 	// LookaheadFullDigests disables incremental world digests in runtime
 	// lookaheads (ablation; see core.Config.LookaheadFullDigests).
 	LookaheadFullDigests bool
+	// LookaheadFaults budgets fault transitions (crash/recover/reset) per
+	// runtime lookahead, letting consequence prediction branch over node
+	// failures (E13). Zero keeps lookahead fault-free.
+	LookaheadFaults int
+	// LookaheadPartitions additionally explores network-partition
+	// transitions in runtime lookaheads.
+	LookaheadPartitions bool
 	// Steering enables execution steering against Properties (E8).
 	Steering   bool
 	Properties []explore.Property
@@ -86,7 +93,11 @@ func NewExperiment(cfg ExperimentConfig) *Experiment {
 	top := netmodel.TransitStub(cfg.N, netmodel.DefaultInternetLike(), eng.Fork())
 	net := transport.New(eng, top)
 
-	ccfg := core.Config{Trace: cfg.Trace, LookaheadWorkers: cfg.LookaheadWorkers, LookaheadFullDigests: cfg.LookaheadFullDigests}
+	ccfg := core.Config{Trace: cfg.Trace, LookaheadWorkers: cfg.LookaheadWorkers, LookaheadFullDigests: cfg.LookaheadFullDigests,
+		LookaheadFaults: cfg.LookaheadFaults, LookaheadPartitions: cfg.LookaheadPartitions}
+	// Fault lookaheads restart reset nodes from the as-deployed cold state
+	// when no fresh checkpoint is retained.
+	ccfg.InitialState = func(id sm.NodeID) sm.Service { return newService(cfg.Setup, id, 0, 0) }
 	switch cfg.Setup {
 	case SetupBaseline:
 		ccfg.NewResolver = func(*core.Node) core.Resolver { return core.First{} }

@@ -55,6 +55,9 @@ func NoOrphanedChildProperty() explore.Property {
 		Name: "rt.no-orphaned-child",
 		Check: func(w *explore.World) bool {
 			for _, id := range w.Nodes() {
+				if w.Down[id] {
+					continue // a crashed child's stale state accuses no one
+				}
 				a, ok := w.Services[id].(TreeView)
 				if !ok || !a.TreeJoined() {
 					continue
@@ -90,6 +93,9 @@ func NoParentCycleProperty() explore.Property {
 		Name: "rt.no-parent-cycle",
 		Check: func(w *explore.World) bool {
 			for _, id := range w.Nodes() {
+				if w.Down[id] {
+					continue // latent until the node revives
+				}
 				a, ok := w.Services[id].(TreeView)
 				if !ok || !a.TreeJoined() {
 					continue
@@ -99,7 +105,7 @@ func NoParentCycleProperty() explore.Property {
 					continue
 				}
 				bsvc, present := w.Services[p]
-				if !present {
+				if !present || w.Down[p] {
 					continue
 				}
 				b, ok := bsvc.(TreeView)

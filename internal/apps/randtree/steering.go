@@ -32,7 +32,7 @@ type SteeringResult struct {
 // (the paper's corrective action). workers sizes the steering lookahead's
 // exploration pool (<= 1 sequential).
 func RunSteering(enabled bool, n int, seed int64, workers int) SteeringResult {
-	e := NewExperiment(ExperimentConfig{
+	return RunSteeringFromConfig(ExperimentConfig{
 		N:                  n,
 		Seed:               seed,
 		Setup:              SetupChoiceRandom,
@@ -41,7 +41,20 @@ func RunSteering(enabled bool, n int, seed int64, workers int) SteeringResult {
 		CheckpointInterval: 150 * time.Millisecond,
 		LookaheadWorkers:   workers,
 	})
-	e.Run(time.Duration(n)*e.Cfg.JoinSpacing + 10*time.Second)
+}
+
+// RunSteeringFromConfig is RunSteering with full control over the
+// experiment configuration (e.g. lookahead fault budgets).
+func RunSteeringFromConfig(cfg ExperimentConfig) SteeringResult {
+	if cfg.Setup == "" {
+		cfg.Setup = SetupChoiceRandom
+	}
+	if cfg.Properties == nil {
+		cfg.Properties = []explore.Property{NoParentCycleProperty()}
+	}
+	enabled := cfg.Steering
+	e := NewExperiment(cfg)
+	e.Run(time.Duration(e.Cfg.N)*e.Cfg.JoinSpacing + 10*time.Second)
 
 	// Find an interior victim X with a child C.
 	var victim, child sm.NodeID = -1, -1

@@ -50,3 +50,21 @@ func TestSteeringNoFalsePositives(t *testing.T) {
 		t.Fatalf("steering dropped %d legitimate messages", s.Steered)
 	}
 }
+
+// TestSteeringUnaffectedByFaultBudget pins the steering/fault separation:
+// steering lookaheads run fault-free even when LookaheadFaults is set, so
+// fault-only violations (reachable by a reset alone) cannot make every
+// future look unsafe and disarm the steer gate.
+func TestSteeringUnaffectedByFaultBudget(t *testing.T) {
+	r := RunSteeringFromConfig(ExperimentConfig{
+		N:                  15,
+		Seed:               1,
+		Steering:           true,
+		Properties:         []explore.Property{NoParentCycleProperty(), NoOrphanedChildProperty()},
+		CheckpointInterval: 150 * time.Millisecond,
+		LookaheadFaults:    1,
+	})
+	if r.Steered == 0 || r.CycleFormed {
+		t.Fatalf("steering disarmed by fault budget: steered=%d cycle=%v", r.Steered, r.CycleFormed)
+	}
+}

@@ -39,6 +39,12 @@ type ExperimentConfig struct {
 	// LookaheadFullDigests disables incremental world digests in runtime
 	// lookaheads (ablation; see core.Config.LookaheadFullDigests).
 	LookaheadFullDigests bool
+	// LookaheadFaults budgets fault transitions (crash/recover/reset) per
+	// runtime lookahead; zero keeps lookahead fault-free.
+	LookaheadFaults int
+	// LookaheadPartitions additionally explores network-partition
+	// transitions in runtime lookaheads.
+	LookaheadPartitions bool
 }
 
 func (c *ExperimentConfig) fill() {
@@ -102,7 +108,8 @@ func Run(cfg ExperimentConfig) Result {
 		}
 	}
 
-	ccfg := core.Config{LookaheadWorkers: cfg.LookaheadWorkers, LookaheadFullDigests: cfg.LookaheadFullDigests}
+	ccfg := core.Config{LookaheadWorkers: cfg.LookaheadWorkers, LookaheadFullDigests: cfg.LookaheadFullDigests,
+		LookaheadFaults: cfg.LookaheadFaults, LookaheadPartitions: cfg.LookaheadPartitions}
 	switch cfg.Policy {
 	case PolicyRandom:
 		ccfg.NewResolver = func(*core.Node) core.Resolver { return core.Random{} }

@@ -169,6 +169,18 @@ func (m *Manager) Latest(id NodeID) (Entry, bool) {
 	return e, ok
 }
 
+// RecoveryState returns a clone of the freshest checkpointed state retained
+// for id, or nil when none is held. It is the state a lookahead world
+// restores when it explores id's recovery (paper §2: checkpoints are what
+// consequence prediction rebuilds failed participants from).
+func (m *Manager) RecoveryState(id NodeID) sm.Service {
+	e, ok := m.latest[id]
+	if !ok {
+		return nil
+	}
+	return e.State.Clone()
+}
+
 // Snapshot assembles the neighborhood snapshot. Service states in the
 // result are fresh clones, safe to hand to an explore.World.
 func (m *Manager) Snapshot() Snapshot {

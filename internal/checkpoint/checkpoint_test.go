@@ -183,3 +183,20 @@ func TestMalformedBodiesConsumedSafely(t *testing.T) {
 		t.Fatal("malformed response not consumed")
 	}
 }
+
+func TestRecoveryState(t *testing.T) {
+	w, svcs := rig(3)
+	w.managers[0].Tick()
+	rs := w.managers[0].RecoveryState(1)
+	if rs == nil || rs.(*stub).val != svcs[1].val {
+		t.Fatalf("recovery state does not match the retained checkpoint: %v", rs)
+	}
+	// Must be a clone: mutating it cannot corrupt the retained entry.
+	rs.(*stub).val = -1
+	if e, _ := w.managers[0].Latest(1); e.State.(*stub).val != svcs[1].val {
+		t.Fatal("RecoveryState leaked the retained checkpoint")
+	}
+	if w.managers[0].RecoveryState(9) != nil {
+		t.Fatal("RecoveryState invented a checkpoint for an unknown node")
+	}
+}

@@ -503,3 +503,46 @@ func (s *initChooser) Clone() sm.Service         { c := *s; return &c }
 func (s *initChooser) Digest() uint64 {
 	return sm.NewHasher().WriteInt(int64(s.got)).Sum()
 }
+
+func TestMaterializeWorld(t *testing.T) {
+	eng, cl := rig(t, 4, Config{CheckpointInterval: 100 * time.Millisecond})
+	eng.RunFor(time.Second) // let checkpoint exchange populate managers
+	cl.Crash(2)
+	cl.Network().Partition([]NodeID{0}, []NodeID{1})
+
+	w := cl.MaterializeWorld(explore.FirstPolicy, 3, []string{"emit"})
+	if len(w.Services) != 4 {
+		t.Fatalf("world has %d nodes, want 4", len(w.Services))
+	}
+	if !w.Down[2] || w.Down[0] {
+		t.Fatal("down flags not mirrored")
+	}
+	if w.Reachable(0, 1) || !w.Reachable(0, 3) {
+		t.Fatal("partition relation not mirrored")
+	}
+	if !w.Timers[0]["emit"] || len(w.Timers[2]) != 0 {
+		t.Fatal("pending timers wrong: live nodes get them, down nodes do not")
+	}
+	if got, want := w.Digest(), w.DigestFull(); got != want {
+		t.Fatalf("materialized world digest: incremental %#x != full %#x", got, want)
+	}
+	// Services must be clones of the live state.
+	w.Services[0].(*balSvc).val = 999
+	if cl.Node(0).Service().(*balSvc).val == 999 {
+		t.Fatal("materialized world shares live service state")
+	}
+	// Recovery restores the freshest checkpoint any node retains.
+	if w.Recovery == nil {
+		t.Fatal("materialized world has no recovery hook")
+	}
+	rs := w.Recovery(1)
+	if rs == nil {
+		t.Fatal("no recovery state for a checkpointed node")
+	}
+	if rs.Digest() != cl.RecoveryState(1).Digest() {
+		t.Fatal("recovery hook disagrees with Cluster.RecoveryState")
+	}
+	if cl.RecoveryState(99) != nil {
+		t.Fatal("RecoveryState invented a checkpoint for an unknown node")
+	}
+}

@@ -132,6 +132,13 @@ type Predictive struct {
 	// evaluation (ablation; see Config.LookaheadFullDigests, which it
 	// is OR-ed with).
 	FullDigests bool
+	// Faults budgets fault transitions per candidate evaluation. Zero
+	// falls back to the cluster's LookaheadFaults.
+	Faults int
+	// Partitions additionally explores partition transitions per
+	// candidate evaluation (OR-ed with the cluster's
+	// LookaheadPartitions).
+	Partitions bool
 }
 
 // NewPredictive returns a Predictive resolver with default bounds.
@@ -276,14 +283,17 @@ func (p *Predictive) evaluate(n *Node, c sm.Choice, base sm.Service, ev *pending
 	if strategy == nil {
 		strategy = n.cluster.cfg.LookaheadStrategy
 	}
+	faults := p.Faults
+	if faults == 0 {
+		faults = n.cluster.cfg.LookaheadFaults
+	}
 	policy := explore.ForceFirst(n.id, c.Name, candidate, explore.RandomPolicy(n.lookRng))
 	if workers > 1 {
 		// ForceFirst's latch and the rng are shared by every forked
 		// world; serialize them across the worker pool.
 		policy = explore.Locked(policy)
 	}
-	w := n.model.BuildWorld(base.Clone(), time.Duration(n.cluster.eng.Now()), policy, n.lookSeed)
-	n.lookSeed++
+	w := n.buildLookahead(base.Clone(), policy)
 	if ev != nil {
 		ev.injectInto(w, n.id)
 	}
@@ -294,6 +304,8 @@ func (p *Predictive) evaluate(n *Node, c sm.Choice, base sm.Service, ev *pending
 	x.Workers = workers
 	x.Strategy = strategy
 	x.FullDigests = p.FullDigests || n.cluster.cfg.LookaheadFullDigests
+	x.FaultBudget = faults
+	x.PartitionFaults = p.Partitions || n.cluster.cfg.LookaheadPartitions
 	r := x.Explore(w)
 	n.stats.LookaheadStates += uint64(r.StatesExplored)
 	score := r.MeanScore

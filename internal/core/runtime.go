@@ -57,6 +57,23 @@ type Config struct {
 	// incremental ones — the ablation knob for measuring what incremental
 	// digesting buys end to end.
 	LookaheadFullDigests bool
+	// LookaheadFaults budgets fault transitions (crash, recover, reset)
+	// per choice-resolution lookahead, so consequence prediction explores
+	// node failures and recoveries alongside message deliveries (paper
+	// §2: the randtree inconsistency surfaces only when resets are
+	// explored). Zero, the default, keeps lookahead fault-free. Steering
+	// lookaheads always run fault-free: steering attributes violations to
+	// the inspected message, and fault-only violations would taint the
+	// with- and without-message futures equally.
+	LookaheadFaults int
+	// LookaheadPartitions additionally explores network-partition
+	// transitions in runtime lookaheads, drawn from the same fault budget.
+	LookaheadPartitions bool
+	// InitialState, when set, supplies a node's cold-restart state for
+	// fault lookaheads: exploring a reset restores this state when no
+	// fresh-enough checkpoint is retained. Nil limits recovery to
+	// checkpointed (or pre-crash) state.
+	InitialState func(id NodeID) sm.Service
 	// EnvelopeOverhead is added to every message's modeled size.
 	EnvelopeOverhead int
 	// Trace receives structured log entries (nil = discard).
@@ -253,6 +270,80 @@ func (c *Cluster) Restart(id NodeID, fresh sm.Service) {
 	n.start()
 }
 
+// MaterializeWorld snapshots the cluster's live global state as an
+// explorable world: per-node service clones, down flags, the network's
+// partition relation, and the given protocol timers marked pending on
+// every live node. Recovery inside the world restores the freshest
+// checkpoint any node retains for the target (RecoveryState), falling back
+// to the cluster's InitialState hook, so offline fault exploration replays
+// the same restart states the predictive runtime would.
+func (c *Cluster) MaterializeWorld(policy explore.ChoicePolicy, seed int64, timers []string) *explore.World {
+	w := explore.NewWorld(policy, seed)
+	w.Now = time.Duration(c.eng.Now())
+	for _, id := range c.order {
+		n := c.nodes[id]
+		w.AddNode(id, n.svc.Clone())
+		if n.down {
+			w.SetDown(id, true)
+			continue
+		}
+		for _, t := range timers {
+			w.SetTimerPending(id, t)
+		}
+	}
+	for _, p := range c.net.Partitions() {
+		w.PartitionPair(p[0], p[1])
+	}
+	// Snapshot recovery state eagerly, like every other piece of the
+	// materialized world: the freshest retained checkpoint entry per node
+	// is captured now (entries are immutable once stored — managers only
+	// ever replace them), so the hooks never read live cluster state after
+	// materialization and are safe for concurrent exploration workers.
+	best := make(map[NodeID]checkpoint.Entry)
+	for _, nid := range c.order {
+		for _, rid := range c.nodes[nid].ckpt.Retained() {
+			e, ok := c.nodes[nid].ckpt.Latest(rid)
+			if !ok {
+				continue
+			}
+			if cur, held := best[rid]; !held || e.Epoch > cur.Epoch || (e.Epoch == cur.Epoch && e.At > cur.At) {
+				best[rid] = e
+			}
+		}
+	}
+	w.Recovery = func(id NodeID) sm.Service {
+		e, ok := best[id]
+		if !ok {
+			return nil
+		}
+		return e.State.Clone()
+	}
+	w.HasRecovery = func(id NodeID) bool { _, ok := best[id]; return ok }
+	w.Initial = c.cfg.InitialState
+	return w
+}
+
+// RecoveryState returns a clone of the freshest checkpoint any node in the
+// cluster retains for id, or nil when none is held.
+func (c *Cluster) RecoveryState(id NodeID) sm.Service {
+	var best checkpoint.Entry
+	holder := NodeID(-1)
+	for _, nid := range c.order {
+		e, ok := c.nodes[nid].ckpt.Latest(id)
+		if !ok {
+			continue
+		}
+		if holder < 0 || e.Epoch > best.Epoch || (e.Epoch == best.Epoch && e.At > best.At) {
+			best = e
+			holder = nid
+		}
+	}
+	if holder < 0 {
+		return nil
+	}
+	return c.nodes[holder].ckpt.RecoveryState(id)
+}
+
 // Stats sums runtime counters over all nodes.
 func (c *Cluster) Stats() Stats {
 	var s Stats
@@ -422,6 +513,13 @@ func (n *Node) steerAway(msg *sm.Msg) bool {
 	n.stats.SteeringChecks++
 	cfg := n.cluster.cfg
 	now := time.Duration(n.cluster.eng.Now())
+	// Steering predicates on violations *caused by this message*: it
+	// compares the with-message future against the without-message one and
+	// steers only when the difference is unsafe-vs-safe. Fault branching
+	// stays off here — a violation reachable through a crash or reset alone
+	// would taint both futures equally, making every message look
+	// unsteerable (and paying two fault searches per delivery for it).
+	// LookaheadFaults applies to choice resolution, not steering.
 	mkExplorer := func() *explore.Explorer {
 		x := explore.NewExplorer(cfg.SteeringDepth)
 		x.MaxStates = cfg.SteeringMaxStates
@@ -431,8 +529,7 @@ func (n *Node) steerAway(msg *sm.Msg) bool {
 		x.FullDigests = cfg.LookaheadFullDigests
 		return x
 	}
-	withMsg := n.model.BuildWorld(n.svc.Clone(), now, n.lookPolicy(), n.lookSeed)
-	n.lookSeed++
+	withMsg := n.buildLookahead(n.svc.Clone(), n.lookPolicy())
 	cp := *msg
 	withMsg.InjectMessage(&cp)
 	rWith := mkExplorer().Explore(withMsg)
@@ -442,8 +539,7 @@ func (n *Node) steerAway(msg *sm.Msg) bool {
 	}
 	// Only steer if the alternative (dropping the message) is not itself
 	// predicted to lead to a violation.
-	without := n.model.BuildWorld(n.svc.Clone(), now, n.lookPolicy(), n.lookSeed)
-	n.lookSeed++
+	without := n.buildLookahead(n.svc.Clone(), n.lookPolicy())
 	rWithout := mkExplorer().Explore(without)
 	n.stats.LookaheadStates += uint64(rWithout.StatesExplored)
 	if !rWithout.Safe() {
@@ -453,6 +549,17 @@ func (n *Node) steerAway(msg *sm.Msg) bool {
 	cfg.Trace.Add(now, int(n.id), "STEER drop %s from %v", msg.Kind, msg.Src)
 	n.cluster.net.BreakConnection(n.id, msg.Src)
 	return true
+}
+
+// buildLookahead assembles a lookahead world from the node's predictive
+// model — pre-event self state plus fresh neighborhood checkpoints, with
+// recovery wired to the checkpointed states and cold restarts to the
+// cluster's InitialState hook — and advances the node's lookahead seed.
+func (n *Node) buildLookahead(base sm.Service, policy explore.ChoicePolicy) *explore.World {
+	w := n.model.BuildWorld(base, time.Duration(n.cluster.eng.Now()), policy, n.lookSeed)
+	n.lookSeed++
+	w.Initial = n.cluster.cfg.InitialState
+	return w
 }
 
 // lookPolicy returns the node's lookahead choice policy, serialized when

@@ -47,6 +47,20 @@ func TestIncrementalDigestMatchesFull(t *testing.T) {
 	check("up")
 	w.SetTimerPending(1, "extra")
 	check("set-timer")
+	w.Crash(2)
+	check("crash")
+	w.Recover(2, nil)
+	check("recover")
+	w.PartitionPair(0, 4)
+	check("partition-pair")
+	w.Partition([]NodeID{0, 1}, []NodeID{3})
+	check("partition-groups")
+	w.IsolateNode(2)
+	check("isolate")
+	w.HealPair(0, 4)
+	check("heal-pair")
+	w.HealNode(2)
+	check("heal-node")
 	c := w.Clone()
 	check("clone(parent)")
 	if got, want := c.Digest(), c.DigestFull(); got != want {
@@ -177,15 +191,16 @@ func TestMsgDigestMemo(t *testing.T) {
 }
 
 // TestDigestRandomWalkEquivalence drives random interleavings of all world
-// operations and continuously cross-checks the maintained digest.
+// operations — fault transitions included — and continuously cross-checks
+// the maintained digest.
 func TestDigestRandomWalkEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	for trial := 0; trial < 20; trial++ {
 		w := digestWorld(4)
 		parents := []*World{}
 		parentDigs := []uint64{}
-		for step := 0; step < 40; step++ {
-			switch op := rng.Intn(5); {
+		for step := 0; step < 60; step++ {
+			switch op := rng.Intn(9); {
 			case op == 0 && len(w.Inflight) > 0:
 				w.DeliverMessage(rng.Intn(len(w.Inflight)))
 			case op == 1:
@@ -198,6 +213,18 @@ func TestDigestRandomWalkEquivalence(t *testing.T) {
 				parents = append(parents, w)
 				parentDigs = append(parentDigs, w.Digest())
 				w = w.Clone()
+			case op == 5:
+				w.Crash(NodeID(rng.Intn(4)))
+			case op == 6:
+				w.Recover(NodeID(rng.Intn(4)), nil)
+			case op == 7:
+				w.IsolateNode(NodeID(rng.Intn(4)))
+			case op == 8:
+				if rng.Intn(2) == 0 {
+					w.HealNode(NodeID(rng.Intn(4)))
+				} else {
+					w.PartitionPair(NodeID(rng.Intn(4)), NodeID(rng.Intn(4)))
+				}
 			}
 			if got, want := w.Digest(), w.DigestFull(); got != want {
 				t.Fatalf("trial %d step %d: incremental %#x != full %#x", trial, step, got, want)
@@ -206,6 +233,9 @@ func TestDigestRandomWalkEquivalence(t *testing.T) {
 		for i, p := range parents {
 			if got := p.Digest(); got != parentDigs[i] {
 				t.Fatalf("trial %d: ancestor %d digest drifted from %#x to %#x", trial, i, parentDigs[i], got)
+			}
+			if got, want := p.Digest(), p.DigestFull(); got != want {
+				t.Fatalf("trial %d: ancestor %d incremental %#x != full %#x", trial, i, got, want)
 			}
 		}
 	}

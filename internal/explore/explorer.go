@@ -52,6 +52,9 @@ func (v Violation) String() string {
 type Report struct {
 	StatesExplored int
 	MaxDepth       int
+	// FaultsInjected counts the fault transitions (crash, recover, reset,
+	// partition, heal) executed across all explored branches.
+	FaultsInjected int
 	Violations     []Violation
 	// MinScore, MeanScore and MaxScore aggregate the objective over every
 	// explored state (not just leaves), so transient bad states count.
@@ -96,6 +99,17 @@ type Explorer struct {
 	// Loss branches are a causal-chain notion: only ChainDFS implements
 	// them, BFS and RandomWalk ignore the flag.
 	DropBranches bool
+	// FaultBudget bounds the fault transitions (crash, recover, reset,
+	// and — with PartitionFaults — partition/heal) per explored path. Zero,
+	// the default, disables fault branching entirely: the search space and
+	// reports are then identical to the pre-fault engine. Every strategy
+	// honors the budget; ChainDFS treats a fault as a branch point the way
+	// DropBranches treats loss.
+	FaultBudget int
+	// PartitionFaults additionally enumerates network-partition
+	// transitions (node isolation and heal) as fault actions, drawn from
+	// the same FaultBudget.
+	PartitionFaults bool
 	// Strategy selects the traversal. Nil means ChainDFS.
 	Strategy Strategy
 	// Workers sizes the scheduler's pool. Values <= 1 run sequentially
@@ -133,6 +147,21 @@ func (x *Explorer) digest(w *World) uint64 {
 	return w.Digest()
 }
 
+// visitKey is the state-deduplication key: the world digest, folded with
+// the path's remaining fault budget when fault branching is on. Two visits
+// of the same world state are interchangeable only if they can still take
+// the same fault transitions — without the fold, a budget-spent path could
+// claim the digest first and prune a budget-rich revisit along with every
+// fault-reachable violation behind it. With FaultBudget 0 the key is the
+// bare digest, preserving the pre-fault engine's pruning exactly.
+func (x *Explorer) visitKey(w *World, faults int) uint64 {
+	d := x.digest(w)
+	if x.FaultBudget > 0 {
+		d = sm.Mix64(d + uint64(x.FaultBudget-faults)*0x9e3779b97f4a7c15)
+	}
+	return d
+}
+
 // NewExplorer returns an explorer with the given chain depth and a state
 // budget proportionate to it.
 func NewExplorer(depth int) *Explorer {
@@ -142,7 +171,7 @@ func NewExplorer(depth int) *Explorer {
 func (x *Explorer) enabled(w *World) []Action {
 	acts := make([]Action, 0, len(w.Inflight))
 	for i, m := range w.Inflight {
-		if w.Down[m.Dst] {
+		if w.Down[m.Dst] || !w.Reachable(m.Src, m.Dst) {
 			continue
 		}
 		acts = append(acts, Action{Kind: ActionMessage, MsgIx: i, Label: m.String()})
@@ -165,6 +194,45 @@ func (x *Explorer) enabled(w *World) []Action {
 			}
 		}
 		returnNames(names)
+	}
+	return acts
+}
+
+// faultActions enumerates the fault transitions available in w after
+// `used` faults were already taken on the path: crash (plus reset, when a
+// recovery hook can supply restart state) for every live node, recover for
+// every down node, and — when PartitionFaults is on — isolate/heal. The
+// order follows the world's sorted node order, so runs are deterministic.
+func (x *Explorer) faultActions(w *World, used int) []Action {
+	if x.FaultBudget <= used {
+		return nil
+	}
+	var acts []Action
+	nodes := w.Nodes()
+	var cuts map[NodeID]int
+	if x.PartitionFaults {
+		cuts = w.partitionCutCounts()
+	}
+	for _, id := range nodes {
+		if w.Down[id] {
+			acts = append(acts, Action{Kind: ActionRecover, Node: id, Label: fmt.Sprintf("recover %v", id)})
+			continue
+		}
+		acts = append(acts, Action{Kind: ActionCrash, Node: id, Label: fmt.Sprintf("crash %v", id)})
+		if w.CanRestart(id) {
+			acts = append(acts, Action{Kind: ActionReset, Node: id, Label: fmt.Sprintf("reset %v", id)})
+		}
+		if x.PartitionFaults {
+			// Isolate while any pair is still connected; heal while any
+			// pair is cut — a partially partitioned node (e.g. a live
+			// group partition mirrored into the world) offers both.
+			if cuts[id] < len(nodes)-1 {
+				acts = append(acts, Action{Kind: ActionPartition, Node: id, Label: fmt.Sprintf("isolate %v", id)})
+			}
+			if cuts[id] > 0 {
+				acts = append(acts, Action{Kind: ActionHeal, Node: id, Label: fmt.Sprintf("heal %v", id)})
+			}
+		}
 	}
 	return acts
 }
@@ -262,7 +330,10 @@ func (x *Explorer) IterativeExplore(w *World, maxDepth int, budget time.Duration
 
 // chain executes action a on w (which the callee owns), then recurses on
 // the consequences of a plus any newly enabled timers on the acting node.
-func (x *Explorer) chain(ctx *Ctx, w *World, a Action, depth int, r *Report, trace []string) {
+// faults counts the fault transitions consumed on the path, a included
+// when it is one; while the budget lasts, each fault transition is an
+// additional branch point the way DropBranches branches over loss.
+func (x *Explorer) chain(ctx *Ctx, w *World, a Action, depth, faults int, r *Report, trace []string) {
 	if ctx.Exhausted() {
 		r.Truncated = true
 		return
@@ -275,7 +346,7 @@ func (x *Explorer) chain(ctx *Ctx, w *World, a Action, depth int, r *Report, tra
 		}
 		if m := w.Inflight[a.MsgIx]; w.Generic != nil {
 			if _, modeled := w.Services[m.Dst]; !modeled {
-				x.genericDelivery(ctx, w, a.MsgIx, depth, r, trace)
+				x.genericDelivery(ctx, w, a.MsgIx, depth, faults, r, trace)
 				return
 			}
 		}
@@ -284,6 +355,14 @@ func (x *Explorer) chain(ctx *Ctx, w *World, a Action, depth int, r *Report, tra
 	case ActionTimer:
 		msgs := w.FireTimer(a.Node, a.Timer)
 		out = consequences(w, msgs)
+	default:
+		if !IsFault(a.Kind) {
+			return
+		}
+		// A fault transition is a chain step of its own; recovery's Init
+		// sends are its causal consequences.
+		out = consequences(w, applyFault(w, a))
+		r.FaultsInjected++
 	}
 	if depth > r.MaxDepth {
 		r.MaxDepth = depth
@@ -292,10 +371,7 @@ func (x *Explorer) chain(ctx *Ctx, w *World, a Action, depth int, r *Report, tra
 	if depth >= x.Depth {
 		return
 	}
-	if ctx.Visit(x.digest(w)) {
-		return
-	}
-	if len(out) == 0 {
+	if ctx.Visit(x.visitKey(w, faults)) {
 		return
 	}
 	for _, next := range out {
@@ -323,7 +399,7 @@ func (x *Explorer) chain(ctx *Ctx, w *World, a Action, depth int, r *Report, tra
 		} else {
 			na = Action{Kind: ActionTimer, Node: next.node, Timer: next.timer, Label: fmt.Sprintf("%v!%s", next.node, next.timer)}
 		}
-		x.chain(ctx, wc, na, depth+1, r, appendTrace(trace, na.Label))
+		x.chain(ctx, wc, na, depth+1, faults, r, appendTrace(trace, na.Label))
 		// Loss branch: this consequence, if a datagram, may never arrive.
 		if x.DropBranches && next.msg != nil && next.msg.Unreliable {
 			wd := x.fork(w)
@@ -339,12 +415,22 @@ func (x *Explorer) chain(ctx *Ctx, w *World, a Action, depth int, r *Report, tra
 			x.check(ctx, wd, r, appendTrace(trace, "drop "+na.Label), depth+1)
 		}
 	}
+	// Fault branches: while the budget lasts, the chain may be interrupted
+	// by a crash, recovery, reset, or partition transition at this point,
+	// and continues with that transition's consequences.
+	for _, fa := range x.faultActions(w, faults) {
+		if ctx.Exhausted() {
+			r.Truncated = true
+			return
+		}
+		x.chain(ctx, x.fork(w), fa, depth+1, faults+1, r, appendTrace(trace, fa.Label))
+	}
 }
 
 // genericDelivery handles a message addressed to an under-specified node
 // (paper §3.3.2): the explorer branches over the generic node staying
 // silent and over each reaction the installed GenericModel enumerates.
-func (x *Explorer) genericDelivery(ctx *Ctx, w *World, ix, depth int, r *Report, trace []string) {
+func (x *Explorer) genericDelivery(ctx *Ctx, w *World, ix, depth, faults int, r *Report, trace []string) {
 	m := w.Inflight[ix]
 	w.RemoveInflight(ix)
 	if depth > r.MaxDepth {
@@ -355,7 +441,7 @@ func (x *Explorer) genericDelivery(ctx *Ctx, w *World, ix, depth int, r *Report,
 	if depth >= x.Depth {
 		return
 	}
-	if ctx.Visit(x.digest(w)) {
+	if ctx.Visit(x.visitKey(w, faults)) {
 		return
 	}
 	for bi, reaction := range w.Generic.Reactions(m) {
@@ -383,9 +469,19 @@ func (x *Explorer) genericDelivery(ctx *Ctx, w *World, ix, depth int, r *Report,
 				continue
 			}
 			na := Action{Kind: ActionMessage, MsgIx: ixc, Label: im.String()}
-			x.chain(ctx, x.fork(wc), na, depth+1, r,
+			x.chain(ctx, x.fork(wc), na, depth+1, faults, r,
 				append(appendTrace(trace, label), na.Label))
 		}
+	}
+	// Fault branches apply at generic-delivery steps like at any other
+	// chain step: the silent-absorption state may be interrupted by a
+	// crash, recovery, reset, or partition transition.
+	for _, fa := range x.faultActions(w, faults) {
+		if ctx.Exhausted() {
+			r.Truncated = true
+			return
+		}
+		x.chain(ctx, x.fork(w), fa, depth+1, faults+1, r, appendTrace(trace, fa.Label))
 	}
 }
 

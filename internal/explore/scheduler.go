@@ -143,6 +143,7 @@ func (x *Explorer) runParallel(ctx *Ctx, strat Strategy, frontier []Unit, report
 // merge folds a worker's report shard into r.
 func (r *Report) merge(o *Report) {
 	r.StatesExplored += o.StatesExplored
+	r.FaultsInjected += o.FaultsInjected
 	if o.MaxDepth > r.MaxDepth {
 		r.MaxDepth = o.MaxDepth
 	}

@@ -3,12 +3,16 @@ package explore
 import (
 	"fmt"
 	"math/rand"
+
+	"crystalchoice/internal/sm"
 )
 
 // Action is one executable step in a world: the delivery of an in-flight
-// message or the firing of a pending timer.
+// message, the firing of a pending timer, or — when the explorer's fault
+// budget allows — a fault transition (crash, recover, reset, partition,
+// heal) on the node named by Node.
 type Action struct {
-	Kind  byte // ActionMessage or ActionTimer
+	Kind  byte // one of the Action* constants
 	MsgIx int
 	Node  NodeID
 	Timer string
@@ -19,7 +23,43 @@ type Action struct {
 const (
 	ActionMessage byte = 'm'
 	ActionTimer   byte = 't'
+	// Fault transitions (paper §2: consequence prediction explores node
+	// resets and other scenarios "as many as you can imagine").
+	ActionCrash     byte = 'C' // node fails: down, timers cancelled
+	ActionRecover   byte = 'R' // down node revives and replays Init
+	ActionReset     byte = 'Z' // crash + immediate restart as one transition
+	ActionPartition byte = 'P' // node isolated from every other node
+	ActionHeal      byte = 'H' // every partition involving the node removed
 )
+
+// IsFault reports whether kind is a fault transition.
+func IsFault(kind byte) bool {
+	switch kind {
+	case ActionCrash, ActionRecover, ActionReset, ActionPartition, ActionHeal:
+		return true
+	}
+	return false
+}
+
+// applyFault executes a fault action on w, returning the messages the
+// transition produced (recovery replays Init, whose sends are the fault's
+// causal consequences; the other transitions produce none).
+func applyFault(w *World, a Action) []*sm.Msg {
+	switch a.Kind {
+	case ActionCrash:
+		w.Crash(a.Node)
+	case ActionRecover:
+		return w.Recover(a.Node, nil)
+	case ActionReset:
+		w.Crash(a.Node)
+		return w.Recover(a.Node, nil)
+	case ActionPartition:
+		w.IsolateNode(a.Node)
+	case ActionHeal:
+		w.HealNode(a.Node)
+	}
+	return nil
+}
 
 // Unit is one schedulable piece of exploration work: a world owned by the
 // unit plus the step to take in it. Strategies produce units; the
@@ -29,6 +69,9 @@ type Unit struct {
 	Act   Action
 	Depth int
 	Trace []string
+	// Faults counts the fault transitions on the unit's path, including
+	// Act itself when it is one; the explorer's FaultBudget bounds it.
+	Faults int
 	// Seed parameterizes strategies that randomize per unit (RandomWalk).
 	Seed int64
 }
@@ -72,12 +115,22 @@ type ChainDFS struct{}
 // Name returns "chaindfs".
 func (ChainDFS) Name() string { return "chaindfs" }
 
-// Roots yields one unit per enabled action in the start world.
+// Roots yields one unit per enabled action in the start world, plus one
+// per fault transition when the fault budget allows.
 func (ChainDFS) Roots(x *Explorer, ctx *Ctx, w *World) []Unit {
+	return rootUnits(x, w)
+}
+
+// rootUnits seeds the shared frontier shape of ChainDFS and BFS: one unit
+// per enabled action, then one per enabled fault transition.
+func rootUnits(x *Explorer, w *World) []Unit {
 	acts := x.enabled(w)
 	units := make([]Unit, 0, len(acts))
 	for _, a := range acts {
 		units = append(units, Unit{World: x.fork(w), Act: a, Depth: 1, Trace: []string{a.Label}})
+	}
+	for _, a := range x.faultActions(w, 0) {
+		units = append(units, Unit{World: x.fork(w), Act: a, Depth: 1, Faults: 1, Trace: []string{a.Label}})
 	}
 	return units
 }
@@ -86,7 +139,7 @@ func (ChainDFS) Roots(x *Explorer, ctx *Ctx, w *World) []Unit {
 // the root-level loss branch for unreliable datagrams when DropBranches is
 // on. Chains recurse internally, so no successor units are produced.
 func (ChainDFS) Expand(x *Explorer, ctx *Ctx, u Unit, r *Report) []Unit {
-	x.chain(ctx, u.World, u.Act, u.Depth, r, u.Trace)
+	x.chain(ctx, u.World, u.Act, u.Depth, u.Faults, r, u.Trace)
 	// Loss branch: an unreliable message may simply never arrive.
 	root := ctx.root
 	if x.DropBranches && u.Act.Kind == ActionMessage && u.Act.MsgIx < len(root.Inflight) && root.Inflight[u.Act.MsgIx].Unreliable {
@@ -111,19 +164,15 @@ type BFS struct{}
 // Name returns "bfs".
 func (BFS) Name() string { return "bfs" }
 
-// Roots yields one unit per enabled action in the start world.
+// Roots yields one unit per enabled action in the start world, plus one
+// per fault transition when the fault budget allows.
 func (BFS) Roots(x *Explorer, ctx *Ctx, w *World) []Unit {
-	acts := x.enabled(w)
-	units := make([]Unit, 0, len(acts))
-	for _, a := range acts {
-		units = append(units, Unit{World: x.fork(w), Act: a, Depth: 1, Trace: []string{a.Label}})
-	}
-	return units
+	return rootUnits(x, w)
 }
 
 // Expand executes the unit's action and fans out every enabled action of
-// the resulting state as successors, deduplicating via the shared digest
-// set.
+// the resulting state as successors — fault transitions included while the
+// budget lasts — deduplicating via the shared digest set.
 func (BFS) Expand(x *Explorer, ctx *Ctx, u Unit, r *Report) []Unit {
 	w := u.World
 	switch u.Act.Kind {
@@ -134,6 +183,12 @@ func (BFS) Expand(x *Explorer, ctx *Ctx, u Unit, r *Report) []Unit {
 		w.DeliverMessage(u.Act.MsgIx)
 	case ActionTimer:
 		w.FireTimer(u.Act.Node, u.Act.Timer)
+	default:
+		if !IsFault(u.Act.Kind) {
+			return nil
+		}
+		applyFault(w, u.Act)
+		r.FaultsInjected++
 	}
 	if u.Depth > r.MaxDepth {
 		r.MaxDepth = u.Depth
@@ -142,14 +197,18 @@ func (BFS) Expand(x *Explorer, ctx *Ctx, u Unit, r *Report) []Unit {
 	if u.Depth >= x.Depth {
 		return nil
 	}
-	if ctx.Visit(x.digest(w)) {
+	if ctx.Visit(x.visitKey(w, u.Faults)) {
 		return nil
 	}
 	acts := x.enabled(w)
 	succ := make([]Unit, 0, len(acts))
 	for _, a := range acts {
 		succ = append(succ, Unit{World: x.fork(w), Act: a, Depth: u.Depth + 1,
-			Trace: appendTrace(u.Trace, a.Label)})
+			Faults: u.Faults, Trace: appendTrace(u.Trace, a.Label)})
+	}
+	for _, a := range x.faultActions(w, u.Faults) {
+		succ = append(succ, Unit{World: x.fork(w), Act: a, Depth: u.Depth + 1,
+			Faults: u.Faults + 1, Trace: appendTrace(u.Trace, a.Label)})
 	}
 	return succ
 }
@@ -192,19 +251,22 @@ func (s RandomWalk) Roots(x *Explorer, ctx *Ctx, w *World) []Unit {
 	return units
 }
 
-// Expand runs the unit's whole trajectory inline. Walks deliberately skip
-// digest deduplication: revisiting states on different paths is what makes
-// the sample unbiased.
+// Expand runs the unit's whole trajectory inline, mixing fault transitions
+// into the per-step action pool while the budget lasts. Walks deliberately
+// skip digest deduplication: revisiting states on different paths is what
+// makes the sample unbiased.
 func (RandomWalk) Expand(x *Explorer, ctx *Ctx, u Unit, r *Report) []Unit {
 	rng := rand.New(rand.NewSource(u.Seed*2654435761 + 1))
 	w := u.World
 	trace := u.Trace
+	faults := u.Faults
 	for depth := u.Depth; depth <= x.Depth; depth++ {
 		if ctx.Exhausted() {
 			r.Truncated = true
 			return nil
 		}
 		acts := x.enabled(w)
+		acts = append(acts, x.faultActions(w, faults)...)
 		if len(acts) == 0 {
 			return nil
 		}
@@ -214,6 +276,12 @@ func (RandomWalk) Expand(x *Explorer, ctx *Ctx, u Unit, r *Report) []Unit {
 			w.DeliverMessage(a.MsgIx)
 		case ActionTimer:
 			w.FireTimer(a.Node, a.Timer)
+		default:
+			if IsFault(a.Kind) {
+				applyFault(w, a)
+				faults++
+				r.FaultsInjected++
+			}
 		}
 		trace = appendTrace(trace, a.Label)
 		if depth > r.MaxDepth {

@@ -85,8 +85,31 @@ type World struct {
 	// under-specified "generic nodes" (paper §3.3.2): messages to them
 	// stay explorable and branch over the model's possible reactions.
 	Generic GenericModel
+	// Recovery, when set, supplies the state a crashed node restarts with
+	// inside this world: typically a clone of the freshest neighborhood
+	// checkpoint the predictive model retains (paper §2: checkpoints are
+	// what lookahead recovers nodes from). Returning nil falls through to
+	// Initial, then to a warm restart keeping the pre-crash state. The
+	// hook is shared by every fork and may be called from concurrent
+	// workers, so it must be safe for concurrent use (pure reads + clone).
+	Recovery func(id NodeID) sm.Service
+	// HasRecovery, when set, reports cheaply (no clone) whether Recovery
+	// would yield state for id; installers of Recovery should set it so
+	// fault enumeration can gate reset branches per node without paying
+	// for a checkpoint clone. Nil means "assume Recovery may yield".
+	HasRecovery func(id NodeID) bool
+	// Initial, when set, supplies a node's cold-restart state (a fresh
+	// service as deployed), used when Recovery yields nothing. Same
+	// sharing and concurrency contract as Recovery.
+	Initial func(id NodeID) sm.Service
 
 	rngs map[NodeID]*rand.Rand
+
+	// partitioned is the reachability relation gating delivery: an entry
+	// for an unordered node pair means the two cannot exchange messages
+	// until the pair heals. Shared with forks copy-on-write (partOwned).
+	partitioned map[pairKey]bool
+	partOwned   bool
 
 	// Copy-on-write bookkeeping. A world forked with Clone shares its
 	// services, per-node timer sets, and in-flight slice with its parent
@@ -131,7 +154,27 @@ type worldDigest struct {
 	hashOwned   bool
 	nodeSum     uint64   // sum over hashes
 	inflightSum uint64   // sum of finalized in-flight msg digests
+	partSum     uint64   // sum of finalized partitioned-pair hashes
 	dirty       []NodeID // components to recompute on next Digest
+}
+
+// pairKey is an unordered node pair, normalized low-high.
+type pairKey struct{ a, b NodeID }
+
+func mkPair(a, b NodeID) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+// pairHash finalizes one partitioned pair for commutative combination.
+func pairHash(k pairKey) uint64 {
+	h := sm.GetHasher()
+	h.WriteNodePair(k.a, k.b)
+	d := sm.Mix64(h.Sum())
+	sm.PutHasher(h)
+	return d
 }
 
 // NewWorld returns an empty world with the given choice policy and seed.
@@ -168,16 +211,20 @@ func (w *World) AddNode(id NodeID, svc sm.Service) {
 // exploration branch via WithPolicy).
 func (w *World) Clone() *World {
 	c := &World{
-		Services: make(map[NodeID]sm.Service, len(w.Services)),
-		Inflight: w.Inflight, // shared; messages are immutable once in flight
-		Timers:   make(map[NodeID]map[string]bool, len(w.Timers)),
-		Down:     make(map[NodeID]bool, len(w.Down)),
-		Now:      w.Now,
-		Policy:   w.Policy,
-		Seed:     forkSeed(w.Seed, w.forks.Add(1)),
-		Generic:  w.Generic,
-		cow:      true,
+		Services:    make(map[NodeID]sm.Service, len(w.Services)),
+		Inflight:    w.Inflight, // shared; messages are immutable once in flight
+		Timers:      make(map[NodeID]map[string]bool, len(w.Timers)),
+		Down:        make(map[NodeID]bool, len(w.Down)),
+		Now:         w.Now,
+		Policy:      w.Policy,
+		Seed:        forkSeed(w.Seed, w.forks.Add(1)),
+		Generic:     w.Generic,
+		Recovery:    w.Recovery,
+		HasRecovery: w.HasRecovery,
+		Initial:     w.Initial,
+		cow:         true,
 	}
+	c.partitioned = w.partitioned // shared; forked before first write
 	for id, svc := range w.Services {
 		c.Services[id] = svc
 	}
@@ -192,7 +239,7 @@ func (w *World) Clone() *World {
 	// The parent now shares state with the fork, so it must also fork
 	// before its next write. Freeze is skipped when already shared-and-
 	// unowned so that concurrent Clones of a frozen world stay read-only.
-	if !w.cow || len(w.ownedSvc) > 0 || len(w.ownedTimers) > 0 || w.inflightOwned || w.dig.hashOwned {
+	if !w.cow || len(w.ownedSvc) > 0 || len(w.ownedTimers) > 0 || w.inflightOwned || w.partOwned || w.dig.hashOwned {
 		w.Freeze()
 	}
 	return c
@@ -225,14 +272,24 @@ func forkSeed(parent, k int64) int64 {
 // copy-on-write buys (Explorer.DeepClones).
 func (w *World) DeepClone() *World {
 	c := &World{
-		Services: make(map[NodeID]sm.Service, len(w.Services)),
-		Inflight: make([]*sm.Msg, len(w.Inflight)),
-		Timers:   make(map[NodeID]map[string]bool, len(w.Timers)),
-		Down:     make(map[NodeID]bool, len(w.Down)),
-		Now:      w.Now,
-		Policy:   w.Policy,
-		Seed:     forkSeed(w.Seed, w.forks.Add(1)),
-		Generic:  w.Generic,
+		Services:    make(map[NodeID]sm.Service, len(w.Services)),
+		Inflight:    make([]*sm.Msg, len(w.Inflight)),
+		Timers:      make(map[NodeID]map[string]bool, len(w.Timers)),
+		Down:        make(map[NodeID]bool, len(w.Down)),
+		Now:         w.Now,
+		Policy:      w.Policy,
+		Seed:        forkSeed(w.Seed, w.forks.Add(1)),
+		Generic:     w.Generic,
+		Recovery:    w.Recovery,
+		HasRecovery: w.HasRecovery,
+		Initial:     w.Initial,
+	}
+	if len(w.partitioned) > 0 {
+		c.partitioned = make(map[pairKey]bool, len(w.partitioned))
+		for k := range w.partitioned {
+			c.partitioned[k] = true
+		}
+		c.partOwned = true
 	}
 	for id, svc := range w.Services {
 		c.Services[id] = svc.Clone()
@@ -267,6 +324,7 @@ func (w *World) Freeze() {
 	w.ownedSvc = nil
 	w.ownedTimers = nil
 	w.inflightOwned = false
+	w.partOwned = false
 	w.dig.hashOwned = false
 }
 
@@ -332,6 +390,242 @@ func (w *World) ownInflight() {
 	copy(cp, w.Inflight)
 	w.Inflight = cp
 	w.inflightOwned = true
+}
+
+// ownPartitions readies the partition relation for mutation, forking a
+// shared map and materializing a missing one.
+func (w *World) ownPartitions() {
+	if w.partitioned == nil {
+		w.partitioned = make(map[pairKey]bool)
+		if w.cow {
+			w.partOwned = true
+		}
+		return
+	}
+	if !w.cow || w.partOwned {
+		return
+	}
+	cp := make(map[pairKey]bool, len(w.partitioned))
+	for k := range w.partitioned {
+		cp[k] = true
+	}
+	w.partitioned = cp
+	w.partOwned = true
+}
+
+// Reachable reports whether a and b can exchange messages: true unless the
+// pair is cut by a partition. A node is always reachable from itself.
+func (w *World) Reachable(a, b NodeID) bool {
+	if len(w.partitioned) == 0 || a == b {
+		return true
+	}
+	return !w.partitioned[mkPair(a, b)]
+}
+
+// PartitionPair cuts delivery between a and b (both directions) until the
+// pair heals. The maintained digest absorbs the change in O(1).
+func (w *World) PartitionPair(a, b NodeID) {
+	if a == b {
+		return
+	}
+	k := mkPair(a, b)
+	if w.partitioned[k] {
+		return
+	}
+	w.ownPartitions()
+	w.partitioned[k] = true
+	if w.dig.valid {
+		w.dig.partSum += pairHash(k)
+	}
+}
+
+// HealPair restores delivery between a and b.
+func (w *World) HealPair(a, b NodeID) {
+	if a == b {
+		return
+	}
+	k := mkPair(a, b)
+	if !w.partitioned[k] {
+		return
+	}
+	w.ownPartitions()
+	delete(w.partitioned, k)
+	if w.dig.valid {
+		w.dig.partSum -= pairHash(k)
+	}
+}
+
+// Partition cuts every pair between groups a and b, mirroring the live
+// network's transport.Network.Partition.
+func (w *World) Partition(a, b []NodeID) {
+	for _, x := range a {
+		for _, y := range b {
+			w.PartitionPair(x, y)
+		}
+	}
+}
+
+// Heal removes every partition, mirroring the live network's
+// transport.Network.Heal.
+func (w *World) Heal() {
+	for k := range w.partitioned {
+		w.HealPair(k.a, k.b)
+	}
+}
+
+// IsolateNode partitions id from every other node in the world — the
+// explorer's linear-branching stand-in for arbitrary group partitions.
+func (w *World) IsolateNode(id NodeID) {
+	for _, other := range w.Nodes() {
+		if other != id {
+			w.PartitionPair(id, other)
+		}
+	}
+}
+
+// HealNode removes every partition involving id (including pairs cut by a
+// group Partition).
+func (w *World) HealNode(id NodeID) {
+	for k := range w.partitioned {
+		if k.a == id || k.b == id {
+			w.HealPair(k.a, k.b)
+		}
+	}
+}
+
+// NodeIsolated reports whether id is partitioned from every other node.
+func (w *World) NodeIsolated(id NodeID) bool {
+	if len(w.partitioned) == 0 {
+		return false
+	}
+	for _, other := range w.Nodes() {
+		if other != id && w.Reachable(id, other) {
+			return false
+		}
+	}
+	return true
+}
+
+// partitionCutCounts returns, per node, the number of cut pairs the node
+// participates in — one O(partitions) pass, so callers that classify every
+// node (fault enumeration) avoid n × O(n) NodeIsolated scans. Nil when no
+// partition is in effect.
+func (w *World) partitionCutCounts() map[NodeID]int {
+	if len(w.partitioned) == 0 {
+		return nil
+	}
+	cuts := make(map[NodeID]int, len(w.partitioned))
+	for k := range w.partitioned {
+		cuts[k.a]++
+		cuts[k.b]++
+	}
+	return cuts
+}
+
+// Partitioned reports whether any partition is in effect.
+func (w *World) Partitioned() bool { return len(w.partitioned) > 0 }
+
+// Crash fails node id inside the world: it goes down and its pending
+// timers are cancelled, exactly as the live runtime's Cluster.Crash stops a
+// node's timers. Messages already in flight stay in the channel — while
+// the node is down the explorer never delivers them, and delivery attempts
+// drop them, matching the live transport's down-endpoint behavior.
+func (w *World) Crash(id NodeID) {
+	if w.Down[id] {
+		return
+	}
+	if _, ok := w.Services[id]; !ok {
+		return
+	}
+	w.SetDown(id, true)
+	if len(w.Timers[id]) > 0 {
+		// Install a fresh empty set rather than copy-on-write forking the
+		// shared one just to clear it (crash is enumerated per live node
+		// on the fault-branching hot path).
+		w.markDigestDirty(id)
+		w.Timers[id] = make(map[string]bool)
+		if w.cow {
+			if w.ownedTimers == nil {
+				w.ownedTimers = make(map[NodeID]bool)
+			}
+			w.ownedTimers[id] = true
+		}
+	}
+}
+
+// CanRestart reports whether a recovery hook could supply restart state
+// for node id — the explorer gates reset branches on it so warm resets
+// (which replay nothing new) are not enumerated. The check is clone-free:
+// Recovery availability is answered by the HasRecovery probe when the
+// installer provided one.
+func (w *World) CanRestart(id NodeID) bool {
+	if w.Initial != nil {
+		return true
+	}
+	if w.Recovery == nil {
+		return false
+	}
+	return w.HasRecovery == nil || w.HasRecovery(id)
+}
+
+// recoveryState resolves the state a crashed node restarts with: the
+// Recovery hook's checkpoint if it yields one, a cold Initial state
+// otherwise, nil (keep the pre-crash state — a warm restart) as the final
+// fallback.
+func (w *World) recoveryState(id NodeID) sm.Service {
+	if w.Recovery != nil {
+		if svc := w.Recovery(id); svc != nil {
+			return svc
+		}
+	}
+	if w.Initial != nil {
+		return w.Initial(id)
+	}
+	return nil
+}
+
+// ReplaceService swaps in svc (which must already be a clone owned by the
+// world) as node id's state, keeping the maintained digest coherent. The
+// node must exist; use AddNode for new membership.
+func (w *World) ReplaceService(id NodeID, svc sm.Service) {
+	if _, ok := w.Services[id]; !ok {
+		return
+	}
+	w.markDigestDirty(id)
+	w.Services[id] = svc
+	if w.cow {
+		if w.ownedSvc == nil {
+			w.ownedSvc = make(map[NodeID]bool)
+		}
+		w.ownedSvc[id] = true
+	}
+}
+
+// Recover revives crashed node id and replays the service's Init through
+// the world, so recovery protocols (rejoin requests, timer re-arming) run
+// exactly as on a live restart. svc, if non-nil, replaces the service state
+// (the caller hands ownership); nil resolves state via the Recovery and
+// Initial hooks, keeping the pre-crash state when neither yields one. The
+// messages Init produced are returned as the recovery's consequences.
+func (w *World) Recover(id NodeID, svc sm.Service) []*sm.Msg {
+	if !w.Down[id] {
+		return nil
+	}
+	if svc == nil {
+		svc = w.recoveryState(id)
+	}
+	w.SetDown(id, false)
+	if svc != nil {
+		w.ReplaceService(id, svc)
+	}
+	s := w.ownService(id)
+	if s == nil {
+		return nil
+	}
+	env := &worldEnv{w: w, id: id}
+	s.Init(env)
+	w.absorb(env.produced)
+	return env.produced
 }
 
 // RemoveInflight deletes the in-flight message at index i. Removal is safe
@@ -410,7 +704,7 @@ func (w *World) Digest() uint64 {
 	} else if len(w.dig.dirty) > 0 {
 		w.flushDigestDirty()
 	}
-	return w.combineDigest(w.dig.nodeSum, w.dig.inflightSum)
+	return w.combineDigest(w.dig.nodeSum, w.dig.inflightSum, w.dig.partSum)
 }
 
 // DigestFull recomputes the world digest from scratch under the same
@@ -426,15 +720,20 @@ func (w *World) DigestFull() uint64 {
 	for _, m := range w.Inflight {
 		inflightSum += sm.Mix64(sm.MsgDigestRecompute(m))
 	}
-	return w.combineDigest(nodeSum, inflightSum)
+	var partSum uint64
+	for k := range w.partitioned {
+		partSum += pairHash(k)
+	}
+	return w.combineDigest(nodeSum, inflightSum, partSum)
 }
 
-// combineDigest folds the two commutative sums and their cardinalities
+// combineDigest folds the three commutative sums and their cardinalities
 // into the final world hash.
-func (w *World) combineDigest(nodeSum, inflightSum uint64) uint64 {
+func (w *World) combineDigest(nodeSum, inflightSum, partSum uint64) uint64 {
 	h := sm.GetHasher()
 	h.WriteInt(int64(len(w.Services))).WriteUint(nodeSum)
 	h.WriteInt(int64(len(w.Inflight))).WriteUint(inflightSum)
+	h.WriteInt(int64(len(w.partitioned))).WriteUint(partSum)
 	d := h.Sum()
 	sm.PutHasher(h)
 	return d
@@ -503,8 +802,12 @@ func (w *World) rebuildDigest() {
 	for _, m := range w.Inflight {
 		inflightSum += sm.Mix64(m.Digest())
 	}
+	var partSum uint64
+	for k := range w.partitioned {
+		partSum += pairHash(k)
+	}
 	w.dig = worldDigest{valid: true, idx: idx, hashes: hashes, hashOwned: true,
-		nodeSum: nodeSum, inflightSum: inflightSum}
+		nodeSum: nodeSum, inflightSum: inflightSum, partSum: partSum}
 }
 
 // flushDigestDirty re-hashes the components the COW hooks invalidated,
@@ -617,7 +920,7 @@ func (e *worldEnv) Choose(c sm.Choice) int {
 func (w *World) DeliverMessage(i int) []*sm.Msg {
 	m := w.Inflight[i]
 	w.RemoveInflight(i)
-	if w.Down[m.Dst] {
+	if w.Down[m.Dst] || !w.Reachable(m.Src, m.Dst) {
 		return nil
 	}
 	svc := w.ownService(m.Dst)

@@ -60,6 +60,30 @@ func (s *Schedule) RestartAt(at time.Duration, fresh func(id sm.NodeID) sm.Servi
 	return s
 }
 
+// ResetAt schedules the given nodes to crash and immediately restart at
+// time at — the scripted mirror of the explorer's reset fault transition
+// (a node reset, the fault class behind the paper's randtree
+// inconsistency). fresh, if non-nil, supplies the cold state per node; nil
+// keeps the pre-crash state.
+func (s *Schedule) ResetAt(at time.Duration, fresh func(id sm.NodeID) sm.Service, ids ...sm.NodeID) *Schedule {
+	ids = append([]sm.NodeID(nil), ids...)
+	s.events = append(s.events, Event{
+		At:    at,
+		Label: "reset",
+		Apply: func(cl *core.Cluster) {
+			for _, id := range ids {
+				cl.Crash(id)
+				var svc sm.Service
+				if fresh != nil {
+					svc = fresh(id)
+				}
+				cl.Restart(id, svc)
+			}
+		},
+	})
+	return s
+}
+
 // PartitionAt schedules a network partition between groups a and b.
 func (s *Schedule) PartitionAt(at time.Duration, a, b []sm.NodeID) *Schedule {
 	a = append([]sm.NodeID(nil), a...)

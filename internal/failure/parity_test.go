@@ -1,0 +1,93 @@
+package failure
+
+import (
+	"testing"
+	"time"
+
+	"crystalchoice/internal/core"
+	"crystalchoice/internal/explore"
+	"crystalchoice/internal/sm"
+)
+
+// TestExplorerFaultParity checks live-vs-lookahead fault equivalence: a
+// fault scheduled on the live cluster must leave the deployment in a state
+// whose materialized world digest equals the digest reached by applying
+// the equivalent explorer fault transition to a fault-free twin. This pins
+// the explorer's fault semantics to the runtime's, so predicted fault
+// consequences are consequences the deployment can actually reach.
+func TestExplorerFaultParity(t *testing.T) {
+	const at = time.Second
+	cases := []struct {
+		name  string
+		sched func(s *Schedule)
+		world func(w *explore.World)
+	}{
+		{
+			name:  "crash",
+			sched: func(s *Schedule) { s.CrashAt(at, 1) },
+			world: func(w *explore.World) { w.Crash(1) },
+		},
+		{
+			name:  "crash-group",
+			sched: func(s *Schedule) { s.CrashAt(at, 1, 3) },
+			world: func(w *explore.World) { w.Crash(1); w.Crash(3) },
+		},
+		{
+			name:  "crash-then-warm-restart",
+			sched: func(s *Schedule) { s.CrashAt(at, 2).RestartAt(at+500*time.Millisecond, nil, 2) },
+			world: func(w *explore.World) { w.Crash(2); w.Recover(2, nil) },
+		},
+		{
+			name: "reset-cold",
+			sched: func(s *Schedule) {
+				s.ResetAt(at, func(id sm.NodeID) sm.Service { return &echo{id: id} }, 2)
+			},
+			world: func(w *explore.World) { w.Crash(2); w.Recover(2, &echo{id: 2}) },
+		},
+		{
+			name:  "partition-groups",
+			sched: func(s *Schedule) { s.PartitionAt(at, []sm.NodeID{0, 1}, []sm.NodeID{2, 3}) },
+			world: func(w *explore.World) { w.Partition([]sm.NodeID{0, 1}, []sm.NodeID{2, 3}) },
+		},
+		{
+			name:  "isolate-node",
+			sched: func(s *Schedule) { s.PartitionAt(at, []sm.NodeID{2}, []sm.NodeID{0, 1, 3}) },
+			world: func(w *explore.World) { w.IsolateNode(2) },
+		},
+		{
+			name: "partition-heal",
+			sched: func(s *Schedule) {
+				s.PartitionAt(at, []sm.NodeID{0}, []sm.NodeID{1, 2, 3}).HealAt(at + 500*time.Millisecond)
+			},
+			world: func(w *explore.World) { w.IsolateNode(0); w.Heal() },
+		},
+	}
+	materialize := func(cl *core.Cluster) *explore.World {
+		return cl.MaterializeWorld(explore.FirstPolicy, 7, nil)
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			// Path A: the fault fires on the live cluster via the schedule.
+			engA, clA := rig()
+			var s Schedule
+			tc.sched(&s)
+			s.Install(clA)
+			engA.RunFor(2 * time.Second)
+			live := materialize(clA).Digest()
+
+			// Path B: a fault-free twin runs the same history; the
+			// explorer's fault transition is applied to its world.
+			engB, clB := rig()
+			engB.RunFor(2 * time.Second)
+			w := materialize(clB)
+			tc.world(w)
+			if got := w.Digest(); got != live {
+				t.Fatalf("explorer fault digest %#x != live schedule digest %#x", got, live)
+			}
+			if got, want := w.Digest(), w.DigestFull(); got != want {
+				t.Fatalf("incremental %#x != full %#x after explorer fault", got, want)
+			}
+		})
+	}
+}

@@ -220,5 +220,21 @@ func (m *Model) BuildWorld(selfState sm.Service, now time.Duration, policy explo
 		}
 		w.AddNode(id, e.State.Clone())
 	}
+	// Fault lookaheads recover crashed nodes from the freshest retained
+	// checkpoint — the loop the paper draws between checkpoint exchange
+	// and prediction. The hook is called from exploration workers, so it
+	// only reads the entry map (not mutated while a lookahead runs) and
+	// hands out clones.
+	hasEntry := func(id sm.NodeID) bool {
+		e, ok := m.State.entries[id]
+		return ok && (m.MaxAge <= 0 || now-e.At <= m.MaxAge)
+	}
+	w.Recovery = func(id sm.NodeID) sm.Service {
+		if !hasEntry(id) {
+			return nil
+		}
+		return m.State.entries[id].State.Clone()
+	}
+	w.HasRecovery = hasEntry
 	return w
 }

@@ -184,3 +184,29 @@ func TestBuildWorldMaxAgeFilter(t *testing.T) {
 		t.Fatalf("unfiltered world has %d nodes, want 3", len(w.Services))
 	}
 }
+
+func TestBuildWorldRecoveryHook(t *testing.T) {
+	m := New(0)
+	m.MaxAge = time.Second
+	m.State.Update(1, &stub{id: 1, val: 7}, 4500*time.Millisecond, 1) // fresh
+	m.State.Update(2, &stub{id: 2, val: 8}, 0, 1)                     // stale at build time
+	w := m.BuildWorld(&stub{id: 0}, 5*time.Second, explore.FirstPolicy, 1)
+	if w.Recovery == nil {
+		t.Fatal("BuildWorld left the recovery hook unset")
+	}
+	got := w.Recovery(1)
+	if got == nil || got.(*stub).val != 7 {
+		t.Fatalf("recovery hook did not restore the checkpointed state: %v", got)
+	}
+	// The hook must hand out clones, never the retained entry itself.
+	got.(*stub).val = -1
+	if e, _ := m.State.Get(1); e.State.(*stub).val != 7 {
+		t.Fatal("recovery hook leaked the model's retained checkpoint")
+	}
+	if w.Recovery(2) != nil {
+		t.Fatal("recovery hook restored a checkpoint older than MaxAge")
+	}
+	if w.Recovery(9) != nil {
+		t.Fatal("recovery hook invented state for an unknown node")
+	}
+}

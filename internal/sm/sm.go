@@ -249,6 +249,16 @@ func (s *Hasher) WriteString(v string) *Hasher {
 // WriteNode folds a node ID into the digest.
 func (s *Hasher) WriteNode(id NodeID) *Hasher { return s.WriteInt(int64(id)) }
 
+// WriteNodePair folds an unordered node pair into the digest, normalizing
+// the order so (a,b) and (b,a) hash identically — the shape of a partition
+// relation entry.
+func (s *Hasher) WriteNodePair(a, b NodeID) *Hasher {
+	if a > b {
+		a, b = b, a
+	}
+	return s.WriteNode(a).WriteNode(b)
+}
+
 // WriteNodes folds a node slice, order-sensitively.
 func (s *Hasher) WriteNodes(ids []NodeID) *Hasher {
 	s.WriteInt(int64(len(ids)))

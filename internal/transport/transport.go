@@ -193,6 +193,27 @@ func (n *Network) Partition(a, b []NodeID) {
 // Heal removes all partitions.
 func (n *Network) Heal() { n.partitioned = make(map[pairKey]bool) }
 
+// Partitions returns the currently partitioned node pairs, unordered and
+// deduplicated (Partition cuts both directions, so each cut appears once,
+// normalized low-high). Lookahead world builders use it to mirror the live
+// partition state into an explorable world's reachability relation.
+func (n *Network) Partitions() [][2]NodeID {
+	seen := make(map[[2]NodeID]bool, len(n.partitioned)/2)
+	out := make([][2]NodeID, 0, len(n.partitioned)/2)
+	for k := range n.partitioned {
+		p := [2]NodeID{k.src, k.dst}
+		if p[0] > p[1] {
+			p[0], p[1] = p[1], p[0]
+		}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	return out
+}
+
 // BreakConnection severs the reliable channel between a and b in both
 // directions for ReconnectDelay, notifying both connection listeners. This
 // is the corrective action available to execution steering.

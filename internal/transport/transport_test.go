@@ -365,3 +365,27 @@ func TestUploadCapacityAppliesToDatagrams(t *testing.T) {
 		t.Fatalf("datagram skipped the uplink queue: %v", at)
 	}
 }
+
+func TestPartitionsAccessor(t *testing.T) {
+	_, n := newNet(4, time.Millisecond)
+	if len(n.Partitions()) != 0 {
+		t.Fatal("fresh network reports partitions")
+	}
+	n.Partition([]NodeID{0, 1}, []NodeID{2})
+	got := n.Partitions()
+	if len(got) != 2 {
+		t.Fatalf("Partitions() = %v, want 2 unordered pairs", got)
+	}
+	for _, p := range got {
+		if p[0] > p[1] {
+			t.Fatalf("pair %v not normalized", p)
+		}
+		if !((p[0] == 0 && p[1] == 2) || (p[0] == 1 && p[1] == 2)) {
+			t.Fatalf("unexpected pair %v", p)
+		}
+	}
+	n.Heal()
+	if len(n.Partitions()) != 0 {
+		t.Fatal("partitions survived Heal")
+	}
+}
