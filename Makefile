@@ -3,7 +3,7 @@
 N ?= 0
 BENCHTIME ?= 1s
 
-.PHONY: test race bench bench-json vet
+.PHONY: test race bench bench-json bench-diff vet
 
 vet:
 	go vet ./...
@@ -17,8 +17,17 @@ race:
 bench:
 	go test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) .
 
-# bench-json snapshots the E1–E13 benchmark suite into BENCH_$(N).json so
+# bench-json snapshots the E1–E14 benchmark suite into BENCH_$(N).json so
 # performance trajectories across PRs stay diffable. Example:
 #   make bench-json N=2
 bench-json:
 	go run ./cmd/benchjson -n $(N) -benchtime $(BENCHTIME)
+
+# bench-diff runs a fresh snapshot and compares it against the newest
+# committed BENCH_<n>.json, printing per-benchmark ns/op (and states/sec)
+# deltas with regressions beyond 10% called out. Informational:
+# regressions never fail the comparison, and the leading `-` keeps make
+# going even when no baseline snapshot exists to diff against.
+bench-diff:
+	go run ./cmd/benchjson -n ci -benchtime $(BENCHTIME) -out BENCH_ci.json
+	-go run ./cmd/benchjson -diff -old "$$(ls BENCH_[0-9]*.json | sort -V | tail -1)" -new BENCH_ci.json

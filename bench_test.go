@@ -234,7 +234,7 @@ func BenchmarkE13FaultExploration(b *testing.B) {
 			w := mkTreeWorld()
 			w.Initial = func(id sm.NodeID) sm.Service { return randtree.NewChoice(id, 0) }
 			b.ResetTimer()
-			states, injected, rejoin := 0, 0, 0
+			states, injected, rejoin, classes := 0, 0, 0, 0
 			for i := 0; i < b.N; i++ {
 				x := explore.NewExplorer(6)
 				x.MaxStates = 8192
@@ -248,17 +248,65 @@ func BenchmarkE13FaultExploration(b *testing.B) {
 						rejoin++
 					}
 				}
+				cls := r.ViolationClasses()
+				classes += len(cls)
 				if faults == 0 && !r.Safe() {
 					b.Fatalf("fault-free lookahead predicted %d violations", len(r.Violations))
 				}
 				if faults > 0 && rejoin == 0 {
 					b.Fatalf("fault lookahead missed the rejoin violation")
 				}
+				// Canonicalization is what makes the ~1.7k raw violations
+				// actionable: they must collapse to a handful of classes.
+				if faults > 0 && len(cls) > 10 {
+					b.Fatalf("violation canonicalization regressed: %d classes for %d raw violations",
+						len(cls), len(r.Violations))
+				}
 			}
 			b.ReportMetric(float64(states)/float64(b.N), "states/op")
 			b.ReportMetric(float64(injected)/float64(b.N), "faults/op")
 			b.ReportMetric(float64(rejoin)/float64(b.N), "rejoin-violations/op")
+			b.ReportMetric(float64(classes)/float64(b.N), "violation-classes/op")
 		})
+	}
+}
+
+// BenchmarkE14WorkStealing measures the scheduler rebuild on E10's world:
+// the same exploration drained by per-worker work-stealing deques versus
+// the old single locked queue (the Explorer.SingleQueue ablation). The
+// traversal is BFS because scheduler overhead only shows under frontier
+// churn — every explored state is one queue push and one pop — whereas
+// ChainDFS seeds a frontier that never grows and expands each chain
+// inline, leaving the scheduler nearly nothing to do. workers=1 is the
+// sequential baseline (both modes collapse to the same loop); the
+// interesting rows are the multi-worker ones. Reported metric: states
+// visited per second of wall clock.
+func BenchmarkE14WorkStealing(b *testing.B) {
+	for _, mode := range []string{"steal", "queue"} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			mode, workers := mode, workers
+			b.Run(fmt.Sprintf("%s/workers%d", mode, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				w := mkTreeWorld()
+				b.ResetTimer()
+				states := 0
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					x := explore.NewExplorer(8)
+					x.MaxStates = 1 << 14
+					x.Strategy = explore.BFS{}
+					x.Workers = workers
+					x.SingleQueue = mode == "queue"
+					r := x.Explore(w)
+					states += r.StatesExplored
+				}
+				elapsed := time.Since(start).Seconds()
+				if elapsed > 0 {
+					b.ReportMetric(float64(states)/elapsed, "states/sec")
+				}
+				b.ReportMetric(float64(states)/float64(b.N), "states/op")
+			})
+		}
 	}
 }
 

@@ -9,6 +9,15 @@
 //
 //	go run ./cmd/benchjson [-n 2] [-bench .] [-benchtime 1x] [-out FILE]
 //	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson -stdin
+//	go run ./cmd/benchjson -diff -old BENCH_3.json -new BENCH_ci.json
+//
+// The -diff mode compares two snapshots benchmark by benchmark (ns/op and
+// the states/sec throughput metric where present), printing the deltas
+// and marking slowdowns beyond 10% as REGRESSION lines. Regressions never
+// fail the run — the comparison is informational, since smoke-run
+// (benchtime 1x) numbers are too noisy to gate merges on — but unreadable
+// or missing snapshot files exit 1; the CI step and the Makefile recipe
+// tolerate that, keeping the whole step non-blocking.
 package main
 
 import (
@@ -106,7 +115,18 @@ func main() {
 	out := flag.String("out", "", "output path (default BENCH_<n>.json)")
 	stdin := flag.Bool("stdin", false, "parse benchmark output from stdin instead of running go test")
 	pkg := flag.String("pkg", ".", "package pattern to benchmark")
+	diffMode := flag.Bool("diff", false, "compare two snapshots (-old, -new) instead of running benchmarks")
+	oldPath := flag.String("old", "", "baseline snapshot for -diff")
+	newPath := flag.String("new", "", "candidate snapshot for -diff")
 	flag.Parse()
+
+	if *diffMode {
+		if err := diff(*oldPath, *newPath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: diff: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var (
 		raw []byte
@@ -164,4 +184,75 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchjson: wrote %d results to %s\n", len(results), path)
+}
+
+// loadSnapshot reads a BENCH_<n>.json file.
+func loadSnapshot(path string) (*Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// diff prints a per-benchmark comparison of two snapshots. ns/op deltas
+// beyond ±10% are called out (REGRESSION/improved); where both sides
+// report a states/sec metric — the throughput headline of E4/E10/E13/E14
+// — its delta is shown alongside.
+func diff(oldPath, newPath string) error {
+	if oldPath == "" || newPath == "" {
+		return fmt.Errorf("-diff needs both -old and -new")
+	}
+	oldSnap, err := loadSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newSnap, err := loadSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	base := make(map[string]Result, len(oldSnap.Results))
+	for _, r := range oldSnap.Results {
+		base[r.Name] = r
+	}
+	fmt.Printf("benchjson: %s (%s) vs %s (%s)\n", oldPath, oldSnap.BenchTime, newPath, newSnap.BenchTime)
+	// A 1x smoke snapshot's ns/op is one warmup-laden iteration; marking
+	// >10% deltas against a 1s baseline would flag nearly every row. Show
+	// the deltas but suppress the REGRESSION verdicts across benchtimes.
+	comparable := oldSnap.BenchTime == newSnap.BenchTime
+	if !comparable {
+		fmt.Printf("benchjson: benchtime mismatch (%s vs %s): deltas include warmup noise, REGRESSION markers suppressed\n",
+			oldSnap.BenchTime, newSnap.BenchTime)
+	}
+	fmt.Printf("%-55s %14s %14s %8s %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "note")
+	regressions := 0
+	for _, nr := range newSnap.Results {
+		or, ok := base[nr.Name]
+		if !ok || or.NsPerOp <= 0 {
+			continue
+		}
+		delta := (nr.NsPerOp - or.NsPerOp) / or.NsPerOp * 100
+		note := ""
+		switch {
+		case delta > 10 && comparable:
+			note = "REGRESSION"
+			regressions++
+		case delta < -10 && comparable:
+			note = "improved"
+		}
+		if oldTput, ok := or.Metrics["states/sec"]; ok && oldTput > 0 {
+			if newTput, ok := nr.Metrics["states/sec"]; ok {
+				note += fmt.Sprintf(" (states/sec %+.1f%%)", (newTput-oldTput)/oldTput*100)
+			}
+		}
+		fmt.Printf("%-55s %14.0f %14.0f %+7.1f%% %s\n", nr.Name, or.NsPerOp, nr.NsPerOp, delta, note)
+	}
+	if regressions > 0 {
+		fmt.Printf("benchjson: %d ns/op regression(s) beyond 10%% — informational, see note column\n", regressions)
+	}
+	return nil
 }

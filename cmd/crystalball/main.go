@@ -16,10 +16,15 @@ import (
 	"crystalchoice/internal/apps/paxos"
 	"crystalchoice/internal/apps/randtree"
 	"crystalchoice/internal/apps/tracker"
+	"crystalchoice/internal/explore"
 )
 
-// lookaheadWorkers sizes every runtime lookahead's exploration pool.
-var lookaheadWorkers int
+// lookaheadWorkers sizes every runtime lookahead's exploration pool;
+// lookaheadStrategy names its traversal (chaindfs|bfs|randomwalk|guided).
+var (
+	lookaheadWorkers  int
+	lookaheadStrategy string
+)
 
 // lookaheadFaults budgets fault transitions (crash/recover/reset) per
 // runtime lookahead; lookaheadPartitions adds partition transitions.
@@ -33,11 +38,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "first seed")
 	seeds := flag.Int("seeds", 3, "seeds to average over")
 	flag.IntVar(&lookaheadWorkers, "workers", 1, "lookahead exploration worker pool per node (0 = GOMAXPROCS)")
+	flag.StringVar(&lookaheadStrategy, "strategy", "chaindfs", "lookahead exploration strategy: chaindfs | bfs | randomwalk | guided")
 	flag.IntVar(&lookaheadFaults, "faults", 0, "fault-transition budget per runtime lookahead (crash/recover/reset)")
 	flag.BoolVar(&lookaheadPartitions, "partitions", false, "also explore partition transitions in runtime lookaheads")
 	flag.Parse()
 	if lookaheadWorkers == 0 {
 		lookaheadWorkers = runtime.GOMAXPROCS(0)
+	}
+	if _, err := explore.ParseStrategy(lookaheadStrategy); err != nil {
+		fmt.Fprintf(os.Stderr, "crystalball: %v\n", err)
+		os.Exit(2)
 	}
 
 	switch *app {
@@ -79,7 +89,7 @@ func runOverload(seed0 int64, seeds int) {
 		committed, submitted := 0, 0
 		for k := 0; k < seeds; k++ {
 			r := paxos.Run(paxos.ExperimentConfig{
-				Seed: seed0 + int64(k), Policy: p, LookaheadWorkers: lookaheadWorkers, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions,
+				Seed: seed0 + int64(k), Policy: p, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions,
 				UniformLatency: 20 * time.Millisecond,
 				WorkDelay:      60 * time.Millisecond,
 				Interarrival:   40 * time.Millisecond,
@@ -112,7 +122,7 @@ func runGossip(seed0 int64, seeds int) {
 	for _, s := range gossip.Strategies {
 		var mean, max, fmean, fmax float64
 		for k := 0; k < seeds; k++ {
-			r := gossip.Run(gossip.ExperimentConfig{N: 16, Seed: seed0 + int64(k), Strategy: s, SlowNodes: 4, Updates: 6, LookaheadWorkers: lookaheadWorkers, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions})
+			r := gossip.Run(gossip.ExperimentConfig{N: 16, Seed: seed0 + int64(k), Strategy: s, SlowNodes: 4, Updates: 6, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions})
 			mean += r.MeanDissemination.Seconds()
 			max += r.MaxDissemination.Seconds()
 			fmean += r.FastMeanDissemination.Seconds()
@@ -130,7 +140,7 @@ func runDissem(seed0 int64, seeds int) {
 		for _, s := range dissem.Strategies {
 			var mean, max float64
 			for k := 0; k < seeds; k++ {
-				r := dissem.Run(dissem.ExperimentConfig{N: 10, Blocks: 16, Seed: seed0 + int64(k), Strategy: s, Setting: set, LookaheadWorkers: lookaheadWorkers, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions})
+				r := dissem.Run(dissem.ExperimentConfig{N: 10, Blocks: 16, Seed: seed0 + int64(k), Strategy: s, Setting: set, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions})
 				mean += r.MeanCompletion.Seconds()
 				max += r.MaxCompletion.Seconds()
 			}
@@ -147,7 +157,7 @@ func runPaxos(seed0 int64, seeds int) {
 		var mean, p99 float64
 		committed, submitted := 0, 0
 		for k := 0; k < seeds; k++ {
-			r := paxos.Run(paxos.ExperimentConfig{Seed: seed0 + int64(k), Policy: p, LookaheadWorkers: lookaheadWorkers, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions})
+			r := paxos.Run(paxos.ExperimentConfig{Seed: seed0 + int64(k), Policy: p, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions})
 			mean += r.MeanCommit.Seconds()
 			p99 += r.P99Commit.Seconds()
 			committed += r.Committed
@@ -165,7 +175,7 @@ func runTracker(seed0 int64, seeds int) {
 		var frac, mean float64
 		completed, peers := 0, 0
 		for k := 0; k < seeds; k++ {
-			r := tracker.Run(tracker.ExperimentConfig{Seed: seed0 + int64(k), Policy: p, LookaheadWorkers: lookaheadWorkers, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions})
+			r := tracker.Run(tracker.ExperimentConfig{Seed: seed0 + int64(k), Policy: p, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions})
 			frac += r.CrossFraction()
 			mean += r.MeanCompletion.Seconds()
 			completed += r.Completed

@@ -28,7 +28,7 @@ func main() {
 	faults := flag.Int("faults", 0, "fault-transition budget per explored path (crash/recover/reset as explorer actions)")
 	partitions := flag.Bool("partitions", false, "also explore network-partition transitions (drawn from the fault budget)")
 	workers := flag.Int("workers", 1, "exploration worker pool size (0 = GOMAXPROCS)")
-	strategyName := flag.String("strategy", "chaindfs", "exploration strategy: chaindfs | bfs | randomwalk")
+	strategyName := flag.String("strategy", "chaindfs", "exploration strategy: chaindfs | bfs | randomwalk | guided")
 	fullDigests := flag.Bool("fulldigests", false, "dedup with from-scratch world digests instead of incremental (ablation)")
 	flag.Parse()
 
@@ -84,24 +84,18 @@ func main() {
 		randtree.DegreeBoundProperty(),
 		randtree.NoOrphanedChildProperty(),
 	}
-	start := time.Now()
 	r := x.Explore(w)
 	fmt.Printf("explored %d states to depth %d in %v (strategy=%s workers=%d faults=%d injected=%d truncated=%v)\n",
-		r.StatesExplored, r.MaxDepth, time.Since(start).Round(time.Microsecond), strategy.Name(), *workers, *faults, r.FaultsInjected, r.Truncated)
+		r.StatesExplored, r.MaxDepth, r.Elapsed.Round(time.Microsecond), strategy.Name(), *workers, *faults, r.FaultsInjected, r.Truncated)
 	if r.Safe() {
 		fmt.Println("no safety violations predicted")
 		return
 	}
-	fmt.Printf("%d violation(s) predicted:\n", len(r.Violations))
-	seen := map[string]bool{}
-	for _, v := range r.Violations {
-		key := fmt.Sprintf("%s@%d", v.Property, v.Depth)
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		fmt.Printf("  %s at depth %d\n", v.Property, v.Depth)
-		for i, step := range v.Trace {
+	classes := r.ViolationClasses()
+	fmt.Printf("%d violation(s) predicted in %d class(es):\n", len(r.Violations), len(classes))
+	for _, c := range classes {
+		fmt.Printf("  %s ×%d [%s] — shortest witness at depth %d:\n", c.Property, c.Count, c.Signature, c.Witness.Depth)
+		for i, step := range c.Witness.Trace {
 			fmt.Printf("    %d. %s\n", i+1, step)
 		}
 	}

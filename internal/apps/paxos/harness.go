@@ -48,6 +48,9 @@ type ExperimentConfig struct {
 	WorkDelay time.Duration
 	// LookaheadWorkers sizes the worker pool of every runtime lookahead.
 	LookaheadWorkers int
+	// LookaheadStrategy names the exploration strategy of every runtime
+	// lookahead: chaindfs (default, empty), bfs, randomwalk, or guided.
+	LookaheadStrategy string
 	// LookaheadFullDigests disables incremental world digests in runtime
 	// lookaheads (ablation; see core.Config.LookaheadFullDigests).
 	LookaheadFullDigests bool
@@ -158,7 +161,8 @@ func Run(cfg ExperimentConfig) Result {
 	plane.NoiseFrac = 0.05
 
 	ccfg := core.Config{Trace: cfg.Trace, LookaheadWorkers: cfg.LookaheadWorkers, LookaheadFullDigests: cfg.LookaheadFullDigests,
-		LookaheadFaults: cfg.LookaheadFaults, LookaheadPartitions: cfg.LookaheadPartitions}
+		LookaheadStrategy: explore.MustParseStrategy(cfg.LookaheadStrategy),
+		LookaheadFaults:   cfg.LookaheadFaults, LookaheadPartitions: cfg.LookaheadPartitions}
 	switch cfg.Policy {
 	case PolicyFixed:
 		ccfg.NewResolver = func(*core.Node) core.Resolver { return core.First{} }

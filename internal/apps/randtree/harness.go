@@ -46,6 +46,9 @@ type ExperimentConfig struct {
 	// LookaheadWorkers sizes the worker pool of every runtime lookahead
 	// (consequence prediction and steering). <= 1 stays sequential.
 	LookaheadWorkers int
+	// LookaheadStrategy names the exploration strategy of every runtime
+	// lookahead: chaindfs (default, empty), bfs, randomwalk, or guided.
+	LookaheadStrategy string
 	// LookaheadFullDigests disables incremental world digests in runtime
 	// lookaheads (ablation; see core.Config.LookaheadFullDigests).
 	LookaheadFullDigests bool
@@ -94,7 +97,8 @@ func NewExperiment(cfg ExperimentConfig) *Experiment {
 	net := transport.New(eng, top)
 
 	ccfg := core.Config{Trace: cfg.Trace, LookaheadWorkers: cfg.LookaheadWorkers, LookaheadFullDigests: cfg.LookaheadFullDigests,
-		LookaheadFaults: cfg.LookaheadFaults, LookaheadPartitions: cfg.LookaheadPartitions}
+		LookaheadStrategy: explore.MustParseStrategy(cfg.LookaheadStrategy),
+		LookaheadFaults:   cfg.LookaheadFaults, LookaheadPartitions: cfg.LookaheadPartitions}
 	// Fault lookaheads restart reset nodes from the as-deployed cold state
 	// when no fresh checkpoint is retained.
 	ccfg.InitialState = func(id sm.NodeID) sm.Service { return newService(cfg.Setup, id, 0, 0) }

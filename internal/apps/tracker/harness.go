@@ -5,6 +5,7 @@ import (
 
 	"crystalchoice/internal/apps/dissem"
 	"crystalchoice/internal/core"
+	"crystalchoice/internal/explore"
 	"crystalchoice/internal/netmodel"
 	"crystalchoice/internal/sim"
 	"crystalchoice/internal/sm"
@@ -36,6 +37,9 @@ type ExperimentConfig struct {
 	GrantK int
 	// LookaheadWorkers sizes the worker pool of every runtime lookahead.
 	LookaheadWorkers int
+	// LookaheadStrategy names the exploration strategy of every runtime
+	// lookahead: chaindfs (default, empty), bfs, randomwalk, or guided.
+	LookaheadStrategy string
 	// LookaheadFullDigests disables incremental world digests in runtime
 	// lookaheads (ablation; see core.Config.LookaheadFullDigests).
 	LookaheadFullDigests bool
@@ -109,7 +113,8 @@ func Run(cfg ExperimentConfig) Result {
 	}
 
 	ccfg := core.Config{LookaheadWorkers: cfg.LookaheadWorkers, LookaheadFullDigests: cfg.LookaheadFullDigests,
-		LookaheadFaults: cfg.LookaheadFaults, LookaheadPartitions: cfg.LookaheadPartitions}
+		LookaheadStrategy: explore.MustParseStrategy(cfg.LookaheadStrategy),
+		LookaheadFaults:   cfg.LookaheadFaults, LookaheadPartitions: cfg.LookaheadPartitions}
 	switch cfg.Policy {
 	case PolicyRandom:
 		ccfg.NewResolver = func(*core.Node) core.Resolver { return core.Random{} }

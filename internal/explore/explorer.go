@@ -63,6 +63,11 @@ type Report struct {
 	scoreCount                    int
 	Truncated                     bool // budget exhausted before frontier
 	Elapsed                       time.Duration
+
+	// classes canonicalizes Violations at record time: raw violations
+	// dedup by (property, canonical-trace signature), each class keeping
+	// a count and its shortest witness. See ViolationClasses.
+	classes map[classKey]*ViolationClass
 }
 
 // Safe reports whether no violations were predicted.
@@ -125,6 +130,12 @@ type Explorer struct {
 	// Only useful as an ablation: it measures what incremental digesting
 	// buys and cross-checks its correctness.
 	FullDigests bool
+	// SingleQueue makes parallel runs share one locked FIFO queue instead
+	// of per-worker work-stealing deques. Only useful as an ablation: it
+	// measures what work stealing buys (BenchmarkE14WorkStealing).
+	// Best-first strategies always use the shared priority frontier and
+	// ignore the flag.
+	SingleQueue bool
 
 	// forceScheduler routes even Workers<=1 runs through the parallel
 	// scheduler machinery (tests assert it matches the sequential path).
@@ -241,6 +252,7 @@ func (x *Explorer) faultActions(w *World, used int) []Action {
 // pool. The start world is not modified: every branch works on
 // copy-on-write forks.
 func (x *Explorer) Explore(w *World) *Report {
+	start := time.Now()
 	strat := x.Strategy
 	if strat == nil {
 		strat = ChainDFS{}
@@ -283,7 +295,11 @@ func (x *Explorer) Explore(w *World) *Report {
 	}
 	x.check(ctx, w, reports[0], nil, 0) // score the root state too
 	if workers == 1 && !x.forceScheduler {
-		x.runSequential(ctx, strat, frontier, reports[0])
+		if bestFirst(strat) {
+			x.runSequential(ctx, strat, newHeapFrontier(frontier), reports[0])
+		} else {
+			x.runSequential(ctx, strat, newFIFOFrontier(frontier), reports[0])
+		}
 	} else {
 		x.runParallel(ctx, strat, frontier, reports)
 	}
@@ -296,6 +312,7 @@ func (x *Explorer) Explore(w *World) *Report {
 	} else {
 		r.MinScore, r.MaxScore = 0, 0
 	}
+	r.Elapsed = time.Since(start)
 	return r
 }
 
@@ -313,13 +330,15 @@ func (x *Explorer) IterativeExplore(w *World, maxDepth int, budget time.Duration
 	reached := 0
 	for d := 1; d <= maxDepth; d++ {
 		x.Depth = d
-		iterStart := time.Now()
 		r := x.Explore(w)
-		r.Elapsed = time.Since(iterStart)
 		best = r
 		reached = d
-		if r.MaxDepth < d {
-			break // chains exhausted before the bound: deeper adds nothing
+		if r.MaxDepth < d && !r.Truncated {
+			// Chains genuinely exhausted before the bound: deeper adds
+			// nothing. A truncated iteration proves only that the state
+			// budget bound the search, not that the space is exhausted,
+			// so it must not end the deepening loop early.
+			break
 		}
 		if !time.Now().Before(deadline) {
 			break
@@ -507,30 +526,32 @@ func consequences(w *World, msgs []*sm.Msg) []*actionRef {
 }
 
 // check scores one reached state into the worker's report shard and the
-// run's global budget counter.
-func (x *Explorer) check(ctx *Ctx, w *World, r *Report, trace []string, depth int) {
+// run's global budget counter, returning the objective score (0 when no
+// objective is configured) so callers on the guided hot path can reuse it
+// instead of re-evaluating.
+func (x *Explorer) check(ctx *Ctx, w *World, r *Report, trace []string, depth int) float64 {
 	ctx.count.Add(1)
 	r.StatesExplored++
 	for _, p := range x.Properties {
 		if p.Check != nil && !p.Check(w) {
-			r.Violations = append(r.Violations, Violation{
+			r.addViolation(Violation{
 				Property: p.Name,
 				Trace:    append([]string{}, trace...),
 				Depth:    depth,
 			})
 		}
 	}
-	if x.Objective != nil {
-		s := x.Objective.Score(w)
-		r.scoreSum += s
-		r.scoreCount++
-		if s < r.MinScore {
-			r.MinScore = s
-		}
-		if s > r.MaxScore {
-			r.MaxScore = s
-		}
-	} else {
-		r.scoreCount++
+	r.scoreCount++
+	if x.Objective == nil {
+		return 0
 	}
+	s := x.Objective.Score(w)
+	r.scoreSum += s
+	if s < r.MinScore {
+		r.MinScore = s
+	}
+	if s > r.MaxScore {
+		r.MaxScore = s
+	}
+	return s
 }

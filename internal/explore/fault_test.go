@@ -322,7 +322,7 @@ func TestFaultBudgetRespected(t *testing.T) {
 // exploration: two identical runs must produce identical reports, for
 // every strategy, and the scheduler-forced path must match too.
 func TestFaultRunDeterministic(t *testing.T) {
-	for _, strat := range []Strategy{ChainDFS{}, BFS{}, RandomWalk{Walks: 6, Seed: 11}} {
+	for _, strat := range []Strategy{ChainDFS{}, BFS{}, RandomWalk{Walks: 6, Seed: 11}, Guided{}} {
 		run := func(force bool) *Report {
 			w := rejoinerWorld(3)
 			w.Initial = func(id NodeID) sm.Service { return &rejoiner{id: id} }
@@ -332,7 +332,7 @@ func TestFaultRunDeterministic(t *testing.T) {
 			x.FaultBudget = 2
 			x.PartitionFaults = true
 			x.forceScheduler = force
-			return x.Explore(w)
+			return stripElapsed(x.Explore(w))
 		}
 		a, b := run(false), run(false)
 		if !reflect.DeepEqual(a, b) {

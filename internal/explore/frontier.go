@@ -1,0 +1,160 @@
+package explore
+
+// Frontier containers. The scheduler drains units out of one of three
+// shapes: a FIFO queue (the sequential engine's order, and the single-
+// locked-queue ablation), a priority heap (best-first strategies), or a
+// set of per-worker deques (the work-stealing pool). All of them zero
+// consumed slots: a Unit owns a forked *World, and a pointer left behind
+// in a backing array would pin that world — services, timers, in-flight
+// messages — for the rest of the run.
+
+// unitQueue is an unsynchronized double-ended unit buffer: pushes append
+// at the tail, pops take either end. buf[head:] are the live entries.
+type unitQueue struct {
+	buf  []Unit
+	head int
+}
+
+func (q *unitQueue) len() int { return len(q.buf) - q.head }
+
+func (q *unitQueue) push(u Unit) { q.buf = append(q.buf, u) }
+
+func (q *unitQueue) pushAll(us []Unit) {
+	if len(us) > 0 {
+		q.buf = append(q.buf, us...)
+	}
+}
+
+// popHead takes the oldest entry (FIFO). The vacated slot is zeroed and
+// the dead prefix compacted away once it dominates the buffer, so consumed
+// units never pin their worlds.
+func (q *unitQueue) popHead() (Unit, bool) {
+	if q.head == len(q.buf) {
+		return Unit{}, false
+	}
+	u := q.buf[q.head]
+	q.buf[q.head] = Unit{}
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf, q.head = q.buf[:0], 0
+	} else if q.head >= 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		clear(q.buf[n:])
+		q.buf, q.head = q.buf[:n], 0
+	}
+	return u, true
+}
+
+// popTail takes the newest entry (LIFO), zeroing the vacated slot.
+func (q *unitQueue) popTail() (Unit, bool) {
+	if q.head == len(q.buf) {
+		return Unit{}, false
+	}
+	u := q.buf[len(q.buf)-1]
+	q.buf[len(q.buf)-1] = Unit{}
+	q.buf = q.buf[:len(q.buf)-1]
+	if q.head == len(q.buf) {
+		q.buf, q.head = q.buf[:0], 0
+	}
+	return u, true
+}
+
+// frontier is the scheduler's view of a pending-unit container. pop
+// returns the container's next unit by its own discipline: FIFO for
+// fifoFrontier, highest priority for heapFrontier.
+type frontier interface {
+	len() int
+	pushAll(us []Unit)
+	pop() (Unit, bool)
+}
+
+// fifoFrontier drains oldest-first — the original engine's order.
+type fifoFrontier struct{ unitQueue }
+
+func newFIFOFrontier(units []Unit) *fifoFrontier {
+	f := &fifoFrontier{}
+	f.pushAll(units)
+	clearUnits(units)
+	return f
+}
+
+func (f *fifoFrontier) pop() (Unit, bool) { return f.popHead() }
+
+// heapFrontier drains highest-Priority-first; ties break toward the
+// earliest insertion, so best-first runs are deterministic for a fixed
+// frontier history (Workers<=1).
+type heapFrontier struct {
+	items []heapItem
+	seq   uint64
+}
+
+type heapItem struct {
+	u   Unit
+	seq uint64
+}
+
+func newHeapFrontier(units []Unit) *heapFrontier {
+	h := &heapFrontier{}
+	h.pushAll(units)
+	clearUnits(units)
+	return h
+}
+
+func (h *heapFrontier) len() int { return len(h.items) }
+
+func (h *heapFrontier) less(i, j int) bool {
+	if h.items[i].u.Priority != h.items[j].u.Priority {
+		return h.items[i].u.Priority > h.items[j].u.Priority
+	}
+	return h.items[i].seq < h.items[j].seq
+}
+
+func (h *heapFrontier) pushAll(us []Unit) {
+	for _, u := range us {
+		h.seq++
+		h.items = append(h.items, heapItem{u: u, seq: h.seq})
+		// Sift up.
+		for i := len(h.items) - 1; i > 0; {
+			parent := (i - 1) / 2
+			if !h.less(i, parent) {
+				break
+			}
+			h.items[i], h.items[parent] = h.items[parent], h.items[i]
+			i = parent
+		}
+	}
+}
+
+func (h *heapFrontier) pop() (Unit, bool) {
+	if len(h.items) == 0 {
+		return Unit{}, false
+	}
+	top := h.items[0].u
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items[last] = heapItem{} // release the world for GC
+	h.items = h.items[:last]
+	// Sift down.
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(h.items) && h.less(l, best) {
+			best = l
+		}
+		if r < len(h.items) && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		h.items[i], h.items[best] = h.items[best], h.items[i]
+		i = best
+	}
+	return top, true
+}
+
+// clearUnits zeroes a consumed unit slice so its worlds stay collectible
+// even while the caller's backing array lives on.
+func clearUnits(us []Unit) {
+	clear(us)
+}

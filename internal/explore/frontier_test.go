@@ -1,0 +1,166 @@
+package explore
+
+import (
+	"testing"
+)
+
+// mkUnits returns n units, each owning a distinct world.
+func mkUnits(n int) []Unit {
+	us := make([]Unit, n)
+	for i := range us {
+		us[i] = Unit{World: NewWorld(FirstPolicy, int64(i)), Depth: i}
+	}
+	return us
+}
+
+// assertReleased fails if any slot of the captured backing array still
+// holds a world pointer.
+func assertReleased(t *testing.T, backing []Unit, where string) {
+	t.Helper()
+	for i, u := range backing {
+		if u.World != nil {
+			t.Fatalf("%s: consumed slot %d still pins its world", where, i)
+		}
+	}
+}
+
+// TestConsumedFrontierReleasesWorlds is the regression test for the
+// drained-frontier leak: the old scheduler's `queue = queue[1:]` kept
+// every consumed Unit.World alive in the backing array for the whole
+// run. Every frontier container must zero consumed slots so forked
+// worlds become collectible the moment they are expanded.
+func TestConsumedFrontierReleasesWorlds(t *testing.T) {
+	// FIFO drain (sequential engine and single-queue ablation).
+	var q unitQueue
+	q.pushAll(mkUnits(8))
+	backing := q.buf
+	for i := 0; i < 8; i++ {
+		if _, ok := q.popHead(); !ok {
+			t.Fatal("queue drained early")
+		}
+	}
+	assertReleased(t, backing, "unitQueue.popHead")
+
+	// LIFO drain (work-stealing owner).
+	q = unitQueue{}
+	q.pushAll(mkUnits(8))
+	backing = q.buf
+	for i := 0; i < 8; i++ {
+		if _, ok := q.popTail(); !ok {
+			t.Fatal("deque drained early")
+		}
+	}
+	assertReleased(t, backing, "unitQueue.popTail")
+
+	// Priority heap (guided best-first frontier). The captured slice
+	// aliases the heap's backing array, so zeroed pops show through it.
+	h := newHeapFrontier(mkUnits(8))
+	items := h.items
+	for i := 0; i < 8; i++ {
+		if _, ok := h.pop(); !ok {
+			t.Fatal("heap drained early")
+		}
+	}
+	for i, it := range items {
+		if it.u.World != nil {
+			t.Fatalf("heapFrontier.pop: consumed slot %d still pins its world", i)
+		}
+	}
+
+	// The seed slice handed to a container is zeroed too.
+	units := mkUnits(4)
+	newFIFOFrontier(units)
+	assertReleased(t, units, "root frontier slice")
+}
+
+// TestFIFOCompaction drives the queue past the compaction threshold and
+// checks order survives and dead slots are zeroed.
+func TestFIFOCompaction(t *testing.T) {
+	var q unitQueue
+	const n = 200
+	q.pushAll(mkUnits(n))
+	for i := 0; i < 150; i++ {
+		u, ok := q.popHead()
+		if !ok || u.Depth != i {
+			t.Fatalf("pop %d: got depth %d ok=%v", i, u.Depth, ok)
+		}
+	}
+	// Interleave pushes to exercise post-compaction appends.
+	q.push(Unit{Depth: n})
+	for i := 150; i <= n; i++ {
+		u, ok := q.popHead()
+		if !ok || u.Depth != i {
+			t.Fatalf("pop %d: got depth %d ok=%v", i, u.Depth, ok)
+		}
+	}
+	if q.len() != 0 {
+		t.Fatalf("queue not drained: %d left", q.len())
+	}
+	for _, u := range q.buf[:cap(q.buf)] {
+		if u.World != nil {
+			t.Fatal("compaction left a live world behind")
+		}
+	}
+}
+
+// TestHeapFrontierOrder: pops come out by descending priority, ties by
+// insertion order.
+func TestHeapFrontierOrder(t *testing.T) {
+	h := newHeapFrontier(nil)
+	h.pushAll([]Unit{
+		{Depth: 0, Priority: 1},
+		{Depth: 1, Priority: 3},
+		{Depth: 2, Priority: 2},
+		{Depth: 3, Priority: 3}, // tie with Depth 1: inserted later, pops later
+	})
+	want := []int{1, 3, 2, 0}
+	for i, w := range want {
+		u, ok := h.pop()
+		if !ok || u.Depth != w {
+			t.Fatalf("pop %d: got depth %d ok=%v, want %d", i, u.Depth, ok, w)
+		}
+	}
+	if _, ok := h.pop(); ok {
+		t.Fatal("empty heap popped")
+	}
+}
+
+// TestDequeStealOrder: the owner pops the newest unit, a thief steals the
+// oldest.
+func TestDequeStealOrder(t *testing.T) {
+	var d wsDeque
+	for i := 0; i < 3; i++ {
+		d.push(Unit{Depth: i})
+	}
+	if u, _ := d.steal(); u.Depth != 0 {
+		t.Fatalf("thief got depth %d, want the oldest (0)", u.Depth)
+	}
+	if u, _ := d.popTail(); u.Depth != 2 {
+		t.Fatalf("owner got depth %d, want the newest (2)", u.Depth)
+	}
+	if u, _ := d.popTail(); u.Depth != 1 {
+		t.Fatalf("owner got depth %d, want 1", u.Depth)
+	}
+	if _, ok := d.popTail(); ok {
+		t.Fatal("empty deque popped")
+	}
+}
+
+// TestSingleQueueAblationMatchesStealing: on disjoint chains the two
+// parallel schedulers must agree on every order-insensitive quantity.
+func TestSingleQueueAblationMatchesStealing(t *testing.T) {
+	run := func(single bool) *Report {
+		w := fanWorld(4, 4, 3)
+		x := NewExplorer(5)
+		x.Objective = sumObjective()
+		x.Workers = 4
+		x.SingleQueue = single
+		return x.Explore(w)
+	}
+	steal, queue := run(false), run(true)
+	if steal.StatesExplored != queue.StatesExplored || steal.MaxDepth != queue.MaxDepth ||
+		steal.MinScore != queue.MinScore || steal.MaxScore != queue.MaxScore ||
+		steal.Truncated != queue.Truncated {
+		t.Fatalf("schedulers diverge:\nsteal %+v\nqueue %+v", steal, queue)
+	}
+}

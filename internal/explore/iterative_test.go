@@ -126,3 +126,39 @@ func TestIterativeExploreRestoresDepth(t *testing.T) {
 		t.Fatalf("explorer depth mutated: %d", x.Depth)
 	}
 }
+
+// TestExploreStampsElapsed: Explore itself must report wall-clock time —
+// previously only IterativeExplore stamped it, so consumers of a direct
+// Explore (cmd/mc, steering stats) saw zero.
+func TestExploreStampsElapsed(t *testing.T) {
+	w := relayWorld(4, 3)
+	x := NewExplorer(5)
+	for _, workers := range []int{1, 4} {
+		x.Workers = workers
+		r := x.Explore(w)
+		if r.Elapsed <= 0 {
+			t.Fatalf("Workers=%d: Elapsed = %v, want > 0", workers, r.Elapsed)
+		}
+	}
+}
+
+// TestIterativeExploreContinuesPastTruncated: an iteration cut short by
+// the state budget reports MaxDepth < d — previously misread as "chains
+// exhausted", ending the deepening loop while the time budget (the
+// paper's actual stopping criterion) still had room. A truncated
+// iteration must not end the loop.
+func TestIterativeExploreContinuesPastTruncated(t *testing.T) {
+	w := relayWorld(6, 5) // one 6-hop chain
+	x := NewExplorer(0)
+	x.MaxStates = 3 // binds at depth 3: every deeper iteration truncates at MaxDepth 2
+	r, reached := x.IterativeExplore(w, 6, time.Second)
+	if !r.Truncated {
+		t.Fatalf("expected a truncated deepest iteration: %+v", r)
+	}
+	if reached != 6 {
+		t.Fatalf("deepening stopped at %d, want the full 6 (budget-cut iterations must not break)", reached)
+	}
+	if r.Elapsed <= 0 {
+		t.Fatal("iterative report lost its Elapsed stamp")
+	}
+}

@@ -36,12 +36,20 @@ func sumObjective() Objective {
 	}}
 }
 
+// stripElapsed zeroes the report's wall-clock stamp: Explore stamps
+// Elapsed on every run, so determinism comparisons with
+// reflect.DeepEqual must ignore it.
+func stripElapsed(r *Report) *Report {
+	r.Elapsed = 0
+	return r
+}
+
 // TestSchedulerMatchesSequential pins Workers=1 determinism: routing the
 // same run through the parallel scheduler machinery (one worker, sharded
 // digest set) must yield a byte-identical report to the plain sequential
 // path.
 func TestSchedulerMatchesSequential(t *testing.T) {
-	for _, strat := range []Strategy{ChainDFS{}, BFS{}, RandomWalk{Walks: 6, Seed: 9}} {
+	for _, strat := range []Strategy{ChainDFS{}, BFS{}, RandomWalk{Walks: 6, Seed: 9}, Guided{}} {
 		mk := func(force bool) *Report {
 			w := fanWorld(3, 4, 3)
 			x := NewExplorer(5)
@@ -49,7 +57,7 @@ func TestSchedulerMatchesSequential(t *testing.T) {
 			x.Strategy = strat
 			x.Workers = 1
 			x.forceScheduler = force
-			return x.Explore(w)
+			return stripElapsed(x.Explore(w))
 		}
 		seq, sched := mk(false), mk(true)
 		if !reflect.DeepEqual(seq, sched) {
@@ -183,7 +191,7 @@ func TestRandomWalkDeterministicAcrossWorkers(t *testing.T) {
 		x.Strategy = RandomWalk{Walks: 12, Seed: 3}
 		x.Workers = workers
 		x.Objective = sumObjective()
-		return x.Explore(w)
+		return stripElapsed(x.Explore(w))
 	}
 	a, b, c := run(1), run(1), run(4)
 	if !reflect.DeepEqual(a, b) {
@@ -369,7 +377,7 @@ func TestDeepClonesModeMatchesCOW(t *testing.T) {
 		x := NewExplorer(5)
 		x.Objective = sumObjective()
 		x.DeepClones = deep
-		return x.Explore(w)
+		return stripElapsed(x.Explore(w))
 	}
 	if a, b := run(false), run(true); !reflect.DeepEqual(a, b) {
 		t.Fatalf("COW diverges from deep clones:\ncow  %+v\ndeep %+v", a, b)

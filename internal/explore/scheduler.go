@@ -1,8 +1,10 @@
 package explore
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Ctx is the state one Explore run shares across its workers: the frozen
@@ -75,31 +77,52 @@ func (s *shardedSeen) visit(d uint64) bool {
 	return ok
 }
 
-// runSequential drains the frontier on the calling goroutine in FIFO
-// order, accumulating into a single report — with the ChainDFS strategy
-// this is step-for-step the original recursive engine.
-func (x *Explorer) runSequential(ctx *Ctx, strat Strategy, frontier []Unit, r *Report) {
-	for len(frontier) > 0 {
+// runSequential drains fr on the calling goroutine, accumulating into a
+// single report. With a FIFO frontier and the ChainDFS strategy this is
+// step-for-step the original recursive engine; with a heap frontier it is
+// the best-first loop of the Guided strategy.
+func (x *Explorer) runSequential(ctx *Ctx, strat Strategy, fr frontier, r *Report) {
+	for fr.len() > 0 {
 		if ctx.Exhausted() {
 			r.Truncated = true
 			return
 		}
-		u := frontier[0]
-		frontier = frontier[1:]
-		frontier = append(frontier, strat.Expand(x, ctx, u, r)...)
+		u, _ := fr.pop()
+		fr.pushAll(strat.Expand(x, ctx, u, r))
 	}
 }
 
-// runParallel drains the frontier with a pool of workers sharing one
-// locked queue. Each worker accumulates into its own report shard;
-// `pending` counts queued plus in-expansion units, so the pool terminates
-// exactly when the frontier is drained and no expansion is outstanding.
-func (x *Explorer) runParallel(ctx *Ctx, strat Strategy, frontier []Unit, reports []*Report) {
+// runParallel drains the frontier across the worker pool, routing to the
+// discipline the run calls for: best-first strategies share one locked
+// priority heap, the SingleQueue ablation (and the degenerate one-worker
+// pool, whose FIFO order must match the sequential engine) share one
+// locked FIFO queue, and everything else runs per-worker deques with work
+// stealing.
+func (x *Explorer) runParallel(ctx *Ctx, strat Strategy, units []Unit, reports []*Report) {
+	if bestFirst(strat) {
+		x.runShared(ctx, strat, newHeapFrontier(units), reports)
+		return
+	}
+	if x.SingleQueue || len(reports) == 1 {
+		x.runShared(ctx, strat, newFIFOFrontier(units), reports)
+		return
+	}
+	x.runStealing(ctx, strat, units, reports)
+}
+
+// runShared drains one shared locked frontier with a pool of workers.
+// Each worker accumulates into its own report shard; `pending` counts
+// queued plus in-expansion units, so the pool terminates exactly when the
+// frontier is drained and no expansion is outstanding. This is the
+// original single-queue scheduler, kept alive for the SingleQueue
+// ablation (BenchmarkE14WorkStealing) and reused — with a heap frontier —
+// as the best-first scheduler, where a global priority order is the point
+// and per-worker deques would defeat it.
+func (x *Explorer) runShared(ctx *Ctx, strat Strategy, fr frontier, reports []*Report) {
 	var (
 		mu      sync.Mutex
 		cond    = sync.NewCond(&mu)
-		queue   = frontier
-		pending = len(frontier)
+		pending = fr.len()
 		wg      sync.WaitGroup
 	)
 	for wi := range reports {
@@ -109,15 +132,14 @@ func (x *Explorer) runParallel(ctx *Ctx, strat Strategy, frontier []Unit, report
 			defer wg.Done()
 			for {
 				mu.Lock()
-				for len(queue) == 0 && pending > 0 {
+				for fr.len() == 0 && pending > 0 {
 					cond.Wait()
 				}
-				if len(queue) == 0 {
+				u, ok := fr.pop()
+				if !ok {
 					mu.Unlock()
 					return
 				}
-				u := queue[0]
-				queue = queue[1:]
 				mu.Unlock()
 
 				var succ []Unit
@@ -128,12 +150,114 @@ func (x *Explorer) runParallel(ctx *Ctx, strat Strategy, frontier []Unit, report
 				}
 
 				mu.Lock()
-				queue = append(queue, succ...)
+				fr.pushAll(succ)
 				pending += len(succ) - 1
 				if pending == 0 || len(succ) > 0 {
 					cond.Broadcast()
 				}
 				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// wsDeque is one worker's work-stealing deque: the owner pushes and pops
+// at the tail (LIFO — the freshest unit's world is the one still warm in
+// cache), thieves steal from the head (FIFO — the oldest unit roots the
+// largest remaining subtree, so one steal buys the thief the most work).
+// A plain mutex per deque is enough: the owner's operations are almost
+// always uncontended, and a steal contends with at most one owner.
+type wsDeque struct {
+	mu sync.Mutex
+	q  unitQueue
+	// Pad so neighboring deques in the scheduler's slice do not false-share.
+	_ [24]byte
+}
+
+func (d *wsDeque) push(u Unit) {
+	d.mu.Lock()
+	d.q.push(u)
+	d.mu.Unlock()
+}
+
+func (d *wsDeque) pushAll(us []Unit) {
+	if len(us) == 0 {
+		return
+	}
+	d.mu.Lock()
+	d.q.pushAll(us)
+	d.mu.Unlock()
+}
+
+func (d *wsDeque) popTail() (Unit, bool) {
+	d.mu.Lock()
+	u, ok := d.q.popTail()
+	d.mu.Unlock()
+	return u, ok
+}
+
+func (d *wsDeque) steal() (Unit, bool) {
+	d.mu.Lock()
+	u, ok := d.q.popHead()
+	d.mu.Unlock()
+	return u, ok
+}
+
+// runStealing drains the frontier with per-worker deques and work
+// stealing. Roots are dealt round-robin so every worker starts local;
+// successors go to the expanding worker's own deque. An idle worker scans
+// the other deques for a steal, and only when every deque is empty does it
+// consult the atomic pending counter: zero means the run is over, nonzero
+// means in-flight expansions may still publish work, so it backs off and
+// rescans. No global lock, no condition-variable broadcast storms — the
+// hot path touches exactly one deque mutex per unit.
+func (x *Explorer) runStealing(ctx *Ctx, strat Strategy, units []Unit, reports []*Report) {
+	n := len(reports)
+	deques := make([]wsDeque, n)
+	for i := range units {
+		deques[i%n].push(units[i])
+	}
+	clearUnits(units)
+	var pending atomic.Int64
+	pending.Store(int64(len(units)))
+	var wg sync.WaitGroup
+	for wi := 0; wi < n; wi++ {
+		wi, r := wi, reports[wi]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			idle := 0
+			for {
+				u, ok := deques[wi].popTail()
+				for off := 1; !ok && off < n; off++ {
+					u, ok = deques[(wi+off)%n].steal()
+				}
+				if !ok {
+					if pending.Load() == 0 {
+						return
+					}
+					// Work is in expansion elsewhere and may fan out; yield,
+					// then sleep once yielding has not produced anything.
+					if idle++; idle < 8 {
+						runtime.Gosched()
+					} else {
+						time.Sleep(20 * time.Microsecond)
+					}
+					continue
+				}
+				idle = 0
+
+				var succ []Unit
+				if ctx.Exhausted() {
+					r.Truncated = true
+				} else {
+					succ = strat.Expand(x, ctx, u, r)
+				}
+				// Publish successors before giving up this unit's pending
+				// slot, so the counter never reads zero while work exists.
+				deques[wi].pushAll(succ)
+				pending.Add(int64(len(succ)) - 1)
 			}
 		}()
 	}
@@ -148,6 +272,7 @@ func (r *Report) merge(o *Report) {
 		r.MaxDepth = o.MaxDepth
 	}
 	r.Violations = append(r.Violations, o.Violations...)
+	r.mergeClasses(o)
 	if o.MinScore < r.MinScore {
 		r.MinScore = o.MinScore
 	}
@@ -157,4 +282,6 @@ func (r *Report) merge(o *Report) {
 	r.scoreSum += o.scoreSum
 	r.scoreCount += o.scoreCount
 	r.Truncated = r.Truncated || o.Truncated
+	// Elapsed is deliberately not merged: shards carry no stamp, and
+	// Explore stamps the whole run's wall clock after the merge loop.
 }

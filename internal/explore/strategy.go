@@ -74,6 +74,10 @@ type Unit struct {
 	Faults int
 	// Seed parameterizes strategies that randomize per unit (RandomWalk).
 	Seed int64
+	// Priority orders the unit in a best-first frontier (higher first).
+	// Only strategies marked BestFirst (Guided) set it; the FIFO and
+	// work-stealing schedulers ignore it.
+	Priority float64
 }
 
 // Strategy decides the shape of the search: how the initial frontier is
@@ -92,6 +96,29 @@ type Strategy interface {
 	Expand(x *Explorer, ctx *Ctx, u Unit, r *Report) []Unit
 }
 
+// BestFirster marks strategies whose frontier is a priority queue: the
+// scheduler then expands the highest-Priority unit next instead of
+// draining FIFO or stealing from deques.
+type BestFirster interface {
+	BestFirst() bool
+}
+
+// bestFirst reports whether strat asks for a priority frontier.
+func bestFirst(strat Strategy) bool {
+	bf, ok := strat.(BestFirster)
+	return ok && bf.BestFirst()
+}
+
+// MustParseStrategy is ParseStrategy for configuration paths whose name
+// was already validated (harness configs, tests); it panics on a typo.
+func MustParseStrategy(name string) Strategy {
+	s, err := ParseStrategy(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 // ParseStrategy resolves a strategy by its command-line name.
 func ParseStrategy(name string) (Strategy, error) {
 	switch name {
@@ -101,8 +128,10 @@ func ParseStrategy(name string) (Strategy, error) {
 		return BFS{}, nil
 	case "randomwalk", "walk":
 		return RandomWalk{}, nil
+	case "guided", "bestfirst":
+		return Guided{}, nil
 	}
-	return nil, fmt.Errorf("unknown exploration strategy %q (chaindfs|bfs|randomwalk)", name)
+	return nil, fmt.Errorf("unknown exploration strategy %q (chaindfs|bfs|randomwalk|guided)", name)
 }
 
 // ChainDFS is the paper's consequence prediction (§2) and the default
@@ -174,18 +203,29 @@ func (BFS) Roots(x *Explorer, ctx *Ctx, w *World) []Unit {
 // the resulting state as successors — fault transitions included while the
 // budget lasts — deduplicating via the shared digest set.
 func (BFS) Expand(x *Explorer, ctx *Ctx, u Unit, r *Report) []Unit {
+	succ, _ := fanOut(x, ctx, u, r)
+	return succ
+}
+
+// fanOut is the shared interleaving expansion of BFS and Guided: execute
+// the unit's action, record the reached state, and return one successor
+// per enabled action of the result (fault transitions included while the
+// budget lasts), deduplicating via the shared digest set. The reached
+// state's objective score is returned alongside so Guided can prioritize
+// without evaluating the objective a second time.
+func fanOut(x *Explorer, ctx *Ctx, u Unit, r *Report) ([]Unit, float64) {
 	w := u.World
 	switch u.Act.Kind {
 	case ActionMessage:
 		if u.Act.MsgIx >= len(w.Inflight) {
-			return nil
+			return nil, 0
 		}
 		w.DeliverMessage(u.Act.MsgIx)
 	case ActionTimer:
 		w.FireTimer(u.Act.Node, u.Act.Timer)
 	default:
 		if !IsFault(u.Act.Kind) {
-			return nil
+			return nil, 0
 		}
 		applyFault(w, u.Act)
 		r.FaultsInjected++
@@ -193,12 +233,12 @@ func (BFS) Expand(x *Explorer, ctx *Ctx, u Unit, r *Report) []Unit {
 	if u.Depth > r.MaxDepth {
 		r.MaxDepth = u.Depth
 	}
-	x.check(ctx, w, r, u.Trace, u.Depth)
+	score := x.check(ctx, w, r, u.Trace, u.Depth)
 	if u.Depth >= x.Depth {
-		return nil
+		return nil, score
 	}
 	if ctx.Visit(x.visitKey(w, u.Faults)) {
-		return nil
+		return nil, score
 	}
 	acts := x.enabled(w)
 	succ := make([]Unit, 0, len(acts))
@@ -210,7 +250,81 @@ func (BFS) Expand(x *Explorer, ctx *Ctx, u Unit, r *Report) []Unit {
 		succ = append(succ, Unit{World: x.fork(w), Act: a, Depth: u.Depth + 1,
 			Faults: u.Faults + 1, Trace: appendTrace(u.Trace, a.Label)})
 	}
+	return succ, score
+}
+
+// Guided expands a priority frontier best-first: successors are scored by
+// the configured Objective plus depth and fault-novelty heuristics, and
+// the scheduler always expands the highest-scoring unit next. Where BFS
+// spreads a bounded budget uniformly across the interleaving space,
+// Guided spends it where violations are likeliest: the runtime resolver
+// steers the live system toward high-objective states, so the suspicious
+// futures are the low-objective ones, and fault transitions open
+// scenarios message deliveries never reach. With no Objective configured
+// the heuristics alone order the frontier (deep-and-faulty first).
+type Guided struct {
+	// DepthWeight scores each level of depth (default 0.25): deeper units
+	// extend fewer, longer scenarios rather than shallowly fanning out,
+	// which is what finds depth-k violations inside a budget.
+	DepthWeight float64
+	// FaultBonus is the novelty bonus of a unit whose action is a fault
+	// transition, divided by the number of faults already on the path
+	// (default 1): the first crash on a scenario is the interesting one.
+	FaultBonus float64
+}
+
+// Name returns "guided".
+func (Guided) Name() string { return "guided" }
+
+// BestFirst marks the strategy's frontier as priority-ordered.
+func (Guided) BestFirst() bool { return true }
+
+// Roots yields the same seed frontier as ChainDFS and BFS, scored
+// against the start world's objective (the one evaluation not already
+// paid for by a check of the same state — Explore scores the root into
+// the report separately).
+func (g Guided) Roots(x *Explorer, ctx *Ctx, w *World) []Unit {
+	units := rootUnits(x, w)
+	base := 0.0
+	if x.Objective != nil {
+		base = -x.Objective.Score(w)
+	}
+	g.prioritize(base, units)
+	return units
+}
+
+// Expand fans out like BFS and scores the successors, reusing the
+// objective score check() just computed for the reached state.
+func (g Guided) Expand(x *Explorer, ctx *Ctx, u Unit, r *Report) []Unit {
+	succ, score := fanOut(x, ctx, u, r)
+	g.prioritize(-score, succ)
 	return succ
+}
+
+// prioritize scores sibling units. All siblings fork the same parent
+// state, so base — that state's negated objective score: low-objective
+// futures are where violations hide — is shared and the heuristics
+// differentiate.
+func (g Guided) prioritize(base float64, units []Unit) {
+	if len(units) == 0 {
+		return
+	}
+	depthW, faultB := g.DepthWeight, g.FaultBonus
+	if depthW == 0 {
+		depthW = 0.25
+	}
+	if faultB == 0 {
+		faultB = 1
+	}
+	for i := range units {
+		u := &units[i]
+		u.Priority = base + depthW*float64(u.Depth)
+		if IsFault(u.Act.Kind) {
+			// u.Faults counts Act itself, so the first fault on a path
+			// gets the full bonus and later ones proportionally less.
+			u.Priority += faultB / float64(u.Faults)
+		}
+	}
 }
 
 // RandomWalk runs independent random trajectories through the state
