@@ -3,7 +3,7 @@
 N ?= 0
 BENCHTIME ?= 1s
 
-.PHONY: test race bench bench-json bench-diff vet
+.PHONY: test race bench bench-alloc bench-json bench-diff vet
 
 vet:
 	go vet ./...
@@ -17,7 +17,15 @@ race:
 bench:
 	go test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) .
 
-# bench-json snapshots the E1–E14 benchmark suite into BENCH_$(N).json so
+# bench-alloc runs the hot-path allocation-regression tests, which pin
+# the per-state allocation budget of the non-violating expansion path
+# (chain, BFS, guided; faults off and on) via testing.AllocsPerRun.
+# -count=2: the second run executes with warm free-lists, so a threshold
+# that only holds on cold pools fails here instead of flaking in CI.
+bench-alloc:
+	go test ./internal/explore -run 'TestAllocRegressionPerState|TestLazyTracesAllocateLess' -count=2 -v
+
+# bench-json snapshots the E1–E15 benchmark suite into BENCH_$(N).json so
 # performance trajectories across PRs stay diffable. Example:
 #   make bench-json N=2
 bench-json:

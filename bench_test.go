@@ -310,6 +310,41 @@ func BenchmarkE14WorkStealing(b *testing.B) {
 	}
 }
 
+// BenchmarkE15AllocDiscipline measures the hot-path memory discipline on
+// E14's workload (BFS, budget 16384, 8 workers): the default engine
+// (lazy parent-pointer traces + dead-world recycling) against the two
+// ablations that restore the old behavior — EagerTraces (formatted
+// []string traces copied per step) and NoRecycle (dead worlds left to
+// the garbage collector). Run with -benchmem: allocs/op and B/op are the
+// point. Reported metric: states visited per second of wall clock.
+func BenchmarkE15AllocDiscipline(b *testing.B) {
+	for _, mode := range []string{"default", "eagertraces", "norecycle"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			w := mkTreeWorld()
+			b.ResetTimer()
+			states := 0
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				x := explore.NewExplorer(8)
+				x.MaxStates = 1 << 14
+				x.Strategy = explore.BFS{}
+				x.Workers = 8
+				x.EagerTraces = mode == "eagertraces"
+				x.NoRecycle = mode == "norecycle"
+				r := x.Explore(w)
+				states += r.StatesExplored
+			}
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(states)/elapsed, "states/sec")
+			}
+			b.ReportMetric(float64(states)/float64(b.N), "states/op")
+		})
+	}
+}
+
 // depthOf returns the level of index i in a complete binary tree rooted at
 // 0 (root = 1).
 func depthOf(i int) int {

@@ -1,5 +1,5 @@
 // Command benchjson runs the repository's benchmark suite (experiments
-// E1–E13) and emits a machine-readable BENCH_<n>.json snapshot: ns/op,
+// E1–E15) and emits a machine-readable BENCH_<n>.json snapshot: ns/op,
 // B/op, allocs/op, and every custom b.ReportMetric quantity (states/op,
 // states/sec, ...), grouped by experiment. Successive PRs archive these
 // files (the CI workflow uploads one per run) so performance trajectories
@@ -202,7 +202,9 @@ func loadSnapshot(path string) (*Snapshot, error) {
 // diff prints a per-benchmark comparison of two snapshots. ns/op deltas
 // beyond ±10% are called out (REGRESSION/improved); where both sides
 // report a states/sec metric — the throughput headline of E4/E10/E13/E14
-// — its delta is shown alongside.
+// — its delta is shown alongside, as are B/op and allocs/op deltas when
+// both snapshots were taken with -benchmem (the memory-discipline
+// headline of E15).
 func diff(oldPath, newPath string) error {
 	if oldPath == "" || newPath == "" {
 		return fmt.Errorf("-diff needs both -old and -new")
@@ -249,10 +251,25 @@ func diff(oldPath, newPath string) error {
 				note += fmt.Sprintf(" (states/sec %+.1f%%)", (newTput-oldTput)/oldTput*100)
 			}
 		}
+		if d, ok := memDelta(or.AllocsPerOp, nr.AllocsPerOp); ok {
+			note += fmt.Sprintf(" (allocs/op %+.1f%%)", d)
+		}
+		if d, ok := memDelta(or.BytesPerOp, nr.BytesPerOp); ok {
+			note += fmt.Sprintf(" (B/op %+.1f%%)", d)
+		}
 		fmt.Printf("%-55s %14.0f %14.0f %+7.1f%% %s\n", nr.Name, or.NsPerOp, nr.NsPerOp, delta, note)
 	}
 	if regressions > 0 {
 		fmt.Printf("benchjson: %d ns/op regression(s) beyond 10%% — informational, see note column\n", regressions)
 	}
 	return nil
+}
+
+// memDelta computes the percentage change between two optional -benchmem
+// quantities (B/op or allocs/op), present only when both sides have one.
+func memDelta(old, new *float64) (float64, bool) {
+	if old == nil || new == nil || *old <= 0 {
+		return 0, false
+	}
+	return (*new - *old) / *old * 100, true
 }

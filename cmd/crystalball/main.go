@@ -33,6 +33,10 @@ var (
 	lookaheadPartitions bool
 )
 
+// lookaheadMaxFrontier caps every runtime lookahead's pending frontier
+// (0 = unbounded), bounding lookahead memory on small machines.
+var lookaheadMaxFrontier int
+
 func main() {
 	app := flag.String("app", "all", "experiment to run: gossip | dissem | paxos | overload | steering | tracker | all")
 	seed := flag.Int64("seed", 1, "first seed")
@@ -41,6 +45,7 @@ func main() {
 	flag.StringVar(&lookaheadStrategy, "strategy", "chaindfs", "lookahead exploration strategy: chaindfs | bfs | randomwalk | guided")
 	flag.IntVar(&lookaheadFaults, "faults", 0, "fault-transition budget per runtime lookahead (crash/recover/reset)")
 	flag.BoolVar(&lookaheadPartitions, "partitions", false, "also explore partition transitions in runtime lookaheads")
+	flag.IntVar(&lookaheadMaxFrontier, "maxfrontier", 0, "cap on pending lookahead frontier units, dropping lowest-priority work (0 = unbounded)")
 	flag.Parse()
 	if lookaheadWorkers == 0 {
 		lookaheadWorkers = runtime.GOMAXPROCS(0)
@@ -89,7 +94,7 @@ func runOverload(seed0 int64, seeds int) {
 		committed, submitted := 0, 0
 		for k := 0; k < seeds; k++ {
 			r := paxos.Run(paxos.ExperimentConfig{
-				Seed: seed0 + int64(k), Policy: p, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions,
+				Seed: seed0 + int64(k), Policy: p, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions, LookaheadMaxFrontier: lookaheadMaxFrontier,
 				UniformLatency: 20 * time.Millisecond,
 				WorkDelay:      60 * time.Millisecond,
 				Interarrival:   40 * time.Millisecond,
@@ -122,7 +127,7 @@ func runGossip(seed0 int64, seeds int) {
 	for _, s := range gossip.Strategies {
 		var mean, max, fmean, fmax float64
 		for k := 0; k < seeds; k++ {
-			r := gossip.Run(gossip.ExperimentConfig{N: 16, Seed: seed0 + int64(k), Strategy: s, SlowNodes: 4, Updates: 6, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions})
+			r := gossip.Run(gossip.ExperimentConfig{N: 16, Seed: seed0 + int64(k), Strategy: s, SlowNodes: 4, Updates: 6, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions, LookaheadMaxFrontier: lookaheadMaxFrontier})
 			mean += r.MeanDissemination.Seconds()
 			max += r.MaxDissemination.Seconds()
 			fmean += r.FastMeanDissemination.Seconds()
@@ -140,7 +145,7 @@ func runDissem(seed0 int64, seeds int) {
 		for _, s := range dissem.Strategies {
 			var mean, max float64
 			for k := 0; k < seeds; k++ {
-				r := dissem.Run(dissem.ExperimentConfig{N: 10, Blocks: 16, Seed: seed0 + int64(k), Strategy: s, Setting: set, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions})
+				r := dissem.Run(dissem.ExperimentConfig{N: 10, Blocks: 16, Seed: seed0 + int64(k), Strategy: s, Setting: set, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions, LookaheadMaxFrontier: lookaheadMaxFrontier})
 				mean += r.MeanCompletion.Seconds()
 				max += r.MaxCompletion.Seconds()
 			}
@@ -157,7 +162,7 @@ func runPaxos(seed0 int64, seeds int) {
 		var mean, p99 float64
 		committed, submitted := 0, 0
 		for k := 0; k < seeds; k++ {
-			r := paxos.Run(paxos.ExperimentConfig{Seed: seed0 + int64(k), Policy: p, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions})
+			r := paxos.Run(paxos.ExperimentConfig{Seed: seed0 + int64(k), Policy: p, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions, LookaheadMaxFrontier: lookaheadMaxFrontier})
 			mean += r.MeanCommit.Seconds()
 			p99 += r.P99Commit.Seconds()
 			committed += r.Committed
@@ -175,7 +180,7 @@ func runTracker(seed0 int64, seeds int) {
 		var frac, mean float64
 		completed, peers := 0, 0
 		for k := 0; k < seeds; k++ {
-			r := tracker.Run(tracker.ExperimentConfig{Seed: seed0 + int64(k), Policy: p, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions})
+			r := tracker.Run(tracker.ExperimentConfig{Seed: seed0 + int64(k), Policy: p, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions, LookaheadMaxFrontier: lookaheadMaxFrontier})
 			frac += r.CrossFraction()
 			mean += r.MeanCompletion.Seconds()
 			completed += r.Completed

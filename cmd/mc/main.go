@@ -7,6 +7,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +31,8 @@ func main() {
 	workers := flag.Int("workers", 1, "exploration worker pool size (0 = GOMAXPROCS)")
 	strategyName := flag.String("strategy", "chaindfs", "exploration strategy: chaindfs | bfs | randomwalk | guided")
 	fullDigests := flag.Bool("fulldigests", false, "dedup with from-scratch world digests instead of incremental (ablation)")
+	maxFrontier := flag.Int("maxfrontier", 0, "cap on pending frontier units, dropping lowest-priority work (0 = unbounded)")
+	classesJSON := flag.String("classes-json", "", "write the violation classes (digest, count, shortest witness) as JSON to this path for cross-run diffing")
 	flag.Parse()
 
 	if *n < 3 {
@@ -77,6 +80,7 @@ func main() {
 	x.Workers = *workers
 	x.Strategy = strategy
 	x.FullDigests = *fullDigests
+	x.MaxFrontier = *maxFrontier
 	x.FaultBudget = *faults
 	x.PartitionFaults = *partitions
 	x.Properties = []explore.Property{
@@ -87,19 +91,68 @@ func main() {
 	r := x.Explore(w)
 	fmt.Printf("explored %d states to depth %d in %v (strategy=%s workers=%d faults=%d injected=%d truncated=%v)\n",
 		r.StatesExplored, r.MaxDepth, r.Elapsed.Round(time.Microsecond), strategy.Name(), *workers, *faults, r.FaultsInjected, r.Truncated)
-	if r.Safe() {
-		fmt.Println("no safety violations predicted")
-		return
+	if r.FrontierDropped > 0 {
+		fmt.Printf("frontier cap %d dropped %d pending unit(s)\n", *maxFrontier, r.FrontierDropped)
 	}
 	classes := r.ViolationClasses()
-	fmt.Printf("%d violation(s) predicted in %d class(es):\n", len(r.Violations), len(classes))
-	for _, c := range classes {
-		fmt.Printf("  %s ×%d [%s] — shortest witness at depth %d:\n", c.Property, c.Count, c.Signature, c.Witness.Depth)
-		for i, step := range c.Witness.Trace {
-			fmt.Printf("    %d. %s\n", i+1, step)
+	if r.Safe() {
+		fmt.Println("no safety violations predicted")
+	} else {
+		fmt.Printf("%d violation(s) predicted in %d class(es):\n", len(r.Violations), len(classes))
+		for _, c := range classes {
+			fmt.Printf("  %s ×%d [%s] — shortest witness at depth %d:\n", c.Property, c.Count, c.Signature, c.Witness.Depth)
+			for i, step := range c.Witness.Trace {
+				fmt.Printf("    %d. %s\n", i+1, step)
+			}
 		}
 	}
-	os.Exit(1)
+	// The JSON artifact is written after the report, so a write failure
+	// can never swallow the run's safety verdict.
+	if *classesJSON != "" {
+		if err := writeClassesJSON(*classesJSON, classes); err != nil {
+			fmt.Fprintf(os.Stderr, "mc: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %d violation class(es) to %s\n", len(classes), *classesJSON)
+	}
+	if !r.Safe() {
+		os.Exit(1)
+	}
+}
+
+// classRecord is the JSON shape of one violation class. Digest is
+// rendered in hex: it is a stable identity across runs (ROADMAP:
+// cross-run class history), so deployments can diff the predicted
+// violation surface between snapshots with ordinary JSON tooling.
+type classRecord struct {
+	Property  string   `json:"property"`
+	Signature string   `json:"signature"`
+	Digest    string   `json:"digest"`
+	Count     int      `json:"count"`
+	Depth     int      `json:"witness_depth"`
+	Witness   []string `json:"witness"`
+}
+
+// writeClassesJSON persists the run's canonical violation classes. An
+// empty class list writes an empty array, so "no violations" is itself
+// a diffable observation.
+func writeClassesJSON(path string, classes []explore.ViolationClass) error {
+	records := make([]classRecord, 0, len(classes))
+	for _, c := range classes {
+		records = append(records, classRecord{
+			Property:  c.Property,
+			Signature: c.Signature,
+			Digest:    fmt.Sprintf("%016x", c.Digest),
+			Count:     c.Count,
+			Depth:     c.Witness.Depth,
+			Witness:   c.Witness.Trace,
+		})
+	}
+	enc, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(enc, '\n'), 0o644)
 }
 
 // findEdge returns an interior node and one of its children.

@@ -69,6 +69,10 @@ type ExperimentConfig struct {
 	// LookaheadPartitions additionally explores network-partition
 	// transitions in runtime lookaheads.
 	LookaheadPartitions bool
+	// LookaheadMaxFrontier caps the pending-unit frontier of every
+	// runtime lookahead, bounding lookahead memory (0 = unbounded; see
+	// explore.Explorer.MaxFrontier).
+	LookaheadMaxFrontier int
 }
 
 func (c *ExperimentConfig) fill() {
@@ -122,7 +126,8 @@ func Run(cfg ExperimentConfig) Result {
 
 	ccfg := core.Config{LookaheadWorkers: cfg.LookaheadWorkers, LookaheadFullDigests: cfg.LookaheadFullDigests,
 		LookaheadStrategy: explore.MustParseStrategy(cfg.LookaheadStrategy),
-		LookaheadFaults:   cfg.LookaheadFaults, LookaheadPartitions: cfg.LookaheadPartitions}
+		LookaheadFaults:   cfg.LookaheadFaults, LookaheadPartitions: cfg.LookaheadPartitions,
+		LookaheadMaxFrontier: cfg.LookaheadMaxFrontier}
 	switch cfg.Strategy {
 	case StrategyRandom:
 		ccfg.NewResolver = func(*core.Node) core.Resolver { return core.Random{} }

@@ -60,7 +60,11 @@ type ExperimentConfig struct {
 	// LookaheadPartitions additionally explores network-partition
 	// transitions in runtime lookaheads.
 	LookaheadPartitions bool
-	Trace               *trace.Log
+	// LookaheadMaxFrontier caps the pending-unit frontier of every
+	// runtime lookahead, bounding lookahead memory (0 = unbounded; see
+	// explore.Explorer.MaxFrontier).
+	LookaheadMaxFrontier int
+	Trace                *trace.Log
 }
 
 func (c *ExperimentConfig) fill() {
@@ -162,7 +166,8 @@ func Run(cfg ExperimentConfig) Result {
 
 	ccfg := core.Config{Trace: cfg.Trace, LookaheadWorkers: cfg.LookaheadWorkers, LookaheadFullDigests: cfg.LookaheadFullDigests,
 		LookaheadStrategy: explore.MustParseStrategy(cfg.LookaheadStrategy),
-		LookaheadFaults:   cfg.LookaheadFaults, LookaheadPartitions: cfg.LookaheadPartitions}
+		LookaheadFaults:   cfg.LookaheadFaults, LookaheadPartitions: cfg.LookaheadPartitions,
+		LookaheadMaxFrontier: cfg.LookaheadMaxFrontier}
 	switch cfg.Policy {
 	case PolicyFixed:
 		ccfg.NewResolver = func(*core.Node) core.Resolver { return core.First{} }

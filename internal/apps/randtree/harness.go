@@ -59,6 +59,10 @@ type ExperimentConfig struct {
 	// LookaheadPartitions additionally explores network-partition
 	// transitions in runtime lookaheads.
 	LookaheadPartitions bool
+	// LookaheadMaxFrontier caps the pending-unit frontier of every
+	// runtime lookahead, bounding lookahead memory (0 = unbounded; see
+	// explore.Explorer.MaxFrontier).
+	LookaheadMaxFrontier int
 	// Steering enables execution steering against Properties (E8).
 	Steering   bool
 	Properties []explore.Property
@@ -98,7 +102,8 @@ func NewExperiment(cfg ExperimentConfig) *Experiment {
 
 	ccfg := core.Config{Trace: cfg.Trace, LookaheadWorkers: cfg.LookaheadWorkers, LookaheadFullDigests: cfg.LookaheadFullDigests,
 		LookaheadStrategy: explore.MustParseStrategy(cfg.LookaheadStrategy),
-		LookaheadFaults:   cfg.LookaheadFaults, LookaheadPartitions: cfg.LookaheadPartitions}
+		LookaheadFaults:   cfg.LookaheadFaults, LookaheadPartitions: cfg.LookaheadPartitions,
+		LookaheadMaxFrontier: cfg.LookaheadMaxFrontier}
 	// Fault lookaheads restart reset nodes from the as-deployed cold state
 	// when no fresh checkpoint is retained.
 	ccfg.InitialState = func(id sm.NodeID) sm.Service { return newService(cfg.Setup, id, 0, 0) }

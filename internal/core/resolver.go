@@ -304,6 +304,7 @@ func (p *Predictive) evaluate(n *Node, c sm.Choice, base sm.Service, ev *pending
 	x.Workers = workers
 	x.Strategy = strategy
 	x.FullDigests = p.FullDigests || n.cluster.cfg.LookaheadFullDigests
+	x.MaxFrontier = n.cluster.cfg.LookaheadMaxFrontier
 	x.FaultBudget = faults
 	x.PartitionFaults = p.Partitions || n.cluster.cfg.LookaheadPartitions
 	r := x.Explore(w)

@@ -69,6 +69,11 @@ type Config struct {
 	// LookaheadPartitions additionally explores network-partition
 	// transitions in runtime lookaheads, drawn from the same fault budget.
 	LookaheadPartitions bool
+	// LookaheadMaxFrontier caps the pending-unit frontier of every
+	// runtime lookahead (see explore.Explorer.MaxFrontier). Zero, the
+	// default, leaves frontiers unbounded — behavior-neutral; set it to
+	// bound lookahead memory on small machines.
+	LookaheadMaxFrontier int
 	// InitialState, when set, supplies a node's cold-restart state for
 	// fault lookaheads: exploring a reset restores this state when no
 	// fresh-enough checkpoint is retained. Nil limits recovery to
@@ -527,6 +532,7 @@ func (n *Node) steerAway(msg *sm.Msg) bool {
 		x.Workers = cfg.LookaheadWorkers
 		x.Strategy = cfg.LookaheadStrategy
 		x.FullDigests = cfg.LookaheadFullDigests
+		x.MaxFrontier = cfg.LookaheadMaxFrontier
 		return x
 	}
 	withMsg := n.buildLookahead(n.svc.Clone(), n.lookPolicy())

@@ -1,0 +1,122 @@
+package explore
+
+import (
+	"testing"
+
+	"crystalchoice/internal/sm"
+)
+
+// Allocation-regression tests for the expansion hot path. The lookahead
+// budget is wall-clock bound (paper §2: the search runs beside the live
+// system), so per-state allocation is a product metric: these tests pin
+// it on the common, non-violating path — chain, BFS, and guided
+// traversals, faults off and on — and fail if bookkeeping allocations
+// creep back in. Run via `make bench-alloc` (and ordinary `go test`).
+
+// allocWorld is a wide relay world: chains long enough to amortize the
+// per-run fixed cost (explorer, scheduler, report, digest priming) so
+// the quotient approximates the true per-state marginal cost.
+func allocWorld() *World {
+	return fanWorld(8, 4, 24)
+}
+
+// allocsPerState measures steady-state allocations per explored state
+// for one explorer configuration.
+func allocsPerState(t *testing.T, w *World, mk func() *Explorer) float64 {
+	t.Helper()
+	states := 0
+	avg := testing.AllocsPerRun(10, func() {
+		r := mk().Explore(w)
+		states = r.StatesExplored
+	})
+	if states == 0 {
+		t.Fatal("no states explored")
+	}
+	return avg / float64(states)
+}
+
+// TestAllocRegressionPerState pins the per-state allocation budget of
+// the non-violating expansion path. The bounds have ~1.5× headroom over
+// the measured steady state at the time they were set; a failure means
+// a hot-path change reintroduced per-branch bookkeeping (eager labels,
+// trace copies, un-recycled worlds) and should be treated like a
+// performance regression, not loosened casually.
+func TestAllocRegressionPerState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is slow under -short")
+	}
+	cases := []struct {
+		name   string
+		mk     func() *Explorer
+		budget float64 // max allocs per explored state
+	}{
+		{"chain", func() *Explorer {
+			x := NewExplorer(24)
+			x.MaxStates = 1 << 16
+			return x
+		}, 28},
+		{"chain+faults", func() *Explorer {
+			x := NewExplorer(6)
+			x.MaxStates = 1 << 16
+			x.FaultBudget = 1
+			return x
+		}, 9},
+		{"bfs", func() *Explorer {
+			x := NewExplorer(6)
+			x.MaxStates = 4096
+			x.Strategy = BFS{}
+			return x
+		}, 28},
+		{"bfs+faults", func() *Explorer {
+			x := NewExplorer(5)
+			x.MaxStates = 4096
+			x.Strategy = BFS{}
+			x.FaultBudget = 1
+			return x
+		}, 33},
+		{"guided", func() *Explorer {
+			x := NewExplorer(6)
+			x.MaxStates = 4096
+			x.Strategy = Guided{}
+			x.Objective = sumObjective()
+			return x
+		}, 29},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := allocWorld()
+			if tc.mk().FaultBudget > 0 {
+				w.Initial = func(id NodeID) sm.Service { return &relay{id: id, n: 32} }
+			}
+			got := allocsPerState(t, w, tc.mk)
+			t.Logf("%s: %.2f allocs/state", tc.name, got)
+			if got > tc.budget {
+				t.Errorf("%s: %.2f allocs per state, budget %.0f — the hot path regressed", tc.name, got, tc.budget)
+			}
+		})
+	}
+}
+
+// TestLazyTracesAllocateLess is the A/B for the ablation flag: the lazy
+// representation must beat the eager one on the same workload.
+func TestLazyTracesAllocateLess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is slow under -short")
+	}
+	mk := func(eager bool) func() *Explorer {
+		return func() *Explorer {
+			x := NewExplorer(12)
+			x.MaxStates = 4096
+			x.Strategy = BFS{}
+			x.EagerTraces = eager
+			return x
+		}
+	}
+	w := allocWorld()
+	lazy := allocsPerState(t, w, mk(false))
+	eager := allocsPerState(t, w, mk(true))
+	t.Logf("lazy %.2f vs eager %.2f allocs/state", lazy, eager)
+	if lazy >= eager {
+		t.Errorf("lazy traces allocate no less than eager: %.2f vs %.2f", lazy, eager)
+	}
+}

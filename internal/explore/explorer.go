@@ -62,7 +62,10 @@ type Report struct {
 	scoreSum                      float64
 	scoreCount                    int
 	Truncated                     bool // budget exhausted before frontier
-	Elapsed                       time.Duration
+	// FrontierDropped counts pending units discarded by the MaxFrontier
+	// spill cap; nonzero implies Truncated.
+	FrontierDropped int
+	Elapsed         time.Duration
 
 	// classes canonicalizes Violations at record time: raw violations
 	// dedup by (property, canonical-trace signature), each class keeping
@@ -136,16 +139,39 @@ type Explorer struct {
 	// Best-first strategies always use the shared priority frontier and
 	// ignore the flag.
 	SingleQueue bool
+	// EagerTraces restores the pre-lazy trace bookkeeping: every branch
+	// carries its fully formatted []string trace, copied on every step.
+	// Only useful as an ablation: it measures what lazy materialization
+	// (parent-pointer path nodes, labels formatted only when a violation
+	// is recorded) buys (BenchmarkE15AllocDiscipline).
+	EagerTraces bool
+	// NoRecycle disables the dead-world free-list: exhausted branches'
+	// worlds are left to the garbage collector instead of returning their
+	// shells and owned containers to the run's pool. Only useful as an
+	// ablation (BenchmarkE15AllocDiscipline).
+	NoRecycle bool
+	// MaxFrontier caps the number of pending frontier units. Zero, the
+	// default, means unbounded. When the cap binds, the lowest-priority
+	// pending unit is dropped (for FIFO and work-stealing frontiers the
+	// newest — deepest — pending unit); the report counts the drops in
+	// FrontierDropped and marks itself Truncated. This makes
+	// multi-million-state budgets safe on small machines: BFS frontier
+	// width, not the state budget, is what exhausts memory.
+	MaxFrontier int
 
 	// forceScheduler routes even Workers<=1 runs through the parallel
 	// scheduler machinery (tests assert it matches the sequential path).
 	forceScheduler bool
 }
 
-// fork branches a world for one exploration step.
-func (x *Explorer) fork(w *World) *World {
+// fork branches a world for one exploration step, reusing a recycled
+// world shell from the run's free-list when one is available.
+func (x *Explorer) fork(ctx *Ctx, w *World) *World {
 	if x.DeepClones {
 		return w.DeepClone()
+	}
+	if ctx != nil && ctx.pool != nil {
+		return w.clonePooled(ctx.pool)
 	}
 	return w.Clone()
 }
@@ -185,7 +211,7 @@ func (x *Explorer) enabled(w *World) []Action {
 		if w.Down[m.Dst] || !w.Reachable(m.Src, m.Dst) {
 			continue
 		}
-		acts = append(acts, Action{Kind: ActionMessage, MsgIx: i, Label: m.String()})
+		acts = append(acts, Action{Kind: ActionMessage, MsgIx: i, Msg: m})
 	}
 	if x.ExploreTimers {
 		names := borrowNames()
@@ -201,7 +227,7 @@ func (x *Explorer) enabled(w *World) []Action {
 			}
 			sort.Strings(names) // deterministic order
 			for _, name := range names {
-				acts = append(acts, Action{Kind: ActionTimer, Node: id, Timer: name, Label: fmt.Sprintf("%v!%s", id, name)})
+				acts = append(acts, Action{Kind: ActionTimer, Node: id, Timer: name})
 			}
 		}
 		returnNames(names)
@@ -226,22 +252,22 @@ func (x *Explorer) faultActions(w *World, used int) []Action {
 	}
 	for _, id := range nodes {
 		if w.Down[id] {
-			acts = append(acts, Action{Kind: ActionRecover, Node: id, Label: fmt.Sprintf("recover %v", id)})
+			acts = append(acts, Action{Kind: ActionRecover, Node: id})
 			continue
 		}
-		acts = append(acts, Action{Kind: ActionCrash, Node: id, Label: fmt.Sprintf("crash %v", id)})
+		acts = append(acts, Action{Kind: ActionCrash, Node: id})
 		if w.CanRestart(id) {
-			acts = append(acts, Action{Kind: ActionReset, Node: id, Label: fmt.Sprintf("reset %v", id)})
+			acts = append(acts, Action{Kind: ActionReset, Node: id})
 		}
 		if x.PartitionFaults {
 			// Isolate while any pair is still connected; heal while any
 			// pair is cut — a partially partitioned node (e.g. a live
 			// group partition mirrored into the world) offers both.
 			if cuts[id] < len(nodes)-1 {
-				acts = append(acts, Action{Kind: ActionPartition, Node: id, Label: fmt.Sprintf("isolate %v", id)})
+				acts = append(acts, Action{Kind: ActionPartition, Node: id})
 			}
 			if cuts[id] > 0 {
-				acts = append(acts, Action{Kind: ActionHeal, Node: id, Label: fmt.Sprintf("heal %v", id)})
+				acts = append(acts, Action{Kind: ActionHeal, Node: id})
 			}
 		}
 	}
@@ -265,11 +291,14 @@ func (x *Explorer) Explore(w *World) *Report {
 	if budget <= 0 {
 		budget = 4096
 	}
-	ctx := &Ctx{x: x, root: w, budget: budget}
+	ctx := &Ctx{x: x, root: w, budget: budget, names: &nameTable{}}
 	if workers == 1 && !x.forceScheduler {
 		ctx.seen = plainSeen{}
 	} else {
 		ctx.seen = newShardedSeen()
+	}
+	if !x.NoRecycle && !x.DeepClones {
+		ctx.pool = newWorldPool()
 	}
 	if !x.FullDigests {
 		// Prime the maintained digest (and per-message digest memos)
@@ -293,12 +322,12 @@ func (x *Explorer) Explore(w *World) *Report {
 	for i := range reports {
 		reports[i] = &Report{MinScore: math.Inf(1), MaxScore: math.Inf(-1)}
 	}
-	x.check(ctx, w, reports[0], nil, 0) // score the root state too
+	x.check(ctx, w, reports[0], branchTrace{}, 0) // score the root state too
 	if workers == 1 && !x.forceScheduler {
 		if bestFirst(strat) {
-			x.runSequential(ctx, strat, newHeapFrontier(frontier), reports[0])
+			x.runSequential(ctx, strat, newHeapFrontier(frontier, ctx), reports[0])
 		} else {
-			x.runSequential(ctx, strat, newFIFOFrontier(frontier), reports[0])
+			x.runSequential(ctx, strat, newFIFOFrontier(frontier, ctx), reports[0])
 		}
 	} else {
 		x.runParallel(ctx, strat, frontier, reports)
@@ -311,6 +340,12 @@ func (x *Explorer) Explore(w *World) *Report {
 		r.MeanScore = r.scoreSum / float64(r.scoreCount)
 	} else {
 		r.MinScore, r.MaxScore = 0, 0
+	}
+	if n := ctx.dropped.Load(); n > 0 {
+		// The spill cap cut pending work: the run did not exhaust the
+		// reachable space, exactly like a spent state budget.
+		r.FrontierDropped = int(n)
+		r.Truncated = true
 	}
 	r.Elapsed = time.Since(start)
 	return r
@@ -352,7 +387,7 @@ func (x *Explorer) IterativeExplore(w *World, maxDepth int, budget time.Duration
 // faults counts the fault transitions consumed on the path, a included
 // when it is one; while the budget lasts, each fault transition is an
 // additional branch point the way DropBranches branches over loss.
-func (x *Explorer) chain(ctx *Ctx, w *World, a Action, depth, faults int, r *Report, trace []string) {
+func (x *Explorer) chain(ctx *Ctx, w *World, a Action, depth, faults int, r *Report, trace branchTrace) {
 	if ctx.Exhausted() {
 		r.Truncated = true
 		return
@@ -401,7 +436,7 @@ func (x *Explorer) chain(ctx *Ctx, w *World, a Action, depth, faults int, r *Rep
 		// Locate the consequence message in the fork by identity of
 		// content: messages are immutable, so pointer equality survives
 		// the fork's shared in-flight slice.
-		wc := x.fork(w)
+		wc := x.fork(ctx, w)
 		ix := -1
 		for i, m := range wc.Inflight {
 			if m == next.msg {
@@ -410,18 +445,20 @@ func (x *Explorer) chain(ctx *Ctx, w *World, a Action, depth, faults int, r *Rep
 			}
 		}
 		if next.msg != nil && ix == -1 {
+			ctx.release(wc)
 			continue // consumed on another branch bookkeeping path
 		}
 		var na Action
 		if next.msg != nil {
-			na = Action{Kind: ActionMessage, MsgIx: ix, Label: next.msg.String()}
+			na = Action{Kind: ActionMessage, MsgIx: ix, Msg: next.msg}
 		} else {
-			na = Action{Kind: ActionTimer, Node: next.node, Timer: next.timer, Label: fmt.Sprintf("%v!%s", next.node, next.timer)}
+			na = Action{Kind: ActionTimer, Node: next.node, Timer: next.timer}
 		}
-		x.chain(ctx, wc, na, depth+1, faults, r, appendTrace(trace, na.Label))
+		x.chain(ctx, wc, na, depth+1, faults, r, x.extendTrace(ctx, trace, actionStep(na)))
+		ctx.release(wc) // subtree exhausted: recycle the fork
 		// Loss branch: this consequence, if a datagram, may never arrive.
 		if x.DropBranches && next.msg != nil && next.msg.Unreliable {
-			wd := x.fork(w)
+			wd := x.fork(ctx, w)
 			for i, m := range wd.Inflight {
 				if m == next.msg {
 					wd.RemoveInflight(i)
@@ -431,7 +468,8 @@ func (x *Explorer) chain(ctx *Ctx, w *World, a Action, depth, faults int, r *Rep
 			if depth+1 > r.MaxDepth {
 				r.MaxDepth = depth + 1
 			}
-			x.check(ctx, wd, r, appendTrace(trace, "drop "+na.Label), depth+1)
+			x.check(ctx, wd, r, x.extendTrace(ctx, trace, step{kind: stepDrop, msg: next.msg}), depth+1)
+			ctx.release(wd)
 		}
 	}
 	// Fault branches: while the budget lasts, the chain may be interrupted
@@ -442,21 +480,23 @@ func (x *Explorer) chain(ctx *Ctx, w *World, a Action, depth, faults int, r *Rep
 			r.Truncated = true
 			return
 		}
-		x.chain(ctx, x.fork(w), fa, depth+1, faults+1, r, appendTrace(trace, fa.Label))
+		wf := x.fork(ctx, w)
+		x.chain(ctx, wf, fa, depth+1, faults+1, r, x.extendTrace(ctx, trace, actionStep(fa)))
+		ctx.release(wf)
 	}
 }
 
 // genericDelivery handles a message addressed to an under-specified node
 // (paper §3.3.2): the explorer branches over the generic node staying
 // silent and over each reaction the installed GenericModel enumerates.
-func (x *Explorer) genericDelivery(ctx *Ctx, w *World, ix, depth, faults int, r *Report, trace []string) {
+func (x *Explorer) genericDelivery(ctx *Ctx, w *World, ix, depth, faults int, r *Report, trace branchTrace) {
 	m := w.Inflight[ix]
 	w.RemoveInflight(ix)
 	if depth > r.MaxDepth {
 		r.MaxDepth = depth
 	}
 	// Silent branch: the unknown node absorbs the message.
-	x.check(ctx, w, r, appendTrace(trace, "generic-silent"), depth)
+	x.check(ctx, w, r, x.extendTrace(ctx, trace, step{kind: stepGenericSilent}), depth)
 	if depth >= x.Depth {
 		return
 	}
@@ -468,14 +508,14 @@ func (x *Explorer) genericDelivery(ctx *Ctx, w *World, ix, depth, faults int, r 
 			r.Truncated = true
 			return
 		}
-		wc := x.fork(w)
+		wc := x.fork(ctx, w)
 		injected := make([]*sm.Msg, 0, len(reaction))
 		for _, rm := range reaction {
 			cp := *rm // models hand out templates; never share pointers
 			wc.InjectMessage(&cp)
 			injected = append(injected, &cp)
 		}
-		label := fmt.Sprintf("generic-react#%d", bi)
+		reactTrace := x.extendTrace(ctx, trace, step{kind: stepGenericReact, ix: bi})
 		for _, im := range injected {
 			ixc := -1
 			for i, q := range wc.Inflight {
@@ -487,10 +527,13 @@ func (x *Explorer) genericDelivery(ctx *Ctx, w *World, ix, depth, faults int, r 
 			if ixc < 0 {
 				continue
 			}
-			na := Action{Kind: ActionMessage, MsgIx: ixc, Label: im.String()}
-			x.chain(ctx, x.fork(wc), na, depth+1, faults, r,
-				append(appendTrace(trace, label), na.Label))
+			na := Action{Kind: ActionMessage, MsgIx: ixc, Msg: im}
+			wcc := x.fork(ctx, wc)
+			x.chain(ctx, wcc, na, depth+1, faults, r,
+				x.extendTrace(ctx, reactTrace, actionStep(na)))
+			ctx.release(wcc)
 		}
+		ctx.release(wc)
 	}
 	// Fault branches apply at generic-delivery steps like at any other
 	// chain step: the silent-absorption state may be interrupted by a
@@ -500,7 +543,9 @@ func (x *Explorer) genericDelivery(ctx *Ctx, w *World, ix, depth, faults int, r 
 			r.Truncated = true
 			return
 		}
-		x.chain(ctx, x.fork(w), fa, depth+1, faults+1, r, appendTrace(trace, fa.Label))
+		wf := x.fork(ctx, w)
+		x.chain(ctx, wf, fa, depth+1, faults+1, r, x.extendTrace(ctx, trace, actionStep(fa)))
+		ctx.release(wf)
 	}
 }
 
@@ -529,14 +574,24 @@ func consequences(w *World, msgs []*sm.Msg) []*actionRef {
 // run's global budget counter, returning the objective score (0 when no
 // objective is configured) so callers on the guided hot path can reuse it
 // instead of re-evaluating.
-func (x *Explorer) check(ctx *Ctx, w *World, r *Report, trace []string, depth int) float64 {
+func (x *Explorer) check(ctx *Ctx, w *World, r *Report, trace branchTrace, depth int) float64 {
 	ctx.count.Add(1)
 	r.StatesExplored++
+	var mat []string // materialized at most once per state
 	for _, p := range x.Properties {
 		if p.Check != nil && !p.Check(w) {
+			if mat == nil {
+				mat = x.materializeTrace(ctx, trace)
+				// A witness world must never return to the free-list:
+				// freeze it (and thereby everything it shares) so a later
+				// release of the branch cannot recycle state a consumer
+				// may still inspect.
+				w.Freeze()
+				w.pinned = true
+			}
 			r.addViolation(Violation{
 				Property: p.Name,
-				Trace:    append([]string{}, trace...),
+				Trace:    mat,
 				Depth:    depth,
 			})
 		}

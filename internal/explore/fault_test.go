@@ -197,7 +197,7 @@ func TestPartitionGatesDelivery(t *testing.T) {
 	x := NewExplorer(3)
 	for _, a := range x.enabled(w) {
 		if a.Kind == ActionMessage {
-			t.Fatalf("partitioned message still enabled: %v", a.Label)
+			t.Fatalf("partitioned message still enabled: %v", a.Msg)
 		}
 	}
 	if msgs := w.DeliverMessage(0); msgs != nil {

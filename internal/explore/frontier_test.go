@@ -54,7 +54,7 @@ func TestConsumedFrontierReleasesWorlds(t *testing.T) {
 
 	// Priority heap (guided best-first frontier). The captured slice
 	// aliases the heap's backing array, so zeroed pops show through it.
-	h := newHeapFrontier(mkUnits(8))
+	h := newHeapFrontier(mkUnits(8), nil)
 	items := h.items
 	for i := 0; i < 8; i++ {
 		if _, ok := h.pop(); !ok {
@@ -69,7 +69,7 @@ func TestConsumedFrontierReleasesWorlds(t *testing.T) {
 
 	// The seed slice handed to a container is zeroed too.
 	units := mkUnits(4)
-	newFIFOFrontier(units)
+	newFIFOFrontier(units, nil)
 	assertReleased(t, units, "root frontier slice")
 }
 
@@ -106,7 +106,7 @@ func TestFIFOCompaction(t *testing.T) {
 // TestHeapFrontierOrder: pops come out by descending priority, ties by
 // insertion order.
 func TestHeapFrontierOrder(t *testing.T) {
-	h := newHeapFrontier(nil)
+	h := newHeapFrontier(nil, nil)
 	h.pushAll([]Unit{
 		{Depth: 0, Priority: 1},
 		{Depth: 1, Priority: 3},
@@ -162,5 +162,92 @@ func TestSingleQueueAblationMatchesStealing(t *testing.T) {
 		steal.MinScore != queue.MinScore || steal.MaxScore != queue.MaxScore ||
 		steal.Truncated != queue.Truncated {
 		t.Fatalf("schedulers diverge:\nsteal %+v\nqueue %+v", steal, queue)
+	}
+}
+
+// TestHeapFrontierSpillDropsLowest: when the cap binds, the heap must
+// evict the lowest-priority pending unit, never the high-priority work a
+// best-first search is about to expand.
+func TestHeapFrontierSpillDropsLowest(t *testing.T) {
+	h := newHeapFrontier(nil, nil)
+	h.max = 2
+	accepted := h.pushAll([]Unit{
+		{Depth: 0, Priority: 5},
+		{Depth: 1, Priority: 1},
+		{Depth: 2, Priority: 3},
+	})
+	if accepted != 2 {
+		t.Fatalf("accepted = %d, want 2", accepted)
+	}
+	if u, _ := h.pop(); u.Priority != 5 {
+		t.Fatalf("first pop priority %v, want 5", u.Priority)
+	}
+	if u, _ := h.pop(); u.Priority != 3 {
+		t.Fatalf("second pop priority %v, want 3 (priority 1 must have spilled)", u.Priority)
+	}
+	if _, ok := h.pop(); ok {
+		t.Fatal("heap should be empty")
+	}
+}
+
+// TestMaxFrontierCapsBFS: a capped BFS run must report its spill in
+// FrontierDropped, mark itself Truncated, and still terminate cleanly.
+func TestMaxFrontierCapsBFS(t *testing.T) {
+	run := func(cap int) *Report {
+		w := fanWorld(6, 3, 4)
+		x := NewExplorer(5)
+		x.Strategy = BFS{}
+		x.MaxFrontier = cap
+		return x.Explore(w)
+	}
+	unbounded := run(0)
+	if unbounded.FrontierDropped != 0 || unbounded.Truncated {
+		t.Fatalf("unbounded run spilled: %+v", unbounded)
+	}
+	capped := run(2)
+	if capped.FrontierDropped == 0 {
+		t.Fatalf("cap 2 never spilled: %+v", capped)
+	}
+	if !capped.Truncated {
+		t.Fatal("spilling run must report Truncated")
+	}
+	if capped.StatesExplored >= unbounded.StatesExplored {
+		t.Fatalf("capped run explored %d states, unbounded %d", capped.StatesExplored, unbounded.StatesExplored)
+	}
+}
+
+// TestMaxFrontierParallelTerminates: dropped units must be subtracted
+// from the work-stealing scheduler's pending counter, or the pool would
+// spin forever waiting for work that was spilled. Run under -race.
+func TestMaxFrontierParallelTerminates(t *testing.T) {
+	for _, strat := range []Strategy{BFS{}, Guided{}} {
+		w := fanWorld(6, 3, 4)
+		x := NewExplorer(5)
+		x.Strategy = strat
+		x.Workers = 4
+		x.MaxFrontier = 8
+		r := x.Explore(w)
+		if r.FrontierDropped == 0 || !r.Truncated {
+			t.Fatalf("%s: cap 8 never spilled: %+v", strat.Name(), r)
+		}
+		if r.StatesExplored == 0 {
+			t.Fatalf("%s: no states explored", strat.Name())
+		}
+	}
+}
+
+// TestMaxFrontierGuidedKeepsBestWork: under a tight frontier cap the
+// best-first search must still reach the suspect branch's violation —
+// the cap evicts the low-priority tail, not the head.
+func TestMaxFrontierGuidedKeepsBestWork(t *testing.T) {
+	w := biasedWorld()
+	x := NewExplorer(5)
+	x.Strategy = Guided{}
+	x.MaxFrontier = 4
+	x.Objective = biasedObjective()
+	x.Properties = []Property{badChainProperty()}
+	r := x.Explore(w)
+	if r.Safe() {
+		t.Fatalf("guided search under frontier cap missed the violation: %+v", r)
 	}
 }

@@ -160,3 +160,42 @@ func TestParseStrategyGuided(t *testing.T) {
 		t.Fatal("empty strategy must default to chaindfs")
 	}
 }
+
+// TestGuidedSiblingTieBreakIsContentDriven: sibling units used to tie
+// exactly (same base, same depth) and fall back to heap insertion order,
+// which always preferred the lowest message index. The tie-break epsilon
+// must (a) separate siblings targeting different destination states,
+// (b) stay far below one depth step so real priorities remain decisive,
+// and (c) be a pure function of content — identical across runs.
+func TestGuidedSiblingTieBreakIsContentDriven(t *testing.T) {
+	mkUnits := func() []Unit {
+		w := biasedWorld()
+		x := NewExplorer(5)
+		x.Strategy = Guided{}
+		ctx := &Ctx{x: x, root: w, budget: 64, names: &nameTable{}}
+		ctx.seen = plainSeen{}
+		w.Digest() // prime, as Explore does
+		w.Freeze()
+		return Guided{}.Roots(x, ctx, w)
+	}
+	units := mkUnits()
+	if len(units) != 2 {
+		t.Fatalf("expected 2 root units, got %d", len(units))
+	}
+	if units[0].Priority == units[1].Priority {
+		t.Fatalf("siblings still tie exactly (%v): tie-break not applied", units[0].Priority)
+	}
+	diff := units[0].Priority - units[1].Priority
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff >= 1e-6 {
+		t.Fatalf("tie-break epsilon %v is large enough to override real priorities", diff)
+	}
+	again := mkUnits()
+	for i := range units {
+		if units[i].Priority != again[i].Priority {
+			t.Fatalf("tie-break not deterministic: %v vs %v", units[i].Priority, again[i].Priority)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package explore
+
+// Lazy trace materialization. The expansion hot path used to format a
+// human-readable label for every step it took (`msg.String()`,
+// `fmt.Sprintf("%v!%s", ...)`) and to copy the whole trace slice per
+// branch (appendTrace), even though labels and traces are only ever read
+// when a violation is recorded or a golden dump is printed. In-flight
+// branches now carry a compact parent-pointer path instead: one pathNode
+// per step, holding the action's identity (message pointer, interned
+// timer name, fault kind+target) packed into two machine words plus the
+// parent link. The human-readable trace is reconstructed — byte-identical
+// to the eager labels — only inside Explorer.check when a property
+// actually fails. Explorer.EagerTraces restores the old representation
+// for A/B benchmarking.
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"crystalchoice/internal/sm"
+)
+
+// Pseudo step kinds, beyond the Action* constants: trace steps that are
+// not schedulable actions.
+const (
+	stepDrop          byte = 'd' // loss branch of an unreliable datagram
+	stepGenericSilent byte = 'S' // generic node absorbs a message silently
+	stepGenericReact  byte = 'g' // generic node reaction branch #ix
+)
+
+// step describes one trace step of an exploration branch: an action the
+// branch took, or a pseudo step (drop, generic silence/reaction). It is
+// the unit both trace representations are built from.
+type step struct {
+	kind byte
+	msg  *sm.Msg // delivered or dropped message (kinds 'm', 'd')
+	node NodeID  // timer or fault target
+	name string  // timer name
+	ix   int     // generic reaction index
+}
+
+// actionStep converts a schedulable action into its trace step.
+func actionStep(a Action) step {
+	switch a.Kind {
+	case ActionMessage:
+		return step{kind: ActionMessage, msg: a.Msg}
+	case ActionTimer:
+		return step{kind: ActionTimer, node: a.Node, name: a.Timer}
+	default:
+		return step{kind: a.Kind, node: a.Node}
+	}
+}
+
+// label formats the step's human-readable trace label. The formats are
+// pinned by the golden files and by canonLabel: message "src->dst kind",
+// timer "node!name", fault "<verb> node", drop "drop <message label>".
+func (s step) label() string {
+	switch s.kind {
+	case ActionMessage:
+		return s.msg.String()
+	case stepDrop:
+		return "drop " + s.msg.String()
+	case ActionTimer:
+		return s.node.String() + "!" + s.name
+	case ActionCrash:
+		return "crash " + s.node.String()
+	case ActionRecover:
+		return "recover " + s.node.String()
+	case ActionReset:
+		return "reset " + s.node.String()
+	case ActionPartition:
+		return "isolate " + s.node.String()
+	case ActionHeal:
+		return "heal " + s.node.String()
+	case stepGenericSilent:
+		return "generic-silent"
+	case stepGenericReact:
+		return "generic-react#" + strconv.Itoa(s.ix)
+	}
+	return ""
+}
+
+// pathNode is one step of a lazily materialized trace: the parent link
+// plus the step identity, packed so a branch in flight costs one small
+// allocation instead of a formatted label and a trace-slice copy.
+// Subtrees share their prefix; exhausted branches become garbage the
+// moment no frontier unit points at them.
+type pathNode struct {
+	parent *pathNode
+	msg    *sm.Msg // message identity (kinds 'm', 'd'); nil otherwise
+	code   uint64  // packed kind, node, and aux (see packCode)
+}
+
+// packCode packs a step descriptor: kind in bits 0-7, node in bits 8-39,
+// aux (interned timer-name id or generic reaction index) in bits 40-63.
+func packCode(kind byte, node NodeID, aux int) uint64 {
+	return uint64(kind) | uint64(uint32(int32(node)))<<8 | (uint64(aux)&0xffffff)<<40
+}
+
+func (n *pathNode) kind() byte     { return byte(n.code) }
+func (n *pathNode) target() NodeID { return NodeID(int32(uint32(n.code >> 8))) }
+func (n *pathNode) aux() int       { return int(n.code >> 40 & 0xffffff) }
+
+// nameTable interns timer names for one exploration run, so a pathNode
+// carries a small integer instead of a string header. The published
+// version is immutable and read lock-free; interning a new name (rare —
+// protocols use a handful of static timer names) copies it under the
+// mutex and republishes.
+type nameTable struct {
+	mu sync.Mutex
+	v  atomic.Pointer[nameTableVersion]
+}
+
+type nameTableVersion struct {
+	ids   map[string]int
+	names []string
+}
+
+// id returns the dense id of name, interning it on first sight.
+func (t *nameTable) id(name string) int {
+	if v := t.v.Load(); v != nil {
+		if id, ok := v.ids[name]; ok {
+			return id
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := t.v.Load()
+	if v != nil {
+		if id, ok := v.ids[name]; ok {
+			return id
+		}
+	}
+	nv := &nameTableVersion{ids: make(map[string]int, 8)}
+	if v != nil {
+		for k, id := range v.ids {
+			nv.ids[k] = id
+		}
+		nv.names = append(append(make([]string, 0, len(v.names)+1), v.names...), name)
+	} else {
+		nv.names = []string{name}
+	}
+	nv.ids[name] = len(nv.names) - 1
+	t.v.Store(nv)
+	return nv.ids[name]
+}
+
+// name resolves an id interned by a previous call.
+func (t *nameTable) name(id int) string { return t.v.Load().names[id] }
+
+// branchTrace is the trace handle an in-flight branch carries: the lazy
+// path spine by default, or the eagerly formatted label slice under the
+// Explorer.EagerTraces ablation. The zero value is the empty trace.
+type branchTrace struct {
+	node  *pathNode
+	eager []string
+}
+
+// extendTrace appends one step to a branch trace without mutating the
+// parent's representation (sibling branches extend the same prefix).
+func (x *Explorer) extendTrace(ctx *Ctx, t branchTrace, s step) branchTrace {
+	if x.EagerTraces {
+		return branchTrace{eager: appendTrace(t.eager, s.label())}
+	}
+	aux := s.ix
+	if s.kind == ActionTimer {
+		aux = ctx.names.id(s.name)
+	}
+	return branchTrace{node: &pathNode{parent: t.node, msg: s.msg, code: packCode(s.kind, s.node, aux)}}
+}
+
+// materializeTrace reconstructs the human-readable trace of a branch,
+// byte-identical to what the eager representation carries. Called only
+// when a recorded violation actually needs the trace.
+func (x *Explorer) materializeTrace(ctx *Ctx, t branchTrace) []string {
+	if x.EagerTraces {
+		return append([]string{}, t.eager...)
+	}
+	n := 0
+	for p := t.node; p != nil; p = p.parent {
+		n++
+	}
+	out := make([]string, n)
+	for p := t.node; p != nil; p = p.parent {
+		n--
+		s := step{kind: p.kind(), msg: p.msg, node: p.target(), ix: p.aux()}
+		if s.kind == ActionTimer {
+			s.name = ctx.names.name(p.aux())
+		}
+		out[n] = s.label()
+	}
+	return out
+}

@@ -8,14 +8,34 @@ import (
 )
 
 // Ctx is the state one Explore run shares across its workers: the frozen
-// start world, the global handler-execution budget, and the cross-worker
-// digest deduplication set.
+// start world, the global handler-execution budget, the cross-worker
+// digest deduplication set, the per-run action-label intern table, and
+// the dead-world free-list.
 type Ctx struct {
 	x      *Explorer
 	root   *World
 	budget int
 	count  atomic.Int64
 	seen   seenSet
+	// names interns timer names so lazy trace nodes carry integers.
+	names *nameTable
+	// pool recycles dead worlds' shells and containers. Nil when
+	// recycling is off (Explorer.NoRecycle or DeepClones).
+	pool *worldPool
+	// dropped counts frontier units discarded by the MaxFrontier cap.
+	dropped atomic.Int64
+}
+
+// release returns a dead world's shell and exclusively owned containers
+// to the run's free-list. The world must be a fork whose subtree is
+// exhausted: after release the *World and everything still marked owned
+// may be handed to the next fork. Worlds pinned by a recorded violation
+// witness, and runs without a pool, are left to the garbage collector.
+func (c *Ctx) release(w *World) {
+	if c.pool == nil || w == nil || w.pinned {
+		return
+	}
+	c.pool.put(w)
 }
 
 // Root returns the frozen start world of the run. Strategies may fork it
@@ -100,11 +120,11 @@ func (x *Explorer) runSequential(ctx *Ctx, strat Strategy, fr frontier, r *Repor
 // stealing.
 func (x *Explorer) runParallel(ctx *Ctx, strat Strategy, units []Unit, reports []*Report) {
 	if bestFirst(strat) {
-		x.runShared(ctx, strat, newHeapFrontier(units), reports)
+		x.runShared(ctx, strat, newHeapFrontier(units, ctx), reports)
 		return
 	}
 	if x.SingleQueue || len(reports) == 1 {
-		x.runShared(ctx, strat, newFIFOFrontier(units), reports)
+		x.runShared(ctx, strat, newFIFOFrontier(units, ctx), reports)
 		return
 	}
 	x.runStealing(ctx, strat, units, reports)
@@ -145,14 +165,15 @@ func (x *Explorer) runShared(ctx *Ctx, strat Strategy, fr frontier, reports []*R
 				var succ []Unit
 				if ctx.Exhausted() {
 					r.Truncated = true
+					ctx.release(u.World) // never expanded: recycle now
 				} else {
 					succ = strat.Expand(x, ctx, u, r)
 				}
 
 				mu.Lock()
-				fr.pushAll(succ)
-				pending += len(succ) - 1
-				if pending == 0 || len(succ) > 0 {
+				accepted := fr.pushAll(succ)
+				pending += accepted - 1
+				if pending == 0 || accepted > 0 {
 					cond.Broadcast()
 				}
 				mu.Unlock()
@@ -171,6 +192,10 @@ func (x *Explorer) runShared(ctx *Ctx, strat Strategy, fr frontier, reports []*R
 type wsDeque struct {
 	mu sync.Mutex
 	q  unitQueue
+	// max caps the deque's pending units (its share of MaxFrontier);
+	// zero means unbounded.
+	max int
+	ctx *Ctx
 	// Pad so neighboring deques in the scheduler's slice do not false-share.
 	_ [24]byte
 }
@@ -181,13 +206,27 @@ func (d *wsDeque) push(u Unit) {
 	d.mu.Unlock()
 }
 
-func (d *wsDeque) pushAll(us []Unit) {
+// pushAll enqueues us, dropping the newest incoming units beyond the
+// deque's MaxFrontier share (max 0 = unbounded), and returns how many
+// were accepted so the scheduler's pending counter stays exact.
+func (d *wsDeque) pushAll(us []Unit) int {
 	if len(us) == 0 {
-		return
+		return 0
 	}
+	var dropped []Unit
 	d.mu.Lock()
+	if d.max > 0 {
+		if room := d.max - d.q.len(); room < len(us) {
+			if room < 0 {
+				room = 0
+			}
+			us, dropped = us[:room], us[room:]
+		}
+	}
 	d.q.pushAll(us)
 	d.mu.Unlock()
+	dropUnits(d.ctx, dropped)
+	return len(us)
 }
 
 func (d *wsDeque) popTail() (Unit, bool) {
@@ -215,12 +254,22 @@ func (d *wsDeque) steal() (Unit, bool) {
 func (x *Explorer) runStealing(ctx *Ctx, strat Strategy, units []Unit, reports []*Report) {
 	n := len(reports)
 	deques := make([]wsDeque, n)
+	if x.MaxFrontier > 0 {
+		// Each deque gets an equal share of the global cap (at least 1).
+		share := (x.MaxFrontier + n - 1) / n
+		for i := range deques {
+			deques[i].max, deques[i].ctx = share, ctx
+		}
+	}
+	// Roots go through pushAll so the MaxFrontier cap binds on the seed
+	// frontier too, exactly as in the shared-queue and sequential paths.
+	accepted := 0
 	for i := range units {
-		deques[i%n].push(units[i])
+		accepted += deques[i%n].pushAll(units[i : i+1])
 	}
 	clearUnits(units)
 	var pending atomic.Int64
-	pending.Store(int64(len(units)))
+	pending.Store(int64(accepted))
 	var wg sync.WaitGroup
 	for wi := 0; wi < n; wi++ {
 		wi, r := wi, reports[wi]
@@ -251,13 +300,14 @@ func (x *Explorer) runStealing(ctx *Ctx, strat Strategy, units []Unit, reports [
 				var succ []Unit
 				if ctx.Exhausted() {
 					r.Truncated = true
+					ctx.release(u.World) // never expanded: recycle now
 				} else {
 					succ = strat.Expand(x, ctx, u, r)
 				}
 				// Publish successors before giving up this unit's pending
 				// slot, so the counter never reads zero while work exists.
-				deques[wi].pushAll(succ)
-				pending.Add(int64(len(succ)) - 1)
+				accepted := deques[wi].pushAll(succ)
+				pending.Add(int64(accepted) - 1)
 			}
 		}()
 	}
@@ -282,6 +332,7 @@ func (r *Report) merge(o *Report) {
 	r.scoreSum += o.scoreSum
 	r.scoreCount += o.scoreCount
 	r.Truncated = r.Truncated || o.Truncated
+	r.FrontierDropped += o.FrontierDropped
 	// Elapsed is deliberately not merged: shards carry no stamp, and
 	// Explore stamps the whole run's wall clock after the merge loop.
 }

@@ -10,13 +10,19 @@ import (
 // Action is one executable step in a world: the delivery of an in-flight
 // message, the firing of a pending timer, or — when the explorer's fault
 // budget allows — a fault transition (crash, recover, reset, partition,
-// heal) on the node named by Node.
+// heal) on the node named by Node. Actions carry no formatted label: the
+// human-readable trace step is derived on demand (see step.label), so
+// enumerating and scheduling actions costs no string formatting.
 type Action struct {
 	Kind  byte // one of the Action* constants
 	MsgIx int
+	// Msg is the in-flight message a message action delivers, by
+	// identity. Messages are immutable once in flight, so the pointer
+	// remains the action's stable descriptor across world forks even as
+	// MsgIx shifts.
+	Msg   *sm.Msg
 	Node  NodeID
 	Timer string
-	Label string
 }
 
 // Action kinds.
@@ -68,7 +74,10 @@ type Unit struct {
 	World *World
 	Act   Action
 	Depth int
-	Trace []string
+	// trace is the branch's trace handle: a compact parent-pointer path
+	// by default, materialized into labels only when a violation needs
+	// it (Explorer.EagerTraces restores the eager representation).
+	trace branchTrace
 	// Faults counts the fault transitions on the unit's path, including
 	// Act itself when it is one; the explorer's FaultBudget bounds it.
 	Faults int
@@ -147,19 +156,21 @@ func (ChainDFS) Name() string { return "chaindfs" }
 // Roots yields one unit per enabled action in the start world, plus one
 // per fault transition when the fault budget allows.
 func (ChainDFS) Roots(x *Explorer, ctx *Ctx, w *World) []Unit {
-	return rootUnits(x, w)
+	return rootUnits(x, ctx, w)
 }
 
 // rootUnits seeds the shared frontier shape of ChainDFS and BFS: one unit
 // per enabled action, then one per enabled fault transition.
-func rootUnits(x *Explorer, w *World) []Unit {
+func rootUnits(x *Explorer, ctx *Ctx, w *World) []Unit {
 	acts := x.enabled(w)
 	units := make([]Unit, 0, len(acts))
 	for _, a := range acts {
-		units = append(units, Unit{World: x.fork(w), Act: a, Depth: 1, Trace: []string{a.Label}})
+		units = append(units, Unit{World: x.fork(ctx, w), Act: a, Depth: 1,
+			trace: x.extendTrace(ctx, branchTrace{}, actionStep(a))})
 	}
 	for _, a := range x.faultActions(w, 0) {
-		units = append(units, Unit{World: x.fork(w), Act: a, Depth: 1, Faults: 1, Trace: []string{a.Label}})
+		units = append(units, Unit{World: x.fork(ctx, w), Act: a, Depth: 1, Faults: 1,
+			trace: x.extendTrace(ctx, branchTrace{}, actionStep(a))})
 	}
 	return units
 }
@@ -168,13 +179,15 @@ func rootUnits(x *Explorer, w *World) []Unit {
 // the root-level loss branch for unreliable datagrams when DropBranches is
 // on. Chains recurse internally, so no successor units are produced.
 func (ChainDFS) Expand(x *Explorer, ctx *Ctx, u Unit, r *Report) []Unit {
-	x.chain(ctx, u.World, u.Act, u.Depth, u.Faults, r, u.Trace)
+	x.chain(ctx, u.World, u.Act, u.Depth, u.Faults, r, u.trace)
+	ctx.release(u.World) // chain exhausted: recycle the root fork
 	// Loss branch: an unreliable message may simply never arrive.
 	root := ctx.root
 	if x.DropBranches && u.Act.Kind == ActionMessage && u.Act.MsgIx < len(root.Inflight) && root.Inflight[u.Act.MsgIx].Unreliable {
-		wd := x.fork(root)
+		wd := x.fork(ctx, root)
 		wd.RemoveInflight(u.Act.MsgIx)
-		x.check(ctx, wd, r, []string{"drop " + u.Act.Label}, 1)
+		x.check(ctx, wd, r, x.extendTrace(ctx, branchTrace{}, step{kind: stepDrop, msg: u.Act.Msg}), 1)
+		ctx.release(wd)
 		if 1 > r.MaxDepth {
 			r.MaxDepth = 1
 		}
@@ -196,7 +209,7 @@ func (BFS) Name() string { return "bfs" }
 // Roots yields one unit per enabled action in the start world, plus one
 // per fault transition when the fault budget allows.
 func (BFS) Roots(x *Explorer, ctx *Ctx, w *World) []Unit {
-	return rootUnits(x, w)
+	return rootUnits(x, ctx, w)
 }
 
 // Expand executes the unit's action and fans out every enabled action of
@@ -215,6 +228,11 @@ func (BFS) Expand(x *Explorer, ctx *Ctx, u Unit, r *Report) []Unit {
 // without evaluating the objective a second time.
 func fanOut(x *Explorer, ctx *Ctx, u Unit, r *Report) ([]Unit, float64) {
 	w := u.World
+	// The unit's world is dead once its successors have forked it (or
+	// once the state proves terminal): successors copy the outer maps and
+	// share inner state copy-on-write, so the shell and every container
+	// still marked owned after the forks return to the free-list.
+	defer ctx.release(w)
 	switch u.Act.Kind {
 	case ActionMessage:
 		if u.Act.MsgIx >= len(w.Inflight) {
@@ -233,7 +251,7 @@ func fanOut(x *Explorer, ctx *Ctx, u Unit, r *Report) ([]Unit, float64) {
 	if u.Depth > r.MaxDepth {
 		r.MaxDepth = u.Depth
 	}
-	score := x.check(ctx, w, r, u.Trace, u.Depth)
+	score := x.check(ctx, w, r, u.trace, u.Depth)
 	if u.Depth >= x.Depth {
 		return nil, score
 	}
@@ -243,12 +261,12 @@ func fanOut(x *Explorer, ctx *Ctx, u Unit, r *Report) ([]Unit, float64) {
 	acts := x.enabled(w)
 	succ := make([]Unit, 0, len(acts))
 	for _, a := range acts {
-		succ = append(succ, Unit{World: x.fork(w), Act: a, Depth: u.Depth + 1,
-			Faults: u.Faults, Trace: appendTrace(u.Trace, a.Label)})
+		succ = append(succ, Unit{World: x.fork(ctx, w), Act: a, Depth: u.Depth + 1,
+			Faults: u.Faults, trace: x.extendTrace(ctx, u.trace, actionStep(a))})
 	}
 	for _, a := range x.faultActions(w, u.Faults) {
-		succ = append(succ, Unit{World: x.fork(w), Act: a, Depth: u.Depth + 1,
-			Faults: u.Faults + 1, Trace: appendTrace(u.Trace, a.Label)})
+		succ = append(succ, Unit{World: x.fork(ctx, w), Act: a, Depth: u.Depth + 1,
+			Faults: u.Faults + 1, trace: x.extendTrace(ctx, u.trace, actionStep(a))})
 	}
 	return succ, score
 }
@@ -284,7 +302,7 @@ func (Guided) BestFirst() bool { return true }
 // paid for by a check of the same state — Explore scores the root into
 // the report separately).
 func (g Guided) Roots(x *Explorer, ctx *Ctx, w *World) []Unit {
-	units := rootUnits(x, w)
+	units := rootUnits(x, ctx, w)
 	base := 0.0
 	if x.Objective != nil {
 		base = -x.Objective.Score(w)
@@ -304,7 +322,8 @@ func (g Guided) Expand(x *Explorer, ctx *Ctx, u Unit, r *Report) []Unit {
 // prioritize scores sibling units. All siblings fork the same parent
 // state, so base — that state's negated objective score: low-objective
 // futures are where violations hide — is shared and the heuristics
-// differentiate.
+// differentiate, with a content-derived epsilon breaking the remaining
+// ties.
 func (g Guided) prioritize(base float64, units []Unit) {
 	if len(units) == 0 {
 		return
@@ -318,13 +337,46 @@ func (g Guided) prioritize(base float64, units []Unit) {
 	}
 	for i := range units {
 		u := &units[i]
-		u.Priority = base + depthW*float64(u.Depth)
+		u.Priority = base + depthW*float64(u.Depth) + siblingTieBreak(u)
 		if IsFault(u.Act.Kind) {
 			// u.Faults counts Act itself, so the first fault on a path
 			// gets the full bonus and later ones proportionally less.
 			u.Priority += faultB / float64(u.Faults)
 		}
 	}
+}
+
+// siblingTieBreak derives a deterministic epsilon from the destination
+// node's component digest folded with the action's identity. Siblings
+// share base and depth, so without it they tie exactly and the heap
+// falls back to insertion order — which means guided search always
+// preferred the lowest message index among equals. The epsilon orders
+// equals by the content of the state the action lands on instead, and
+// its scale (< 1e-6) keeps every legitimate priority difference (depth
+// steps of DepthWeight, fault bonuses, objective deltas) decisive.
+func siblingTieBreak(u *Unit) float64 {
+	var dest NodeID
+	salt := uint64(u.Act.Kind) * 0x9e3779b97f4a7c15
+	switch u.Act.Kind {
+	case ActionMessage:
+		m := u.Act.Msg
+		dest = m.Dst
+		// Fold the message identity without touching its lazily memoized
+		// digest (concurrent workers may not have primed it).
+		salt ^= uint64(m.Src)*0x9e3779b97f4a7c15 + uint64(m.Dst)
+		for i := 0; i < len(m.Kind); i++ {
+			salt = (salt ^ uint64(m.Kind[i])) * 1099511628211
+		}
+	case ActionTimer:
+		dest = u.Act.Node
+		for i := 0; i < len(u.Act.Timer); i++ {
+			salt = (salt ^ uint64(u.Act.Timer[i])) * 1099511628211
+		}
+	default:
+		dest = u.Act.Node
+	}
+	h := sm.Mix64(u.World.componentHint(dest) ^ salt)
+	return float64(h>>16) / float64(uint64(1)<<48) * 1e-6
 }
 
 // RandomWalk runs independent random trajectories through the state
@@ -360,7 +412,7 @@ func (s RandomWalk) Roots(x *Explorer, ctx *Ctx, w *World) []Unit {
 	}
 	units := make([]Unit, 0, n)
 	for i := 0; i < n; i++ {
-		units = append(units, Unit{World: x.fork(w), Depth: 1, Seed: seed + int64(i)})
+		units = append(units, Unit{World: x.fork(ctx, w), Depth: 1, Seed: seed + int64(i)})
 	}
 	return units
 }
@@ -372,7 +424,8 @@ func (s RandomWalk) Roots(x *Explorer, ctx *Ctx, w *World) []Unit {
 func (RandomWalk) Expand(x *Explorer, ctx *Ctx, u Unit, r *Report) []Unit {
 	rng := rand.New(rand.NewSource(u.Seed*2654435761 + 1))
 	w := u.World
-	trace := u.Trace
+	defer ctx.release(w) // a walk owns its world for its whole trajectory
+	trace := u.trace
 	faults := u.Faults
 	for depth := u.Depth; depth <= x.Depth; depth++ {
 		if ctx.Exhausted() {
@@ -397,7 +450,7 @@ func (RandomWalk) Expand(x *Explorer, ctx *Ctx, u Unit, r *Report) []Unit {
 				r.FaultsInjected++
 			}
 		}
-		trace = appendTrace(trace, a.Label)
+		trace = x.extendTrace(ctx, trace, actionStep(a))
 		if depth > r.MaxDepth {
 			r.MaxDepth = depth
 		}

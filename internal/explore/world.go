@@ -111,12 +111,17 @@ type World struct {
 	partitioned map[pairKey]bool
 	partOwned   bool
 
-	// Copy-on-write bookkeeping. A world forked with Clone shares its
-	// services, per-node timer sets, and in-flight slice with its parent
-	// until either side writes; the owned* sets record which pieces this
-	// world has already forked for itself. cow == false means the world
-	// was never forked and owns everything outright.
+	// Copy-on-write bookkeeping. A world forked with Clone shares
+	// everything with its parent — the three outer maps (Services,
+	// Timers, Down) as whole maps, plus the individual services, per-node
+	// timer sets, and the in-flight slice — until either side writes.
+	// The own*Map flags record which outer maps this world has copied
+	// for itself; the owned* sets record which inner pieces. cow == false
+	// means the world was never forked and owns everything outright.
 	cow           bool
+	svcMapOwned   bool
+	timerMapOwned bool
+	downMapOwned  bool
 	ownedSvc      map[NodeID]bool
 	ownedTimers   map[NodeID]bool
 	inflightOwned bool
@@ -126,6 +131,22 @@ type World struct {
 	// per-node RNG streams. Atomic because concurrent workers may fork a
 	// frozen start world simultaneously.
 	forks atomic.Int64
+
+	// pinned marks a world that a recorded violation witness reached:
+	// Ctx.release refuses to recycle it (see pool.go's safety rules).
+	pinned bool
+
+	// Spare containers carried by recycled shells (see worldPool.put):
+	// the copy-on-write hooks consume them instead of allocating.
+	spareSvcMap      map[NodeID]sm.Service
+	spareTimerMap    map[NodeID]map[string]bool
+	spareDownMap     map[NodeID]bool
+	spareInflight    []*sm.Msg
+	spareHashes      []uint64
+	spareTimerSets   []map[string]bool
+	spareOwnedSvc    map[NodeID]bool
+	spareOwnedTimers map[NodeID]bool
+	sparePartitions  map[pairKey]bool
 
 	// nodeOrder caches the sorted node IDs (invalidated only by AddNode).
 	// The slice is immutable once built and shared by forks.
@@ -194,8 +215,10 @@ func NewWorld(policy ChoicePolicy, seed int64) *World {
 // AddNode installs svc (which must already be a clone owned by the world)
 // as node id's state.
 func (w *World) AddNode(id NodeID, svc sm.Service) {
+	w.ownServicesMap()
 	w.Services[id] = svc
 	if w.Timers[id] == nil {
+		w.ownTimersMap()
 		w.Timers[id] = make(map[string]bool)
 	}
 	w.nodeOrder = nil
@@ -203,46 +226,63 @@ func (w *World) AddNode(id NodeID, svc sm.Service) {
 }
 
 // Clone forks the world copy-on-write: the fork shares the parent's
-// service states, per-node timer sets, and in-flight slice, and each side
-// copies a piece only immediately before first writing to it. This makes
-// forking a branch O(nodes) pointer copies instead of a deep copy of every
-// service, which dominates exploration cost. The choice policy is shared
-// (policies are expected to be either stateless or installed fresh per
-// exploration branch via WithPolicy).
+// outer maps, service states, per-node timer sets, and in-flight slice,
+// and each side copies a piece only immediately before first writing to
+// it. This makes forking a branch O(1) pointer copies instead of a deep
+// copy of every service — or even of the per-node map shells — which
+// dominates exploration cost. The choice policy is shared (policies are
+// expected to be either stateless or installed fresh per exploration
+// branch via WithPolicy).
 func (w *World) Clone() *World {
-	c := &World{
-		Services:    make(map[NodeID]sm.Service, len(w.Services)),
-		Inflight:    w.Inflight, // shared; messages are immutable once in flight
-		Timers:      make(map[NodeID]map[string]bool, len(w.Timers)),
-		Down:        make(map[NodeID]bool, len(w.Down)),
-		Now:         w.Now,
-		Policy:      w.Policy,
-		Seed:        forkSeed(w.Seed, w.forks.Add(1)),
-		Generic:     w.Generic,
-		Recovery:    w.Recovery,
-		HasRecovery: w.HasRecovery,
-		Initial:     w.Initial,
-		cow:         true,
+	return w.cloneInto(&World{})
+}
+
+// clonePooled is Clone drawing the fork's shell — the *World plus its
+// outer maps and copy-on-write spare containers — from the run's
+// free-list of dead worlds when one is available.
+func (w *World) clonePooled(p *worldPool) *World {
+	c := p.get()
+	if c == nil {
+		return w.Clone()
 	}
+	return w.cloneInto(c)
+}
+
+// cloneInto fills c — an empty shell, possibly carrying recycled spare
+// containers — as a copy-on-write fork of w. Every container, the outer
+// maps included, is shared by pointer; the own* hooks copy on first
+// write.
+func (w *World) cloneInto(c *World) *World {
+	c.Services = w.Services
+	c.Timers = w.Timers
+	c.Down = w.Down
+	c.Inflight = w.Inflight // shared; messages are immutable once in flight
+	c.Now = w.Now
+	c.Policy = w.Policy
+	c.Seed = forkSeed(w.Seed, w.forks.Add(1))
+	c.Generic = w.Generic
+	c.Recovery = w.Recovery
+	c.HasRecovery = w.HasRecovery
+	c.Initial = w.Initial
+	c.cow = true
 	c.partitioned = w.partitioned // shared; forked before first write
-	for id, svc := range w.Services {
-		c.Services[id] = svc
-	}
-	for id, set := range w.Timers {
-		c.Timers[id] = set
-	}
-	for id, v := range w.Down {
-		c.Down[id] = v
-	}
 	c.nodeOrder = w.nodeOrder
 	c.adoptDigest(&w.dig)
 	// The parent now shares state with the fork, so it must also fork
 	// before its next write. Freeze is skipped when already shared-and-
 	// unowned so that concurrent Clones of a frozen world stay read-only.
-	if !w.cow || len(w.ownedSvc) > 0 || len(w.ownedTimers) > 0 || w.inflightOwned || w.partOwned || w.dig.hashOwned {
+	if !w.cow || w.owning() {
 		w.Freeze()
 	}
 	return c
+}
+
+// owning reports whether the world holds any container it may write in
+// place — i.e. whether Freeze would change anything.
+func (w *World) owning() bool {
+	return w.svcMapOwned || w.timerMapOwned || w.downMapOwned ||
+		len(w.ownedSvc) > 0 || len(w.ownedTimers) > 0 ||
+		w.inflightOwned || w.partOwned || w.dig.hashOwned
 }
 
 // adoptDigest copies the parent's maintained digest into the fork. The
@@ -321,11 +361,103 @@ func (w *World) DeepClone() *World {
 // read-only operation and safe to call from several goroutines.
 func (w *World) Freeze() {
 	w.cow = true
+	w.svcMapOwned = false
+	w.timerMapOwned = false
+	w.downMapOwned = false
 	w.ownedSvc = nil
 	w.ownedTimers = nil
 	w.inflightOwned = false
 	w.partOwned = false
 	w.dig.hashOwned = false
+}
+
+// ownServicesMap copies the shared outer Services map before the first
+// write of a service pointer into it, reusing the shell's spare.
+func (w *World) ownServicesMap() {
+	if !w.cow || w.svcMapOwned {
+		return
+	}
+	cp := w.spareSvcMap
+	w.spareSvcMap = nil
+	if cp == nil {
+		cp = make(map[NodeID]sm.Service, len(w.Services))
+	}
+	for id, svc := range w.Services {
+		cp[id] = svc
+	}
+	w.Services = cp
+	w.svcMapOwned = true
+}
+
+// ownTimersMap is ownServicesMap for the outer per-node timer-set map.
+func (w *World) ownTimersMap() {
+	if !w.cow || w.timerMapOwned {
+		return
+	}
+	cp := w.spareTimerMap
+	w.spareTimerMap = nil
+	if cp == nil {
+		cp = make(map[NodeID]map[string]bool, len(w.Timers))
+	}
+	for id, set := range w.Timers {
+		cp[id] = set
+	}
+	w.Timers = cp
+	w.timerMapOwned = true
+}
+
+// ownDownMap is ownServicesMap for the outer down-flag map.
+func (w *World) ownDownMap() {
+	if !w.cow || w.downMapOwned {
+		return
+	}
+	cp := w.spareDownMap
+	w.spareDownMap = nil
+	if cp == nil {
+		cp = make(map[NodeID]bool, len(w.Down))
+	}
+	for id, v := range w.Down {
+		cp[id] = v
+	}
+	w.Down = cp
+	w.downMapOwned = true
+}
+
+// markOwnedSvc records node id's service as this world's own copy,
+// reusing the shell's spare bookkeeping map when one is attached.
+func (w *World) markOwnedSvc(id NodeID) {
+	if w.ownedSvc == nil {
+		if w.spareOwnedSvc != nil {
+			w.ownedSvc, w.spareOwnedSvc = w.spareOwnedSvc, nil
+		} else {
+			w.ownedSvc = make(map[NodeID]bool)
+		}
+	}
+	w.ownedSvc[id] = true
+}
+
+// markOwnedTimers is markOwnedSvc for per-node timer sets.
+func (w *World) markOwnedTimers(id NodeID) {
+	if w.ownedTimers == nil {
+		if w.spareOwnedTimers != nil {
+			w.ownedTimers, w.spareOwnedTimers = w.spareOwnedTimers, nil
+		} else {
+			w.ownedTimers = make(map[NodeID]bool)
+		}
+	}
+	w.ownedTimers[id] = true
+}
+
+// newTimerSet returns an empty per-node timer set, recycled from the
+// shell's spares when possible.
+func (w *World) newTimerSet(capHint int) map[string]bool {
+	if n := len(w.spareTimerSets); n > 0 {
+		set := w.spareTimerSets[n-1]
+		w.spareTimerSets[n-1] = nil
+		w.spareTimerSets = w.spareTimerSets[:n-1]
+		return set
+	}
+	return make(map[string]bool, capHint)
 }
 
 // ownService returns node id's service, forking it first if it is still
@@ -341,11 +473,9 @@ func (w *World) ownService(id NodeID) sm.Service {
 		return svc
 	}
 	svc = svc.Clone()
+	w.ownServicesMap()
 	w.Services[id] = svc
-	if w.ownedSvc == nil {
-		w.ownedSvc = make(map[NodeID]bool)
-	}
-	w.ownedSvc[id] = true
+	w.markOwnedSvc(id)
 	return svc
 }
 
@@ -355,62 +485,66 @@ func (w *World) ownTimers(id NodeID) map[string]bool {
 	w.markDigestDirty(id) // caller is about to mutate the timer set
 	set := w.Timers[id]
 	if set == nil {
-		set = make(map[string]bool)
+		set = w.newTimerSet(4)
+		w.ownTimersMap()
 		w.Timers[id] = set
 		if w.cow {
-			if w.ownedTimers == nil {
-				w.ownedTimers = make(map[NodeID]bool)
-			}
-			w.ownedTimers[id] = true
+			w.markOwnedTimers(id)
 		}
 		return set
 	}
 	if !w.cow || w.ownedTimers[id] {
 		return set
 	}
-	cp := make(map[string]bool, len(set))
+	cp := w.newTimerSet(len(set))
 	for k, v := range set {
 		cp[k] = v
 	}
+	w.ownTimersMap()
 	w.Timers[id] = cp
-	if w.ownedTimers == nil {
-		w.ownedTimers = make(map[NodeID]bool)
-	}
-	w.ownedTimers[id] = true
+	w.markOwnedTimers(id)
 	return cp
 }
 
 // ownInflight forks the in-flight slice if it is still shared, so appends
-// cannot write into a sibling world's backing array.
+// cannot write into a sibling world's backing array. The copy lands in
+// the shell's spare backing array when it fits.
 func (w *World) ownInflight() {
 	if !w.cow || w.inflightOwned {
 		return
 	}
-	cp := make([]*sm.Msg, len(w.Inflight))
+	var cp []*sm.Msg
+	if n := len(w.Inflight); cap(w.spareInflight) >= n {
+		cp = w.spareInflight[:n]
+		w.spareInflight = nil
+	} else {
+		cp = make([]*sm.Msg, n)
+	}
 	copy(cp, w.Inflight)
 	w.Inflight = cp
 	w.inflightOwned = true
 }
 
 // ownPartitions readies the partition relation for mutation, forking a
-// shared map and materializing a missing one.
+// shared map and materializing a missing one (recycled when the shell
+// carries a spare).
 func (w *World) ownPartitions() {
-	if w.partitioned == nil {
-		w.partitioned = make(map[pairKey]bool)
-		if w.cow {
-			w.partOwned = true
-		}
+	if !w.cow && w.partitioned != nil {
 		return
 	}
-	if !w.cow || w.partOwned {
+	if w.cow && w.partOwned {
 		return
 	}
-	cp := make(map[pairKey]bool, len(w.partitioned))
+	cp := w.sparePartitions
+	w.sparePartitions = nil
+	if cp == nil {
+		cp = make(map[pairKey]bool, len(w.partitioned))
+	}
 	for k := range w.partitioned {
 		cp[k] = true
 	}
 	w.partitioned = cp
-	w.partOwned = true
+	w.partOwned = w.cow
 }
 
 // Reachable reports whether a and b can exchange messages: true unless the
@@ -543,12 +677,10 @@ func (w *World) Crash(id NodeID) {
 		// shared one just to clear it (crash is enumerated per live node
 		// on the fault-branching hot path).
 		w.markDigestDirty(id)
-		w.Timers[id] = make(map[string]bool)
+		w.ownTimersMap()
+		w.Timers[id] = w.newTimerSet(0)
 		if w.cow {
-			if w.ownedTimers == nil {
-				w.ownedTimers = make(map[NodeID]bool)
-			}
-			w.ownedTimers[id] = true
+			w.markOwnedTimers(id)
 		}
 	}
 }
@@ -592,12 +724,10 @@ func (w *World) ReplaceService(id NodeID, svc sm.Service) {
 		return
 	}
 	w.markDigestDirty(id)
+	w.ownServicesMap()
 	w.Services[id] = svc
 	if w.cow {
-		if w.ownedSvc == nil {
-			w.ownedSvc = make(map[NodeID]bool)
-		}
-		w.ownedSvc[id] = true
+		w.markOwnedSvc(id)
 	}
 }
 
@@ -674,6 +804,7 @@ func (w *World) SetDown(id NodeID, down bool) {
 	if w.Down[id] == down {
 		return
 	}
+	w.ownDownMap()
 	w.Down[id] = down
 	w.markDigestDirty(id)
 }
@@ -764,6 +895,20 @@ func (w *World) nodeComponent(id NodeID) uint64 {
 	return d
 }
 
+// componentHint returns node id's maintained digest component without
+// flushing pending invalidations — a read-only, content-sensitive signal
+// for heuristics (the guided sibling tie-break), not a digest. Zero when
+// the maintained digest has not been built yet.
+func (w *World) componentHint(id NodeID) uint64 {
+	if !w.dig.valid {
+		return 0
+	}
+	if i, ok := w.dig.idx[id]; ok {
+		return w.dig.hashes[i]
+	}
+	return 0
+}
+
 // markDigestDirty records that node id's digest component is stale. No-op
 // until the world has been digested once (setup code mutates freely; the
 // first Digest call builds the caches from scratch).
@@ -814,7 +959,16 @@ func (w *World) rebuildDigest() {
 // adjusting the commutative node sum by the difference.
 func (w *World) flushDigestDirty() {
 	if !w.dig.hashOwned {
-		w.dig.hashes = append([]uint64(nil), w.dig.hashes...)
+		// Copy the shared component array before writing, reusing the
+		// shell's spare scratch when it fits.
+		if cap(w.spareHashes) >= len(w.dig.hashes) {
+			cp := w.spareHashes[:len(w.dig.hashes)]
+			w.spareHashes = nil
+			copy(cp, w.dig.hashes)
+			w.dig.hashes = cp
+		} else {
+			w.dig.hashes = append([]uint64(nil), w.dig.hashes...)
+		}
 		w.dig.hashOwned = true
 	}
 	for _, id := range w.dig.dirty {
