@@ -3,7 +3,7 @@
 N ?= 0
 BENCHTIME ?= 1s
 
-.PHONY: test race bench bench-alloc bench-json bench-diff vet
+.PHONY: test race bench bench-alloc bench-json bench-diff profile vet
 
 vet:
 	go vet ./...
@@ -25,7 +25,14 @@ bench:
 bench-alloc:
 	go test ./internal/explore -run 'TestAllocRegressionPerState|TestLazyTracesAllocateLess' -count=2 -v
 
-# bench-json snapshots the E1–E15 benchmark suite into BENCH_$(N).json so
+# profile runs the offline model checker under the runtime/pprof
+# collectors and prints the top allocation sites. mc.cpu.pprof and
+# mc.mem.pprof are left behind for interactive `go tool pprof` sessions.
+profile:
+	go run ./cmd/mc -n 15 -depth 6 -budget 8192 -cpuprofile mc.cpu.pprof -memprofile mc.mem.pprof
+	go tool pprof -top -sample_index=alloc_objects mc.mem.pprof | head -20
+
+# bench-json snapshots the E1–E16 benchmark suite into BENCH_$(N).json so
 # performance trajectories across PRs stay diffable. Example:
 #   make bench-json N=2
 bench-json:

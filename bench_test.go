@@ -345,6 +345,42 @@ func BenchmarkE15AllocDiscipline(b *testing.B) {
 	}
 }
 
+// BenchmarkE16ArenaSeen measures the zero-alloc expansion pair on E14's
+// workload (BFS, budget 16384, 8 workers): per-worker pathNode arenas and
+// the lock-free seen table against their ablations — NoArena (heap trace
+// nodes), LockedSeen (the former 64-shard mutex+map set), and legacy
+// (both at once, the pre-arena engine). Run with -benchmem and a -cpu
+// matrix: the arena shows in allocs/op, the seen table in states/sec
+// scaling across cores. Reported metric: states visited per second of
+// wall clock.
+func BenchmarkE16ArenaSeen(b *testing.B) {
+	for _, mode := range []string{"default", "noarena", "lockedseen", "legacy"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			w := mkTreeWorld()
+			b.ResetTimer()
+			states := 0
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				x := explore.NewExplorer(8)
+				x.MaxStates = 1 << 14
+				x.Strategy = explore.BFS{}
+				x.Workers = 8
+				x.NoArena = mode == "noarena" || mode == "legacy"
+				x.LockedSeen = mode == "lockedseen" || mode == "legacy"
+				r := x.Explore(w)
+				states += r.StatesExplored
+			}
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(states)/elapsed, "states/sec")
+			}
+			b.ReportMetric(float64(states)/float64(b.N), "states/op")
+		})
+	}
+}
+
 // depthOf returns the level of index i in a complete binary tree rooted at
 // 0 (root = 1).
 func depthOf(i int) int {

@@ -41,6 +41,10 @@ type Result struct {
 	// Name is the full benchmark name including sub-benchmarks, with the
 	// trailing -GOMAXPROCS suffix stripped.
 	Name string `json:"name"`
+	// Cpus is the GOMAXPROCS the line ran under (the stripped -N suffix;
+	// 1 when the runner printed none). A -cpu matrix emits one Result per
+	// core count, distinguished by this field.
+	Cpus int `json:"cpus"`
 	// Experiment is the E<n> tag parsed from the name, e.g. "E4".
 	Experiment string  `json:"experiment,omitempty"`
 	Iterations int64   `json:"iterations"`
@@ -55,18 +59,26 @@ type Result struct {
 
 // Snapshot is the emitted file.
 type Snapshot struct {
-	Sequence  string   `json:"sequence"`
-	Generated string   `json:"generated"`
-	GoVersion string   `json:"go_version"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	Bench     string   `json:"bench"`
-	BenchTime string   `json:"benchtime"`
-	Results   []Result `json:"results"`
+	Sequence  string `json:"sequence"`
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// GOMAXPROCS and NumCPU record the harness machine's parallelism at
+	// snapshot time; Cpu is the -cpu matrix the runner was given (empty =
+	// the default single GOMAXPROCS). Throughput numbers are only
+	// comparable between snapshots taken on machines with the same
+	// physical core count — -diff warns when these disagree.
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	Cpu        string   `json:"cpu,omitempty"`
+	Bench      string   `json:"bench"`
+	BenchTime  string   `json:"benchtime"`
+	Results    []Result `json:"results"`
 }
 
 var (
-	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
 	metricPat = regexp.MustCompile(`([\d.e+-]+) (\S+)`)
 	expPat    = regexp.MustCompile(`^BenchmarkE(\d+)`)
 )
@@ -80,13 +92,17 @@ func parse(r io.Reader) ([]Result, error) {
 		if m == nil {
 			continue
 		}
-		iters, _ := strconv.ParseInt(m[2], 10, 64)
-		ns, _ := strconv.ParseFloat(m[3], 64)
-		res := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
+		cpus := 1
+		if m[2] != "" {
+			cpus, _ = strconv.Atoi(m[2])
+		}
+		iters, _ := strconv.ParseInt(m[3], 10, 64)
+		ns, _ := strconv.ParseFloat(m[4], 64)
+		res := Result{Name: m[1], Cpus: cpus, Iterations: iters, NsPerOp: ns}
 		if e := expPat.FindStringSubmatch(m[1]); e != nil {
 			res.Experiment = "E" + e[1]
 		}
-		for _, mm := range metricPat.FindAllStringSubmatch(m[4], -1) {
+		for _, mm := range metricPat.FindAllStringSubmatch(m[5], -1) {
 			v, err := strconv.ParseFloat(mm[1], 64)
 			if err != nil {
 				continue
@@ -115,6 +131,7 @@ func main() {
 	out := flag.String("out", "", "output path (default BENCH_<n>.json)")
 	stdin := flag.Bool("stdin", false, "parse benchmark output from stdin instead of running go test")
 	pkg := flag.String("pkg", ".", "package pattern to benchmark")
+	cpu := flag.String("cpu", "", "GOMAXPROCS matrix passed to go test -cpu (e.g. 1,2,4,8); empty = runner default")
 	diffMode := flag.Bool("diff", false, "compare two snapshots (-old, -new) instead of running benchmarks")
 	oldPath := flag.String("old", "", "baseline snapshot for -diff")
 	newPath := flag.String("new", "", "candidate snapshot for -diff")
@@ -139,8 +156,12 @@ func main() {
 			os.Exit(1)
 		}
 	} else {
-		cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench,
-			"-benchmem", "-benchtime", *benchtime, *pkg)
+		testArgs := []string{"test", "-run", "^$", "-bench", *bench,
+			"-benchmem", "-benchtime", *benchtime}
+		if *cpu != "" {
+			testArgs = append(testArgs, "-cpu", *cpu)
+		}
+		cmd := exec.Command("go", append(testArgs, *pkg)...)
 		var buf bytes.Buffer
 		cmd.Stdout = &buf
 		cmd.Stderr = os.Stderr
@@ -161,14 +182,17 @@ func main() {
 		os.Exit(1)
 	}
 	snap := Snapshot{
-		Sequence:  *seq,
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		Bench:     *bench,
-		BenchTime: *benchtime,
-		Results:   results,
+		Sequence:   *seq,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Cpu:        *cpu,
+		Bench:      *bench,
+		BenchTime:  *benchtime,
+		Results:    results,
 	}
 	path := *out
 	if path == "" {
@@ -217,11 +241,25 @@ func diff(oldPath, newPath string) error {
 	if err != nil {
 		return err
 	}
+	// Results key on name plus GOMAXPROCS: a -cpu matrix emits the same
+	// name at several core counts, and cross-core comparisons would be
+	// nonsense.
+	key := func(r Result) string {
+		c := r.Cpus
+		if c == 0 {
+			c = 1 // snapshots predating the cpus field
+		}
+		return fmt.Sprintf("%s-%d", r.Name, c)
+	}
 	base := make(map[string]Result, len(oldSnap.Results))
 	for _, r := range oldSnap.Results {
-		base[r.Name] = r
+		base[key(r)] = r
 	}
 	fmt.Printf("benchjson: %s (%s) vs %s (%s)\n", oldPath, oldSnap.BenchTime, newPath, newSnap.BenchTime)
+	if oldSnap.NumCPU != newSnap.NumCPU && oldSnap.NumCPU > 0 && newSnap.NumCPU > 0 {
+		fmt.Printf("benchjson: WARNING: core-count mismatch (%d vs %d physical CPUs) — throughput deltas reflect hardware, not code\n",
+			oldSnap.NumCPU, newSnap.NumCPU)
+	}
 	// A 1x smoke snapshot's ns/op is one warmup-laden iteration; marking
 	// >10% deltas against a 1s baseline would flag nearly every row. Show
 	// the deltas but suppress the REGRESSION verdicts across benchtimes.
@@ -233,7 +271,7 @@ func diff(oldPath, newPath string) error {
 	fmt.Printf("%-55s %14s %14s %8s %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "note")
 	regressions := 0
 	for _, nr := range newSnap.Results {
-		or, ok := base[nr.Name]
+		or, ok := base[key(nr)]
 		if !ok || or.NsPerOp <= 0 {
 			continue
 		}
@@ -257,7 +295,11 @@ func diff(oldPath, newPath string) error {
 		if d, ok := memDelta(or.BytesPerOp, nr.BytesPerOp); ok {
 			note += fmt.Sprintf(" (B/op %+.1f%%)", d)
 		}
-		fmt.Printf("%-55s %14.0f %14.0f %+7.1f%% %s\n", nr.Name, or.NsPerOp, nr.NsPerOp, delta, note)
+		shown := nr.Name
+		if nr.Cpus > 1 {
+			shown = fmt.Sprintf("%s-%d", nr.Name, nr.Cpus)
+		}
+		fmt.Printf("%-55s %14.0f %14.0f %+7.1f%% %s\n", shown, or.NsPerOp, nr.NsPerOp, delta, note)
 	}
 	if regressions > 0 {
 		fmt.Printf("benchjson: %d ns/op regression(s) beyond 10%% — informational, see note column\n", regressions)

@@ -17,6 +17,7 @@ import (
 	"crystalchoice/internal/apps/randtree"
 	"crystalchoice/internal/apps/tracker"
 	"crystalchoice/internal/explore"
+	"crystalchoice/internal/profiling"
 )
 
 // lookaheadWorkers sizes every runtime lookahead's exploration pool;
@@ -37,7 +38,17 @@ var (
 // (0 = unbounded), bounding lookahead memory on small machines.
 var lookaheadMaxFrontier int
 
-func main() {
+// lookaheadNoArena and lookaheadLockedSeen are the zero-alloc-expansion
+// ablation knobs (heap trace nodes / locked sharded seen set).
+var (
+	lookaheadNoArena    bool
+	lookaheadLockedSeen bool
+)
+
+// main delegates to run so deferred profile writers flush before exit.
+func main() { os.Exit(run()) }
+
+func run() int {
 	app := flag.String("app", "all", "experiment to run: gossip | dissem | paxos | overload | steering | tracker | all")
 	seed := flag.Int64("seed", 1, "first seed")
 	seeds := flag.Int("seeds", 3, "seeds to average over")
@@ -46,14 +57,24 @@ func main() {
 	flag.IntVar(&lookaheadFaults, "faults", 0, "fault-transition budget per runtime lookahead (crash/recover/reset)")
 	flag.BoolVar(&lookaheadPartitions, "partitions", false, "also explore partition transitions in runtime lookaheads")
 	flag.IntVar(&lookaheadMaxFrontier, "maxfrontier", 0, "cap on pending lookahead frontier units, dropping lowest-priority work (0 = unbounded)")
+	flag.BoolVar(&lookaheadNoArena, "noarena", false, "heap-allocate lookahead trace nodes instead of per-worker arenas (ablation)")
+	flag.BoolVar(&lookaheadLockedSeen, "lockedseen", false, "dedup lookahead states through the locked sharded seen set (ablation)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	flag.Parse()
 	if lookaheadWorkers == 0 {
 		lookaheadWorkers = runtime.GOMAXPROCS(0)
 	}
 	if _, err := explore.ParseStrategy(lookaheadStrategy); err != nil {
 		fmt.Fprintf(os.Stderr, "crystalball: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crystalball: %v\n", err)
+		return 2
+	}
+	defer stopProfiles()
 
 	switch *app {
 	case "gossip":
@@ -82,8 +103,9 @@ func main() {
 		runTracker(*seed, *seeds)
 	default:
 		fmt.Fprintf(os.Stderr, "crystalball: unknown -app %q (gossip|dissem|paxos|overload|steering|tracker|all)\n", *app)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
 func runOverload(seed0 int64, seeds int) {
@@ -94,7 +116,7 @@ func runOverload(seed0 int64, seeds int) {
 		committed, submitted := 0, 0
 		for k := 0; k < seeds; k++ {
 			r := paxos.Run(paxos.ExperimentConfig{
-				Seed: seed0 + int64(k), Policy: p, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions, LookaheadMaxFrontier: lookaheadMaxFrontier,
+				Seed: seed0 + int64(k), Policy: p, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions, LookaheadMaxFrontier: lookaheadMaxFrontier, LookaheadNoArena: lookaheadNoArena, LookaheadLockedSeen: lookaheadLockedSeen,
 				UniformLatency: 20 * time.Millisecond,
 				WorkDelay:      60 * time.Millisecond,
 				Interarrival:   40 * time.Millisecond,
@@ -127,7 +149,7 @@ func runGossip(seed0 int64, seeds int) {
 	for _, s := range gossip.Strategies {
 		var mean, max, fmean, fmax float64
 		for k := 0; k < seeds; k++ {
-			r := gossip.Run(gossip.ExperimentConfig{N: 16, Seed: seed0 + int64(k), Strategy: s, SlowNodes: 4, Updates: 6, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions, LookaheadMaxFrontier: lookaheadMaxFrontier})
+			r := gossip.Run(gossip.ExperimentConfig{N: 16, Seed: seed0 + int64(k), Strategy: s, SlowNodes: 4, Updates: 6, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions, LookaheadMaxFrontier: lookaheadMaxFrontier, LookaheadNoArena: lookaheadNoArena, LookaheadLockedSeen: lookaheadLockedSeen})
 			mean += r.MeanDissemination.Seconds()
 			max += r.MaxDissemination.Seconds()
 			fmean += r.FastMeanDissemination.Seconds()
@@ -145,7 +167,7 @@ func runDissem(seed0 int64, seeds int) {
 		for _, s := range dissem.Strategies {
 			var mean, max float64
 			for k := 0; k < seeds; k++ {
-				r := dissem.Run(dissem.ExperimentConfig{N: 10, Blocks: 16, Seed: seed0 + int64(k), Strategy: s, Setting: set, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions, LookaheadMaxFrontier: lookaheadMaxFrontier})
+				r := dissem.Run(dissem.ExperimentConfig{N: 10, Blocks: 16, Seed: seed0 + int64(k), Strategy: s, Setting: set, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions, LookaheadMaxFrontier: lookaheadMaxFrontier, LookaheadNoArena: lookaheadNoArena, LookaheadLockedSeen: lookaheadLockedSeen})
 				mean += r.MeanCompletion.Seconds()
 				max += r.MaxCompletion.Seconds()
 			}
@@ -162,7 +184,7 @@ func runPaxos(seed0 int64, seeds int) {
 		var mean, p99 float64
 		committed, submitted := 0, 0
 		for k := 0; k < seeds; k++ {
-			r := paxos.Run(paxos.ExperimentConfig{Seed: seed0 + int64(k), Policy: p, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions, LookaheadMaxFrontier: lookaheadMaxFrontier})
+			r := paxos.Run(paxos.ExperimentConfig{Seed: seed0 + int64(k), Policy: p, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions, LookaheadMaxFrontier: lookaheadMaxFrontier, LookaheadNoArena: lookaheadNoArena, LookaheadLockedSeen: lookaheadLockedSeen})
 			mean += r.MeanCommit.Seconds()
 			p99 += r.P99Commit.Seconds()
 			committed += r.Committed
@@ -180,7 +202,7 @@ func runTracker(seed0 int64, seeds int) {
 		var frac, mean float64
 		completed, peers := 0, 0
 		for k := 0; k < seeds; k++ {
-			r := tracker.Run(tracker.ExperimentConfig{Seed: seed0 + int64(k), Policy: p, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions, LookaheadMaxFrontier: lookaheadMaxFrontier})
+			r := tracker.Run(tracker.ExperimentConfig{Seed: seed0 + int64(k), Policy: p, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions, LookaheadMaxFrontier: lookaheadMaxFrontier, LookaheadNoArena: lookaheadNoArena, LookaheadLockedSeen: lookaheadLockedSeen})
 			frac += r.CrossFraction()
 			mean += r.MeanCompletion.Seconds()
 			completed += r.Completed

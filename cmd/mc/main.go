@@ -16,10 +16,14 @@ import (
 
 	"crystalchoice/internal/apps/randtree"
 	"crystalchoice/internal/explore"
+	"crystalchoice/internal/profiling"
 	"crystalchoice/internal/sm"
 )
 
-func main() {
+// main delegates to run so deferred profile writers flush before exit.
+func main() { os.Exit(run()) }
+
+func run() int {
 	n := flag.Int("n", 15, "number of tree nodes")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	at := flag.Duration("at", 5*time.Second, "virtual time of the snapshot")
@@ -33,11 +37,15 @@ func main() {
 	fullDigests := flag.Bool("fulldigests", false, "dedup with from-scratch world digests instead of incremental (ablation)")
 	maxFrontier := flag.Int("maxfrontier", 0, "cap on pending frontier units, dropping lowest-priority work (0 = unbounded)")
 	classesJSON := flag.String("classes-json", "", "write the violation classes (digest, count, shortest witness) as JSON to this path for cross-run diffing")
+	noArena := flag.Bool("noarena", false, "heap-allocate trace nodes instead of per-worker arenas (ablation)")
+	lockedSeen := flag.Bool("lockedseen", false, "dedup through the locked sharded seen set instead of the lock-free table (ablation)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	flag.Parse()
 
 	if *n < 3 {
 		fmt.Fprintln(os.Stderr, "mc: need -n >= 3")
-		os.Exit(2)
+		return 2
 	}
 	if *workers == 0 {
 		*workers = runtime.GOMAXPROCS(0)
@@ -45,8 +53,14 @@ func main() {
 	strategy, err := explore.ParseStrategy(*strategyName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mc: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mc: %v\n", err)
+		return 2
+	}
+	defer stopProfiles()
 
 	// Build and run the live system up to the snapshot instant.
 	e := randtree.NewExperiment(randtree.ExperimentConfig{N: *n, Seed: *seed, Setup: randtree.SetupChoiceRandom})
@@ -80,6 +94,8 @@ func main() {
 	x.Workers = *workers
 	x.Strategy = strategy
 	x.FullDigests = *fullDigests
+	x.NoArena = *noArena
+	x.LockedSeen = *lockedSeen
 	x.MaxFrontier = *maxFrontier
 	x.FaultBudget = *faults
 	x.PartitionFaults = *partitions
@@ -111,13 +127,14 @@ func main() {
 	if *classesJSON != "" {
 		if err := writeClassesJSON(*classesJSON, classes); err != nil {
 			fmt.Fprintf(os.Stderr, "mc: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		fmt.Printf("wrote %d violation class(es) to %s\n", len(classes), *classesJSON)
 	}
 	if !r.Safe() {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // classRecord is the JSON shape of one violation class. Digest is

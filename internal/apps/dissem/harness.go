@@ -63,6 +63,12 @@ type ExperimentConfig struct {
 	// LookaheadFullDigests disables incremental world digests in runtime
 	// lookaheads (ablation; see core.Config.LookaheadFullDigests).
 	LookaheadFullDigests bool
+	// LookaheadNoArena heap-allocates lookahead trace nodes instead of
+	// per-worker arenas (ablation; see core.Config.LookaheadNoArena).
+	LookaheadNoArena bool
+	// LookaheadLockedSeen uses the locked sharded seen set in parallel
+	// lookaheads (ablation; see core.Config.LookaheadLockedSeen).
+	LookaheadLockedSeen bool
 	// LookaheadFaults budgets fault transitions (crash/recover/reset) per
 	// runtime lookahead; zero keeps lookahead fault-free.
 	LookaheadFaults int
@@ -125,6 +131,7 @@ func Run(cfg ExperimentConfig) Result {
 	}
 
 	ccfg := core.Config{LookaheadWorkers: cfg.LookaheadWorkers, LookaheadFullDigests: cfg.LookaheadFullDigests,
+		LookaheadNoArena: cfg.LookaheadNoArena, LookaheadLockedSeen: cfg.LookaheadLockedSeen,
 		LookaheadStrategy: explore.MustParseStrategy(cfg.LookaheadStrategy),
 		LookaheadFaults:   cfg.LookaheadFaults, LookaheadPartitions: cfg.LookaheadPartitions,
 		LookaheadMaxFrontier: cfg.LookaheadMaxFrontier}

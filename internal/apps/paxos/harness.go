@@ -54,6 +54,12 @@ type ExperimentConfig struct {
 	// LookaheadFullDigests disables incremental world digests in runtime
 	// lookaheads (ablation; see core.Config.LookaheadFullDigests).
 	LookaheadFullDigests bool
+	// LookaheadNoArena heap-allocates lookahead trace nodes instead of
+	// per-worker arenas (ablation; see core.Config.LookaheadNoArena).
+	LookaheadNoArena bool
+	// LookaheadLockedSeen uses the locked sharded seen set in parallel
+	// lookaheads (ablation; see core.Config.LookaheadLockedSeen).
+	LookaheadLockedSeen bool
 	// LookaheadFaults budgets fault transitions (crash/recover/reset) per
 	// runtime lookahead; zero keeps lookahead fault-free.
 	LookaheadFaults int
@@ -165,6 +171,7 @@ func Run(cfg ExperimentConfig) Result {
 	plane.NoiseFrac = 0.05
 
 	ccfg := core.Config{Trace: cfg.Trace, LookaheadWorkers: cfg.LookaheadWorkers, LookaheadFullDigests: cfg.LookaheadFullDigests,
+		LookaheadNoArena: cfg.LookaheadNoArena, LookaheadLockedSeen: cfg.LookaheadLockedSeen,
 		LookaheadStrategy: explore.MustParseStrategy(cfg.LookaheadStrategy),
 		LookaheadFaults:   cfg.LookaheadFaults, LookaheadPartitions: cfg.LookaheadPartitions,
 		LookaheadMaxFrontier: cfg.LookaheadMaxFrontier}

@@ -304,6 +304,8 @@ func (p *Predictive) evaluate(n *Node, c sm.Choice, base sm.Service, ev *pending
 	x.Workers = workers
 	x.Strategy = strategy
 	x.FullDigests = p.FullDigests || n.cluster.cfg.LookaheadFullDigests
+	x.NoArena = n.cluster.cfg.LookaheadNoArena
+	x.LockedSeen = n.cluster.cfg.LookaheadLockedSeen
 	x.MaxFrontier = n.cluster.cfg.LookaheadMaxFrontier
 	x.FaultBudget = faults
 	x.PartitionFaults = p.Partitions || n.cluster.cfg.LookaheadPartitions

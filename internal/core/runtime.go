@@ -57,6 +57,16 @@ type Config struct {
 	// incremental ones — the ablation knob for measuring what incremental
 	// digesting buys end to end.
 	LookaheadFullDigests bool
+	// LookaheadNoArena makes every runtime lookahead allocate its lazy
+	// trace nodes on the heap instead of per-worker arenas — the ablation
+	// knob for measuring what arena placement buys end to end (see
+	// explore.Explorer.NoArena).
+	LookaheadNoArena bool
+	// LookaheadLockedSeen makes parallel runtime lookaheads deduplicate
+	// states through the locked sharded map instead of the lock-free
+	// table — the ablation knob for the seen-set redesign (see
+	// explore.Explorer.LockedSeen).
+	LookaheadLockedSeen bool
 	// LookaheadFaults budgets fault transitions (crash, recover, reset)
 	// per choice-resolution lookahead, so consequence prediction explores
 	// node failures and recoveries alongside message deliveries (paper
@@ -532,6 +542,8 @@ func (n *Node) steerAway(msg *sm.Msg) bool {
 		x.Workers = cfg.LookaheadWorkers
 		x.Strategy = cfg.LookaheadStrategy
 		x.FullDigests = cfg.LookaheadFullDigests
+		x.NoArena = cfg.LookaheadNoArena
+		x.LockedSeen = cfg.LookaheadLockedSeen
 		x.MaxFrontier = cfg.LookaheadMaxFrontier
 		return x
 	}

@@ -24,6 +24,9 @@ func allocWorld() *World {
 // for one explorer configuration.
 func allocsPerState(t *testing.T, w *World, mk func() *Explorer) float64 {
 	t.Helper()
+	if raceEnabled {
+		t.Skip("race detector drops sync.Pool operations; per-state pins are meaningless")
+	}
 	states := 0
 	avg := testing.AllocsPerRun(10, func() {
 		r := mk().Explore(w)
@@ -37,10 +40,12 @@ func allocsPerState(t *testing.T, w *World, mk func() *Explorer) float64 {
 
 // TestAllocRegressionPerState pins the per-state allocation budget of
 // the non-violating expansion path. The bounds have ~1.5× headroom over
-// the measured steady state at the time they were set; a failure means
-// a hot-path change reintroduced per-branch bookkeeping (eager labels,
-// trace copies, un-recycled worlds) and should be treated like a
-// performance regression, not loosened casually.
+// the post-arena steady state (measured: chain 2.7, chain+faults 0.6,
+// bfs 12.3, bfs+faults 14.3, guided 11.0 — the BFS floor is structural,
+// its live frontier keeps the shell free-list dry); a failure means a
+// hot-path change reintroduced per-branch bookkeeping (eager labels,
+// trace copies, un-recycled worlds, re-boxed pool returns) and should be
+// treated like a performance regression, not loosened casually.
 func TestAllocRegressionPerState(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation measurement is slow under -short")
@@ -54,33 +59,33 @@ func TestAllocRegressionPerState(t *testing.T) {
 			x := NewExplorer(24)
 			x.MaxStates = 1 << 16
 			return x
-		}, 28},
+		}, 4},
 		{"chain+faults", func() *Explorer {
 			x := NewExplorer(6)
 			x.MaxStates = 1 << 16
 			x.FaultBudget = 1
 			return x
-		}, 9},
+		}, 2},
 		{"bfs", func() *Explorer {
 			x := NewExplorer(6)
 			x.MaxStates = 4096
 			x.Strategy = BFS{}
 			return x
-		}, 28},
+		}, 17},
 		{"bfs+faults", func() *Explorer {
 			x := NewExplorer(5)
 			x.MaxStates = 4096
 			x.Strategy = BFS{}
 			x.FaultBudget = 1
 			return x
-		}, 33},
+		}, 20},
 		{"guided", func() *Explorer {
 			x := NewExplorer(6)
 			x.MaxStates = 4096
 			x.Strategy = Guided{}
 			x.Objective = sumObjective()
 			return x
-		}, 29},
+		}, 16},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

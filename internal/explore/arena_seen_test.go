@@ -1,0 +1,274 @@
+package explore
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"crystalchoice/internal/sm"
+)
+
+// Tests for the zero-alloc expansion machinery: per-worker pathNode
+// arenas (path.go) and the lock-free seen table (seen.go), plus the
+// stateless-workload allocation floors the arena work targets.
+
+// violProps gives every relay world a property that fires on several
+// states per chain, so violation traces exercise witness promotion
+// (materializing spines out of the arena) at many depths.
+func violProps() []Property {
+	return []Property{{
+		Name: "counter-under-2",
+		Check: func(w *World) bool {
+			for _, id := range w.Nodes() {
+				if r, ok := w.Services[id].(*relay); ok && r.counter >= 2 {
+					return false
+				}
+			}
+			return true
+		},
+	}}
+}
+
+// TestArenaTracesMatchHeapGoldens is the arena/heap equivalence property
+// test: for every strategy, faults off and on, a run with arena-backed
+// trace nodes must produce a byte-identical report — violation traces
+// included — to the same run with NoArena (plain heap nodes). Arenas are
+// pure allocation placement; any divergence means a trace node was
+// recycled while a branch still needed it.
+func TestArenaTracesMatchHeapGoldens(t *testing.T) {
+	for _, strat := range []Strategy{ChainDFS{}, BFS{}, RandomWalk{Walks: 6, Seed: 9}, Guided{}} {
+		for _, faults := range []int{0, 1} {
+			name := fmt.Sprintf("%s/faults=%d", strat.Name(), faults)
+			run := func(noArena bool) *Report {
+				// hops > nodes: each chain wraps the relay ring, so
+				// counters reach 2 and the property fires mid-chain.
+				w := fanWorld(2, 2, 6)
+				x := NewExplorer(8)
+				x.Strategy = strat
+				x.Properties = violProps()
+				x.FaultBudget = faults
+				x.Objective = sumObjective()
+				x.NoArena = noArena
+				return stripElapsed(x.Explore(w))
+			}
+			arena, heap := run(false), run(true)
+			if len(arena.Violations) == 0 {
+				t.Fatalf("%s: property never fired — the equivalence check is vacuous", name)
+			}
+			if !reflect.DeepEqual(arena, heap) {
+				t.Errorf("%s: arena run diverges from heap run:\narena %+v\nheap  %+v", name, arena, heap)
+			}
+		}
+	}
+}
+
+// TestArenaTracesMatchHeapParallel repeats the equivalence on the
+// work-stealing pool, where arena nodes are released cross-worker:
+// violation sets must agree (order is interleaving-dependent).
+func TestArenaTracesMatchHeapParallel(t *testing.T) {
+	run := func(noArena bool) []string {
+		w := fanWorld(4, 2, 10) // hops wrap the ring: violations at depth 9+
+		x := NewExplorer(12)
+		x.Workers = 4
+		x.Properties = violProps()
+		x.NoArena = noArena
+		r := x.Explore(w)
+		out := make([]string, 0, len(r.Violations))
+		for _, v := range r.Violations {
+			out = append(out, v.Property+" @"+fmt.Sprint(v.Depth)+": "+strings.Join(v.Trace, " | "))
+		}
+		sort.Strings(out)
+		return out
+	}
+	arena, heap := run(false), run(true)
+	if len(arena) == 0 {
+		t.Fatal("no violations found — the equivalence check is vacuous")
+	}
+	if !reflect.DeepEqual(arena, heap) {
+		t.Errorf("parallel arena violations diverge from heap:\narena %v\nheap  %v", arena, heap)
+	}
+}
+
+// TestLockFreeSeenExactOnceWithinTable: within one table epoch (sized so
+// growth never triggers), concurrent visits of the same digest must
+// return "new" exactly once — the membership guarantee the parallel
+// dedup counts rely on.
+func TestLockFreeSeenExactOnceWithinTable(t *testing.T) {
+	const digests, workers = 4096, 8
+	s := newLockFreeSeen(4 * digests)
+	firsts := make([]atomic.Int32, digests)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < digests; i++ {
+				d := sm.Mix64(uint64(i) + 1)
+				if !s.visit(d) {
+					firsts[i].Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := range firsts {
+		if n := firsts[i].Load(); n != 1 {
+			t.Fatalf("digest %d claimed new %d times, want exactly 1", i, n)
+		}
+	}
+}
+
+// TestLockFreeSeenGrowth starts from a deliberately tiny table and
+// inserts far past it: every digest must remain a member after the
+// epoch handoffs, and re-visits must report seen.
+func TestLockFreeSeenGrowth(t *testing.T) {
+	s := &lockFreeSeen{}
+	s.cur.Store(newSeenTable(8, nil))
+	const n = 10000
+	for i := 0; i < n; i++ {
+		d := sm.Mix64(uint64(i) + 1)
+		if s.visit(d) {
+			t.Fatalf("fresh digest %d reported already seen", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		d := sm.Mix64(uint64(i) + 1)
+		if !s.contains(d) {
+			t.Fatalf("digest %d lost across growth", i)
+		}
+		if !s.visit(d) {
+			t.Fatalf("digest %d re-visit reported new", i)
+		}
+	}
+	// Keys may remain spread across the retired epoch chain, so only the
+	// fact of growth is asserted, not that the current epoch holds all.
+	if got := int(s.cur.Load().mask) + 1; got <= 8 {
+		t.Fatalf("table never grew: still %d slots after %d inserts", got, n)
+	}
+}
+
+// TestLockFreeSeenConcurrentGrowth hammers a tiny table from many
+// goroutines so growth races with inserts (run under -race). Across
+// epoch handoffs a visit may rarely double-report "new" — a benign
+// re-exploration — but membership must never be lost and zero digests
+// may be dropped.
+func TestLockFreeSeenConcurrentGrowth(t *testing.T) {
+	s := &lockFreeSeen{}
+	s.cur.Store(newSeenTable(8, nil))
+	const perWorker, workers = 2000, 8
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s.visit(sm.Mix64(uint64(g*perWorker+i) + 1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := 0; i < workers*perWorker; i++ {
+		d := sm.Mix64(uint64(i) + 1)
+		if !s.contains(d) {
+			t.Fatalf("digest %d lost during concurrent growth", i)
+		}
+	}
+}
+
+// TestLockFreeSeenZeroDigest: digest 0 is the table's empty-slot
+// sentinel; seenKey must remap it so the state hashing to 0 is still
+// deduplicated correctly.
+func TestLockFreeSeenZeroDigest(t *testing.T) {
+	s := newLockFreeSeen(64)
+	if s.visit(0) {
+		t.Fatal("zero digest reported seen before first visit")
+	}
+	if !s.visit(0) {
+		t.Fatal("zero digest not remembered")
+	}
+}
+
+// noopSvc is a fully stateless service: no state, no sends, Clone
+// returns the receiver. Worlds of noopSvc nodes measure the engine's
+// pure bookkeeping cost — every allocation on such a run is the
+// explorer's own.
+type noopSvc struct{ id NodeID }
+
+func (s *noopSvc) Init(env sm.Env)                 {}
+func (s *noopSvc) OnMessage(env sm.Env, m *sm.Msg) {}
+func (s *noopSvc) OnTimer(env sm.Env, name string) {}
+func (s *noopSvc) Clone() sm.Service               { return s }
+func (s *noopSvc) Digest() uint64                  { return uint64(s.id) + 1 }
+
+// hopRelay is a stateless relay: the hop count lives in the message, the
+// service carries nothing and self-clones. Chains of hopRelay measure
+// the chain engine's marginal cost per state — the single handler Send
+// is the only workload allocation.
+type hopRelay struct{ id NodeID }
+
+func (s *hopRelay) Init(env sm.Env) {}
+func (s *hopRelay) OnMessage(env sm.Env, m *sm.Msg) {
+	if hops := m.Body.(int); hops > 0 {
+		env.Send(s.id+1, "hop", hops-1, 0)
+	}
+}
+func (s *hopRelay) OnTimer(env sm.Env, name string) {}
+func (s *hopRelay) Clone() sm.Service               { return s }
+func (s *hopRelay) Digest() uint64                  { return uint64(s.id) + 1 }
+
+// TestZeroAllocStatelessPaths pins the engine's bookkeeping floor on
+// stateless workloads, where the arena + seal-reclamation + scratch work
+// should leave (nearly) nothing: the chain relay path pays its one
+// workload allocation (the handler's sm.Msg) plus fractional pool-warmup
+// residue, and the capped-frontier BFS path stays within a few
+// allocations while the free-list recirculates shells.
+func TestZeroAllocStatelessPaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is slow under -short")
+	}
+	t.Run("chain-stateless-relay", func(t *testing.T) {
+		// Several disjoint chains amortize the per-run fixed cost
+		// (explorer, context, seen map, root arena chunk) the way
+		// allocWorld does, so the quotient approximates the marginal
+		// per-state cost.
+		const chains, hops = 8, 48
+		w := NewWorld(FirstPolicy, 1)
+		for c := 0; c < chains; c++ {
+			base := NodeID(c * (hops + 1))
+			for i := 0; i <= hops; i++ {
+				w.AddNode(base+NodeID(i), &hopRelay{id: base + NodeID(i)})
+			}
+			w.InjectMessage(&sm.Msg{Src: base, Dst: base, Kind: "hop", Body: hops})
+		}
+		got := allocsPerState(t, w, func() *Explorer {
+			return NewExplorer(hops + 1)
+		})
+		t.Logf("chain stateless relay: %.2f allocs/state (1 is the handler's Msg)", got)
+		if got > 2.0 {
+			t.Errorf("stateless chain path allocates %.2f per state, budget 2.0 — bookkeeping crept back in", got)
+		}
+	})
+	t.Run("bfs-noop", func(t *testing.T) {
+		w := NewWorld(FirstPolicy, 1)
+		for i := 0; i < 6; i++ {
+			w.AddNode(NodeID(i), &noopSvc{id: NodeID(i)})
+		}
+		for i := 0; i < 6; i++ {
+			w.InjectMessage(&sm.Msg{Src: NodeID(i), Dst: NodeID(i), Kind: "m", Body: i + 256})
+		}
+		got := allocsPerState(t, w, func() *Explorer {
+			x := NewExplorer(6)
+			x.Strategy = BFS{}
+			x.MaxFrontier = 64 // keep shells recirculating through the free-list
+			return x
+		})
+		t.Logf("bfs noop: %.2f allocs/state", got)
+		if got > 2.0 {
+			t.Errorf("noop BFS path allocates %.2f per state, budget 2.0 — bookkeeping crept back in", got)
+		}
+	})
+}

@@ -3,7 +3,7 @@ package explore
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"crystalchoice/internal/sm"
@@ -71,6 +71,15 @@ type Report struct {
 	// dedup by (property, canonical-trace signature), each class keeping
 	// a count and its shortest witness. See ViolationClasses.
 	classes map[classKey]*ViolationClass
+
+	// Per-worker run scratch, nil'd before Explore returns so reports
+	// stay plain data (tests compare them with reflect.DeepEqual).
+	// arena allocates this worker's trace nodes (nil under
+	// NoArena/EagerTraces); succ is Expand's reusable successor buffer,
+	// safe because every frontier copies pushed units out of it before
+	// the worker's next expansion.
+	arena *pathArena
+	succ  []Unit
 }
 
 // Safe reports whether no violations were predicted.
@@ -150,6 +159,16 @@ type Explorer struct {
 	// shells and owned containers to the run's pool. Only useful as an
 	// ablation (BenchmarkE15AllocDiscipline).
 	NoRecycle bool
+	// NoArena disables the per-worker pathNode arenas: every trace step
+	// falls back to an individual heap allocation, as before arenas.
+	// Only useful as an ablation (BenchmarkE16ArenaSeen) and as the
+	// reference arm of the arena/heap trace-equivalence property test.
+	NoArena bool
+	// LockedSeen restores the mutex-sharded seen map for parallel runs
+	// instead of the lock-free digest table. Only useful as an ablation
+	// (BenchmarkE16ArenaSeen). Sequential runs (Workers<=1) always use
+	// the plain map and ignore the flag.
+	LockedSeen bool
 	// MaxFrontier caps the number of pending frontier units. Zero, the
 	// default, means unbounded. When the cap binds, the lowest-priority
 	// pending unit is dropped (for FIFO and work-stealing frontiers the
@@ -205,8 +224,17 @@ func NewExplorer(depth int) *Explorer {
 	return &Explorer{Depth: depth, MaxStates: 4096, ExploreTimers: true}
 }
 
+// enabled enumerates w's schedulable actions into the world's reusable
+// action scratch: the returned slice is valid until the next enabled
+// call on the same world, which every caller satisfies because worlds
+// are expanded by one frame at a time (recursion forks a fresh world).
 func (x *Explorer) enabled(w *World) []Action {
-	acts := make([]Action, 0, len(w.Inflight))
+	if w.actScratch == nil {
+		// First enumeration on a fresh shell: size for the in-flight set
+		// in one allocation instead of a doubling chain of appends.
+		w.actScratch = make([]Action, 0, len(w.Inflight)+4)
+	}
+	acts := w.actScratch[:0]
 	for i, m := range w.Inflight {
 		if w.Down[m.Dst] || !w.Reachable(m.Src, m.Dst) {
 			continue
@@ -214,7 +242,8 @@ func (x *Explorer) enabled(w *World) []Action {
 		acts = append(acts, Action{Kind: ActionMessage, MsgIx: i, Msg: m})
 	}
 	if x.ExploreTimers {
-		names := borrowNames()
+		np := borrowNames()
+		names := (*np)[:0]
 		for _, id := range w.Nodes() {
 			if w.Down[id] {
 				continue
@@ -225,13 +254,15 @@ func (x *Explorer) enabled(w *World) []Action {
 					names = append(names, name)
 				}
 			}
-			sort.Strings(names) // deterministic order
+			slices.Sort(names) // deterministic order
 			for _, name := range names {
 				acts = append(acts, Action{Kind: ActionTimer, Node: id, Timer: name})
 			}
 		}
-		returnNames(names)
+		*np = names
+		returnNames(np)
 	}
+	w.actScratch = acts // retain the (possibly grown) backing array
 	return acts
 }
 
@@ -240,11 +271,15 @@ func (x *Explorer) enabled(w *World) []Action {
 // recovery hook can supply restart state) for every live node, recover for
 // every down node, and — when PartitionFaults is on — isolate/heal. The
 // order follows the world's sorted node order, so runs are deterministic.
+// The result lives in the world's fault scratch — distinct from the
+// enabled() scratch because RandomWalk draws from both slices of the
+// same world in one step — and is valid until the next faultActions call
+// on the same world.
 func (x *Explorer) faultActions(w *World, used int) []Action {
 	if x.FaultBudget <= used {
 		return nil
 	}
-	var acts []Action
+	acts := w.faultScratch[:0]
 	nodes := w.Nodes()
 	var cuts map[NodeID]int
 	if x.PartitionFaults {
@@ -271,6 +306,7 @@ func (x *Explorer) faultActions(w *World, used int) []Action {
 			}
 		}
 	}
+	w.faultScratch = acts
 	return acts
 }
 
@@ -292,13 +328,27 @@ func (x *Explorer) Explore(w *World) *Report {
 		budget = 4096
 	}
 	ctx := &Ctx{x: x, root: w, budget: budget, names: &nameTable{}}
+	useArena := !x.NoArena && !x.EagerTraces
+	if useArena {
+		ctx.rootArena = &pathArena{}
+	}
 	if workers == 1 && !x.forceScheduler {
-		ctx.seen = plainSeen{}
-	} else {
+		// A small presize absorbs the first growth steps; beyond it the
+		// map doubles on demand, which costs O(log n) allocations over a
+		// whole run — presizing to the budget would charge every run for
+		// its worst case (most explorations stop far under budget).
+		hint := budget
+		if hint > 1<<10 {
+			hint = 1 << 10
+		}
+		ctx.seen = make(plainSeen, hint)
+	} else if x.LockedSeen {
 		ctx.seen = newShardedSeen()
+	} else {
+		ctx.seen = newLockFreeSeen(budget)
 	}
 	if !x.NoRecycle && !x.DeepClones {
-		ctx.pool = newWorldPool()
+		ctx.pool = sharedWorldPool
 	}
 	if !x.FullDigests {
 		// Prime the maintained digest (and per-message digest memos)
@@ -321,6 +371,9 @@ func (x *Explorer) Explore(w *World) *Report {
 	reports := make([]*Report, workers)
 	for i := range reports {
 		reports[i] = &Report{MinScore: math.Inf(1), MaxScore: math.Inf(-1)}
+		if useArena {
+			reports[i].arena = &pathArena{}
+		}
 	}
 	x.check(ctx, w, reports[0], branchTrace{}, 0) // score the root state too
 	if workers == 1 && !x.forceScheduler {
@@ -331,6 +384,12 @@ func (x *Explorer) Explore(w *World) *Report {
 		}
 	} else {
 		x.runParallel(ctx, strat, frontier, reports)
+	}
+	// Detach the per-worker scratch before the shards escape: the merged
+	// report is plain data (determinism tests DeepEqual whole reports),
+	// and the arenas' chunks become garbage with the run.
+	for _, o := range reports {
+		o.arena, o.succ = nil, nil
 	}
 	r := reports[0]
 	for _, o := range reports[1:] {
@@ -392,7 +451,7 @@ func (x *Explorer) chain(ctx *Ctx, w *World, a Action, depth, faults int, r *Rep
 		r.Truncated = true
 		return
 	}
-	var out []*actionRef
+	var out []*sm.Msg
 	switch a.Kind {
 	case ActionMessage:
 		if a.MsgIx >= len(w.Inflight) {
@@ -404,18 +463,16 @@ func (x *Explorer) chain(ctx *Ctx, w *World, a Action, depth, faults int, r *Rep
 				return
 			}
 		}
-		msgs := w.DeliverMessage(a.MsgIx)
-		out = consequences(w, msgs)
+		out = w.consequences(w.DeliverMessage(a.MsgIx))
 	case ActionTimer:
-		msgs := w.FireTimer(a.Node, a.Timer)
-		out = consequences(w, msgs)
+		out = w.consequences(w.FireTimer(a.Node, a.Timer))
 	default:
 		if !IsFault(a.Kind) {
 			return
 		}
 		// A fault transition is a chain step of its own; recovery's Init
 		// sends are its causal consequences.
-		out = consequences(w, applyFault(w, a))
+		out = w.consequences(applyFault(w, a))
 		r.FaultsInjected++
 	}
 	if depth > r.MaxDepth {
@@ -439,28 +496,26 @@ func (x *Explorer) chain(ctx *Ctx, w *World, a Action, depth, faults int, r *Rep
 		wc := x.fork(ctx, w)
 		ix := -1
 		for i, m := range wc.Inflight {
-			if m == next.msg {
+			if m == next {
 				ix = i
 				break
 			}
 		}
-		if next.msg != nil && ix == -1 {
+		if ix == -1 {
 			ctx.release(wc)
 			continue // consumed on another branch bookkeeping path
 		}
-		var na Action
-		if next.msg != nil {
-			na = Action{Kind: ActionMessage, MsgIx: ix, Msg: next.msg}
-		} else {
-			na = Action{Kind: ActionTimer, Node: next.node, Timer: next.timer}
-		}
-		x.chain(ctx, wc, na, depth+1, faults, r, x.extendTrace(ctx, trace, actionStep(na)))
-		ctx.release(wc) // subtree exhausted: recycle the fork
+		na := Action{Kind: ActionMessage, MsgIx: ix, Msg: next}
+		ct := x.extendTrace(ctx, r.arena, trace, actionStep(na))
+		nv := len(r.Violations)
+		x.chain(ctx, wc, na, depth+1, faults, r, ct)
+		releaseTrace(r.arena, ct)
+		ctx.releaseSubtree(wc, r, nv) // subtree exhausted: recycle the fork
 		// Loss branch: this consequence, if a datagram, may never arrive.
-		if x.DropBranches && next.msg != nil && next.msg.Unreliable {
+		if x.DropBranches && next.Unreliable {
 			wd := x.fork(ctx, w)
 			for i, m := range wd.Inflight {
-				if m == next.msg {
+				if m == next {
 					wd.RemoveInflight(i)
 					break
 				}
@@ -468,7 +523,9 @@ func (x *Explorer) chain(ctx *Ctx, w *World, a Action, depth, faults int, r *Rep
 			if depth+1 > r.MaxDepth {
 				r.MaxDepth = depth + 1
 			}
-			x.check(ctx, wd, r, x.extendTrace(ctx, trace, step{kind: stepDrop, msg: next.msg}), depth+1)
+			dt := x.extendTrace(ctx, r.arena, trace, step{kind: stepDrop, msg: next})
+			x.check(ctx, wd, r, dt, depth+1)
+			releaseTrace(r.arena, dt)
 			ctx.release(wd)
 		}
 	}
@@ -481,8 +538,11 @@ func (x *Explorer) chain(ctx *Ctx, w *World, a Action, depth, faults int, r *Rep
 			return
 		}
 		wf := x.fork(ctx, w)
-		x.chain(ctx, wf, fa, depth+1, faults+1, r, x.extendTrace(ctx, trace, actionStep(fa)))
-		ctx.release(wf)
+		ft := x.extendTrace(ctx, r.arena, trace, actionStep(fa))
+		nv := len(r.Violations)
+		x.chain(ctx, wf, fa, depth+1, faults+1, r, ft)
+		releaseTrace(r.arena, ft)
+		ctx.releaseSubtree(wf, r, nv)
 	}
 }
 
@@ -496,7 +556,9 @@ func (x *Explorer) genericDelivery(ctx *Ctx, w *World, ix, depth, faults int, r 
 		r.MaxDepth = depth
 	}
 	// Silent branch: the unknown node absorbs the message.
-	x.check(ctx, w, r, x.extendTrace(ctx, trace, step{kind: stepGenericSilent}), depth)
+	st := x.extendTrace(ctx, r.arena, trace, step{kind: stepGenericSilent})
+	x.check(ctx, w, r, st, depth)
+	releaseTrace(r.arena, st)
 	if depth >= x.Depth {
 		return
 	}
@@ -509,13 +571,14 @@ func (x *Explorer) genericDelivery(ctx *Ctx, w *World, ix, depth, faults int, r 
 			return
 		}
 		wc := x.fork(ctx, w)
+		nvReact := len(r.Violations)
 		injected := make([]*sm.Msg, 0, len(reaction))
 		for _, rm := range reaction {
 			cp := *rm // models hand out templates; never share pointers
 			wc.InjectMessage(&cp)
 			injected = append(injected, &cp)
 		}
-		reactTrace := x.extendTrace(ctx, trace, step{kind: stepGenericReact, ix: bi})
+		reactTrace := x.extendTrace(ctx, r.arena, trace, step{kind: stepGenericReact, ix: bi})
 		for _, im := range injected {
 			ixc := -1
 			for i, q := range wc.Inflight {
@@ -529,11 +592,14 @@ func (x *Explorer) genericDelivery(ctx *Ctx, w *World, ix, depth, faults int, r 
 			}
 			na := Action{Kind: ActionMessage, MsgIx: ixc, Msg: im}
 			wcc := x.fork(ctx, wc)
-			x.chain(ctx, wcc, na, depth+1, faults, r,
-				x.extendTrace(ctx, reactTrace, actionStep(na)))
-			ctx.release(wcc)
+			it := x.extendTrace(ctx, r.arena, reactTrace, actionStep(na))
+			nv := len(r.Violations)
+			x.chain(ctx, wcc, na, depth+1, faults, r, it)
+			releaseTrace(r.arena, it)
+			ctx.releaseSubtree(wcc, r, nv)
 		}
-		ctx.release(wc)
+		releaseTrace(r.arena, reactTrace)
+		ctx.releaseSubtree(wc, r, nvReact)
 	}
 	// Fault branches apply at generic-delivery steps like at any other
 	// chain step: the silent-absorption state may be interrupted by a
@@ -544,29 +610,29 @@ func (x *Explorer) genericDelivery(ctx *Ctx, w *World, ix, depth, faults int, r 
 			return
 		}
 		wf := x.fork(ctx, w)
-		x.chain(ctx, wf, fa, depth+1, faults+1, r, x.extendTrace(ctx, trace, actionStep(fa)))
-		ctx.release(wf)
+		ft := x.extendTrace(ctx, r.arena, trace, actionStep(fa))
+		nv := len(r.Violations)
+		x.chain(ctx, wf, fa, depth+1, faults+1, r, ft)
+		releaseTrace(r.arena, ft)
+		ctx.releaseSubtree(wf, r, nv)
 	}
 }
 
-type actionRef struct {
-	msg   *sm.Msg
-	node  NodeID
-	timer string
-}
-
-func consequences(w *World, msgs []*sm.Msg) []*actionRef {
-	out := make([]*actionRef, 0, len(msgs))
+// consequences filters msgs down to those that actually entered the
+// world's in-flight set (destination modeled), into the world's reusable
+// scratch. The result is valid until the next consequences call on the
+// same world — which only happens one chain frame later, on a fork.
+func (w *World) consequences(msgs []*sm.Msg) []*sm.Msg {
+	out := w.conseqScratch[:0]
 	for _, m := range msgs {
-		// Only messages that actually entered the world (destination
-		// modeled) are consequences.
 		for _, q := range w.Inflight {
 			if q == m {
-				out = append(out, &actionRef{msg: m})
+				out = append(out, m)
 				break
 			}
 		}
 	}
+	w.conseqScratch = out
 	return out
 }
 

@@ -74,7 +74,11 @@ type frontier interface {
 }
 
 // dropUnits spills units that did not fit under the frontier cap:
-// counted into the run's FrontierDropped tally, worlds recycled.
+// counted into the run's FrontierDropped tally, worlds recycled. Trace
+// handles are released with a nil arena — drops run outside any worker's
+// arena, so the nodes stay dead in their chunks, but the reference
+// bookkeeping must still run or the dropped spine's shared prefix could
+// never be reclaimed by the surviving branches.
 func dropUnits(ctx *Ctx, us []Unit) {
 	if len(us) == 0 {
 		return
@@ -83,6 +87,7 @@ func dropUnits(ctx *Ctx, us []Unit) {
 		ctx.dropped.Add(int64(len(us)))
 		for i := range us {
 			ctx.release(us[i].World)
+			releaseTrace(nil, us[i].trace)
 		}
 	}
 	clearUnits(us)
@@ -216,6 +221,7 @@ func (h *heapFrontier) dropMin() {
 	if h.ctx != nil {
 		h.ctx.dropped.Add(1)
 		h.ctx.release(h.items[min].u.World)
+		releaseTrace(nil, h.items[min].u.trace)
 	}
 	last := n - 1
 	h.items[min] = h.items[last]

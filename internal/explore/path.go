@@ -83,13 +83,83 @@ func (s step) label() string {
 
 // pathNode is one step of a lazily materialized trace: the parent link
 // plus the step identity, packed so a branch in flight costs one small
-// allocation instead of a formatted label and a trace-slice copy.
-// Subtrees share their prefix; exhausted branches become garbage the
-// moment no frontier unit points at them.
+// arena slot (or, under Explorer.NoArena, one heap allocation) instead
+// of a formatted label and a trace-slice copy. Subtrees share their
+// prefix; an exhausted branch returns its spine to the worker's arena
+// free list the moment the last handle on it is released.
 type pathNode struct {
 	parent *pathNode
 	msg    *sm.Msg // message identity (kinds 'm', 'd'); nil otherwise
 	code   uint64  // packed kind, node, and aux (see packCode)
+	// refs counts live references: one per branchTrace handle plus one
+	// per child node. Arena-allocated nodes are freed when it hits zero;
+	// heap nodes (NoArena) leave it at zero and are garbage-collected.
+	// Atomic because a stolen unit's release may race a sibling's.
+	refs atomic.Int32
+}
+
+// pathChunkSize is the number of pathNodes bump-allocated per arena
+// chunk: 512 nodes × 32 bytes keeps a chunk comfortably inside the
+// per-P allocation fast path while amortizing the append.
+const pathChunkSize = 512
+
+// pathArena is a per-worker pathNode allocator: nodes are bump-allocated
+// from worker-owned chunks and reclaimed through a free list threaded
+// through the parent field. Arenas are single-goroutine by construction
+// (one per report shard, plus one for the pre-worker root frontier), so
+// neither alloc nor the free-list push synchronizes; only the refs field
+// of the nodes themselves is shared across workers. Releasing a node
+// allocated by another worker is fine: it simply migrates to the
+// releasing worker's free list, while its chunk stays pinned by its
+// original arena until the run ends.
+type pathArena struct {
+	chunks []*[pathChunkSize]pathNode
+	used   int       // slots handed out of the newest chunk
+	free   *pathNode // reclaimed nodes, threaded through parent
+}
+
+// alloc returns a zeroed-enough node: callers overwrite every field.
+func (a *pathArena) alloc() *pathNode {
+	if n := a.free; n != nil {
+		a.free = n.parent
+		return n
+	}
+	if len(a.chunks) == 0 || a.used == pathChunkSize {
+		a.chunks = append(a.chunks, new([pathChunkSize]pathNode))
+		a.used = 0
+	}
+	n := &a.chunks[len(a.chunks)-1][a.used]
+	a.used++
+	return n
+}
+
+// releaseTrace releases one branchTrace handle. When the handle held the
+// last reference to its node, the node is returned to arena a's free
+// list and the release cascades up the parent spine. A nil arena (cold
+// scheduler drop paths, which run outside any worker's arena) still
+// performs the reference bookkeeping — a leaked count on a shared prefix
+// would block its reclamation for the rest of the run — but leaves the
+// dead nodes in their chunks. Heap spines (NoArena) and eager traces are
+// no-ops: their refs never leave zero.
+func releaseTrace(a *pathArena, t branchTrace) {
+	n := t.node
+	for n != nil {
+		if n.refs.Load() == 0 {
+			return // heap-allocated spine: the garbage collector's job
+		}
+		if n.refs.Add(-1) != 0 {
+			return
+		}
+		p := n.parent
+		n.msg = nil
+		if a != nil {
+			n.parent = a.free
+			a.free = n
+		} else {
+			n.parent = nil
+		}
+		n = p
+	}
 }
 
 // packCode packs a step descriptor: kind in bits 0-7, node in bits 8-39,
@@ -159,7 +229,11 @@ type branchTrace struct {
 
 // extendTrace appends one step to a branch trace without mutating the
 // parent's representation (sibling branches extend the same prefix).
-func (x *Explorer) extendTrace(ctx *Ctx, t branchTrace, s step) branchTrace {
+// The returned value is a new handle the caller owns and must release
+// (releaseTrace) once neither it nor a frontier unit carries it. Nodes
+// come from arena a when one is supplied; a nil arena (Explorer.NoArena)
+// falls back to individual heap allocations with refs left at zero.
+func (x *Explorer) extendTrace(ctx *Ctx, a *pathArena, t branchTrace, s step) branchTrace {
 	if x.EagerTraces {
 		return branchTrace{eager: appendTrace(t.eager, s.label())}
 	}
@@ -167,12 +241,25 @@ func (x *Explorer) extendTrace(ctx *Ctx, t branchTrace, s step) branchTrace {
 	if s.kind == ActionTimer {
 		aux = ctx.names.id(s.name)
 	}
-	return branchTrace{node: &pathNode{parent: t.node, msg: s.msg, code: packCode(s.kind, s.node, aux)}}
+	code := packCode(s.kind, s.node, aux)
+	if a == nil {
+		return branchTrace{node: &pathNode{parent: t.node, msg: s.msg, code: code}}
+	}
+	n := a.alloc()
+	n.parent, n.msg, n.code = t.node, s.msg, code
+	n.refs.Store(1)
+	if t.node != nil {
+		t.node.refs.Add(1)
+	}
+	return branchTrace{node: n}
 }
 
 // materializeTrace reconstructs the human-readable trace of a branch,
 // byte-identical to what the eager representation carries. Called only
-// when a recorded violation actually needs the trace.
+// when a recorded violation actually needs the trace. This is also the
+// arena's witness promotion: the violating spine is copied out into
+// owned strings at record time, so recycled arena nodes can never alias
+// a recorded trace no matter when the branch's handles are released.
 func (x *Explorer) materializeTrace(ctx *Ctx, t branchTrace) []string {
 	if x.EagerTraces {
 		return append([]string{}, t.eager...)

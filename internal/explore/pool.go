@@ -24,9 +24,13 @@ package explore
 //     Explorer.check; Ctx.release refuses it, so state a report consumer
 //     could still inspect never re-enters circulation.
 //
-// The pool is per-run (worlds never leak across Explore calls) and built
-// on sync.Pool, whose per-P caches make it an effectively per-worker
-// free-list with no cross-worker locking on the hot path.
+// The pool is process-global: put fully sanitizes a shell (no live
+// references survive), so shells flow safely between Explore calls. That
+// matters because the CrystalBall runtime invokes Explore once per
+// decision point — a per-run pool would pay the whole cold-start shell
+// cost (one allocation chain per live spine world) on every lookahead.
+// It is built on sync.Pool, whose per-P caches make it an effectively
+// per-worker free-list with no cross-worker locking on the hot path.
 
 import "sync"
 
@@ -35,7 +39,8 @@ type worldPool struct {
 	shells sync.Pool // *World shells with cleared outer maps and spares
 }
 
-func newWorldPool() *worldPool { return &worldPool{} }
+// sharedWorldPool is the process-wide free-list every recycling run uses.
+var sharedWorldPool = &worldPool{}
 
 // get returns a recycled shell ready for cloneInto, or nil when the
 // free-list is empty.
@@ -55,6 +60,14 @@ const spareTimerSetCap = 4
 // the free-list. The caller guarantees w's subtree is exhausted and w is
 // not pinned.
 func (p *worldPool) put(w *World) {
+	// A sealed world's marks are provenance, not exclusivity: its forks
+	// may still be alive and sharing the marked containers, so the plain
+	// release path drops the marks and leaks those containers to the
+	// garbage collector. Ctx.releaseExhausted clears sealed first — its
+	// caller proved every fork is dead — making the marks effective again.
+	if w.sealed {
+		w.unseal()
+	}
 	// In-flight slice: owned means this world allocated the backing array
 	// (ownInflight copy or append growth) and never shared it onward.
 	if w.inflightOwned {
@@ -80,9 +93,13 @@ func (p *worldPool) put(w *World) {
 		clear(w.ownedSvc)
 		w.spareOwnedSvc = w.ownedSvc
 	}
-	// Digest scratch: the flushed per-node component array.
+	// Digest scratch: the flushed per-node component array, and the
+	// pending dirty list (adopted or first-marked by the next fork).
 	if w.dig.hashOwned {
 		w.spareHashes = w.dig.hashes[:0]
+	}
+	if w.dig.dirty != nil {
+		w.spareDirty = w.dig.dirty[:0]
 	}
 	// Partition relation forked for this branch's fault transitions.
 	if w.partOwned {
@@ -129,5 +146,22 @@ func (p *worldPool) put(w *World) {
 	w.nodeOrder = nil
 	w.dig = worldDigest{}
 	w.pinned = false
+	// Handler/expansion scratch: keep the backing arrays, drop the
+	// pointers they hold so pooled shells never pin dead state.
+	w.scratchEnv = worldEnv{produced: clearCap(w.scratchEnv.produced)}
+	w.actScratch = clearCap(w.actScratch)
+	w.faultScratch = clearCap(w.faultScratch)
+	w.conseqScratch = clearCap(w.conseqScratch)
 	p.shells.Put(w)
+}
+
+// clearCap zeroes a scratch slice's full capacity and returns it empty,
+// so the reclaimed backing array holds no references while pooled.
+func clearCap[T any](s []T) []T {
+	if s == nil {
+		return nil
+	}
+	s = s[:cap(s)]
+	clear(s)
+	return s[:0]
 }

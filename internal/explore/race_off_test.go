@@ -1,0 +1,6 @@
+//go:build !race
+
+package explore
+
+// raceEnabled mirrors race_on_test.go for ordinary builds.
+const raceEnabled = false

@@ -22,6 +22,11 @@ type Ctx struct {
 	// pool recycles dead worlds' shells and containers. Nil when
 	// recycling is off (Explorer.NoRecycle or DeepClones).
 	pool *worldPool
+	// rootArena allocates the root frontier's trace nodes. Roots are
+	// built single-threaded before the workers start, and the nodes are
+	// released — possibly into another arena's free list — by whichever
+	// worker exhausts the branch. Nil under NoArena/EagerTraces.
+	rootArena *pathArena
 	// dropped counts frontier units discarded by the MaxFrontier cap.
 	dropped atomic.Int64
 }
@@ -38,6 +43,37 @@ func (c *Ctx) release(w *World) {
 	c.pool.put(w)
 }
 
+// releaseExhausted is release for a world whose every fork is already
+// dead and none of them pinned: the containers it allocated and then
+// shared with those forks (sealed marks — see World.unseal) are
+// reclaimed along with the exclusively owned ones. The chain engine
+// qualifies — a frame's forks all die inside the recursive call, and a
+// violation anywhere in the subtree (the only source of pinned worlds)
+// is visible as report growth — while frontier strategies do not: their
+// successors outlive the expanded world.
+func (c *Ctx) releaseExhausted(w *World) {
+	if c.pool == nil || w == nil || w.pinned {
+		return
+	}
+	w.sealed = false
+	c.pool.put(w)
+}
+
+// releaseSubtree recycles a chain fork whose recursive expansion just
+// returned. Every descendant fork died inside the call, so unless the
+// subtree recorded a violation — the one event that pins worlds, which
+// may still be sharing this fork's sealed containers — the sealed
+// containers are reclaimed too. preViolations is the worker report's
+// violation count from just before the recursion; violation counts only
+// grow, so equality proves the subtree pinned nothing.
+func (c *Ctx) releaseSubtree(w *World, r *Report, preViolations int) {
+	if len(r.Violations) == preViolations {
+		c.releaseExhausted(w)
+	} else {
+		c.release(w)
+	}
+}
+
 // Root returns the frozen start world of the run. Strategies may fork it
 // (copy-on-write) but must never mutate it.
 func (c *Ctx) Root() *World { return c.root }
@@ -48,54 +84,6 @@ func (c *Ctx) Exhausted() bool { return c.count.Load() >= int64(c.budget) }
 // Visit records the digest of a reached state, reporting true when it was
 // already recorded — the caller then prunes the duplicate subtree.
 func (c *Ctx) Visit(d uint64) bool { return c.seen.visit(d) }
-
-// seenSet records visited state digests. The sequential engine uses a
-// plain map; the parallel engine a sharded locked map.
-type seenSet interface {
-	visit(d uint64) bool
-}
-
-type plainSeen map[uint64]bool
-
-func (s plainSeen) visit(d uint64) bool {
-	if s[d] {
-		return true
-	}
-	s[d] = true
-	return false
-}
-
-// seenShards is sized to keep shard-lock contention negligible at any
-// plausible core count.
-const seenShards = 64
-
-type shardedSeen struct {
-	shards [seenShards]struct {
-		mu sync.Mutex
-		m  map[uint64]struct{}
-		// Pad to a cache line so neighboring shard locks do not false-share.
-		_ [40]byte
-	}
-}
-
-func newShardedSeen() *shardedSeen {
-	s := &shardedSeen{}
-	for i := range s.shards {
-		s.shards[i].m = make(map[uint64]struct{})
-	}
-	return s
-}
-
-func (s *shardedSeen) visit(d uint64) bool {
-	sh := &s.shards[((d>>32)^d)&(seenShards-1)]
-	sh.mu.Lock()
-	_, ok := sh.m[d]
-	if !ok {
-		sh.m[d] = struct{}{}
-	}
-	sh.mu.Unlock()
-	return ok
-}
 
 // runSequential drains fr on the calling goroutine, accumulating into a
 // single report. With a FIFO frontier and the ChainDFS strategy this is
@@ -166,6 +154,7 @@ func (x *Explorer) runShared(ctx *Ctx, strat Strategy, fr frontier, reports []*R
 				if ctx.Exhausted() {
 					r.Truncated = true
 					ctx.release(u.World) // never expanded: recycle now
+					releaseTrace(r.arena, u.trace)
 				} else {
 					succ = strat.Expand(x, ctx, u, r)
 				}
@@ -301,6 +290,7 @@ func (x *Explorer) runStealing(ctx *Ctx, strat Strategy, units []Unit, reports [
 				if ctx.Exhausted() {
 					r.Truncated = true
 					ctx.release(u.World) // never expanded: recycle now
+					releaseTrace(r.arena, u.trace)
 				} else {
 					succ = strat.Expand(x, ctx, u, r)
 				}

@@ -160,17 +160,20 @@ func (ChainDFS) Roots(x *Explorer, ctx *Ctx, w *World) []Unit {
 }
 
 // rootUnits seeds the shared frontier shape of ChainDFS and BFS: one unit
-// per enabled action, then one per enabled fault transition.
+// per enabled action, then one per enabled fault transition. Trace nodes
+// come from the run's root arena (roots are built before the workers
+// start); each unit owns its trace handle, released by whichever worker
+// exhausts — or whichever spill path drops — the unit.
 func rootUnits(x *Explorer, ctx *Ctx, w *World) []Unit {
 	acts := x.enabled(w)
 	units := make([]Unit, 0, len(acts))
 	for _, a := range acts {
 		units = append(units, Unit{World: x.fork(ctx, w), Act: a, Depth: 1,
-			trace: x.extendTrace(ctx, branchTrace{}, actionStep(a))})
+			trace: x.extendTrace(ctx, ctx.rootArena, branchTrace{}, actionStep(a))})
 	}
 	for _, a := range x.faultActions(w, 0) {
 		units = append(units, Unit{World: x.fork(ctx, w), Act: a, Depth: 1, Faults: 1,
-			trace: x.extendTrace(ctx, branchTrace{}, actionStep(a))})
+			trace: x.extendTrace(ctx, ctx.rootArena, branchTrace{}, actionStep(a))})
 	}
 	return units
 }
@@ -179,14 +182,18 @@ func rootUnits(x *Explorer, ctx *Ctx, w *World) []Unit {
 // the root-level loss branch for unreliable datagrams when DropBranches is
 // on. Chains recurse internally, so no successor units are produced.
 func (ChainDFS) Expand(x *Explorer, ctx *Ctx, u Unit, r *Report) []Unit {
+	nv := len(r.Violations)
 	x.chain(ctx, u.World, u.Act, u.Depth, u.Faults, r, u.trace)
-	ctx.release(u.World) // chain exhausted: recycle the root fork
+	ctx.releaseSubtree(u.World, r, nv) // chain exhausted: recycle the root fork
+	releaseTrace(r.arena, u.trace)
 	// Loss branch: an unreliable message may simply never arrive.
 	root := ctx.root
 	if x.DropBranches && u.Act.Kind == ActionMessage && u.Act.MsgIx < len(root.Inflight) && root.Inflight[u.Act.MsgIx].Unreliable {
 		wd := x.fork(ctx, root)
 		wd.RemoveInflight(u.Act.MsgIx)
-		x.check(ctx, wd, r, x.extendTrace(ctx, branchTrace{}, step{kind: stepDrop, msg: u.Act.Msg}), 1)
+		dt := x.extendTrace(ctx, r.arena, branchTrace{}, step{kind: stepDrop, msg: u.Act.Msg})
+		x.check(ctx, wd, r, dt, 1)
+		releaseTrace(r.arena, dt)
 		ctx.release(wd)
 		if 1 > r.MaxDepth {
 			r.MaxDepth = 1
@@ -231,8 +238,12 @@ func fanOut(x *Explorer, ctx *Ctx, u Unit, r *Report) ([]Unit, float64) {
 	// The unit's world is dead once its successors have forked it (or
 	// once the state proves terminal): successors copy the outer maps and
 	// share inner state copy-on-write, so the shell and every container
-	// still marked owned after the forks return to the free-list.
+	// still marked owned after the forks return to the free-list. The
+	// unit's trace handle dies with it — successors took child references
+	// on the spine, so the prefix outlives the handle exactly as long as
+	// any successor is pending.
 	defer ctx.release(w)
+	defer releaseTrace(r.arena, u.trace)
 	switch u.Act.Kind {
 	case ActionMessage:
 		if u.Act.MsgIx >= len(w.Inflight) {
@@ -259,15 +270,19 @@ func fanOut(x *Explorer, ctx *Ctx, u Unit, r *Report) ([]Unit, float64) {
 		return nil, score
 	}
 	acts := x.enabled(w)
-	succ := make([]Unit, 0, len(acts))
+	// Successors accumulate in the worker's reusable buffer: every
+	// frontier copies pushed units out of the slice before this worker's
+	// next expansion, so the backing array never aliases pending work.
+	succ := r.succ[:0]
 	for _, a := range acts {
 		succ = append(succ, Unit{World: x.fork(ctx, w), Act: a, Depth: u.Depth + 1,
-			Faults: u.Faults, trace: x.extendTrace(ctx, u.trace, actionStep(a))})
+			Faults: u.Faults, trace: x.extendTrace(ctx, r.arena, u.trace, actionStep(a))})
 	}
 	for _, a := range x.faultActions(w, u.Faults) {
 		succ = append(succ, Unit{World: x.fork(ctx, w), Act: a, Depth: u.Depth + 1,
-			Faults: u.Faults + 1, trace: x.extendTrace(ctx, u.trace, actionStep(a))})
+			Faults: u.Faults + 1, trace: x.extendTrace(ctx, r.arena, u.trace, actionStep(a))})
 	}
+	r.succ = succ
 	return succ, score
 }
 
@@ -426,6 +441,10 @@ func (RandomWalk) Expand(x *Explorer, ctx *Ctx, u Unit, r *Report) []Unit {
 	w := u.World
 	defer ctx.release(w) // a walk owns its world for its whole trajectory
 	trace := u.trace
+	// The walk carries exactly one live handle: each step hands the old
+	// one over to the new node's parent link, and the final release at
+	// return cascades the whole spine back to the arena.
+	defer func() { releaseTrace(r.arena, trace) }()
 	faults := u.Faults
 	for depth := u.Depth; depth <= x.Depth; depth++ {
 		if ctx.Exhausted() {
@@ -433,11 +452,22 @@ func (RandomWalk) Expand(x *Explorer, ctx *Ctx, u Unit, r *Report) []Unit {
 			return nil
 		}
 		acts := x.enabled(w)
-		acts = append(acts, x.faultActions(w, faults)...)
-		if len(acts) == 0 {
+		fas := x.faultActions(w, faults)
+		// One uniform draw over both pools, in the same index order the
+		// pre-scratch code used (enabled, then faults), so fixed-seed
+		// walks replay identically. Selecting from the two scratch
+		// slices — rather than appending one to the other — keeps
+		// enabled()'s result from being clobbered.
+		n := len(acts) + len(fas)
+		if n == 0 {
 			return nil
 		}
-		a := acts[rng.Intn(len(acts))]
+		a := Action{}
+		if k := rng.Intn(n); k < len(acts) {
+			a = acts[k]
+		} else {
+			a = fas[k-len(acts)]
+		}
 		switch a.Kind {
 		case ActionMessage:
 			w.DeliverMessage(a.MsgIx)
@@ -450,7 +480,9 @@ func (RandomWalk) Expand(x *Explorer, ctx *Ctx, u Unit, r *Report) []Unit {
 				r.FaultsInjected++
 			}
 		}
-		trace = x.extendTrace(ctx, trace, actionStep(a))
+		nt := x.extendTrace(ctx, r.arena, trace, actionStep(a))
+		releaseTrace(r.arena, trace)
+		trace = nt
 		if depth > r.MaxDepth {
 			r.MaxDepth = depth
 		}

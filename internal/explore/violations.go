@@ -89,7 +89,8 @@ func canonSignature(trace []string) string {
 	if len(trace) == 0 {
 		return ""
 	}
-	names := borrowNames()
+	np := borrowNames()
+	names := (*np)[:0]
 	for _, step := range trace {
 		names = append(names, canonLabel(step))
 	}
@@ -104,7 +105,8 @@ func canonSignature(trace []string) string {
 		}
 		b.WriteString(n)
 	}
-	returnNames(names)
+	*np = names
+	returnNames(np)
 	return b.String()
 }
 

@@ -13,10 +13,10 @@ package explore
 import (
 	"math/rand"
 	"slices"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"crystalchoice/internal/sm"
 )
@@ -125,6 +125,15 @@ type World struct {
 	ownedSvc      map[NodeID]bool
 	ownedTimers   map[NodeID]bool
 	inflightOwned bool
+	// sealed records that the containers this world's marks cover were
+	// shared with at least one fork (Freeze). The marks survive as a
+	// provenance record — "this world allocated these" — but no longer
+	// grant in-place writes: the next write unseals, dropping them, and
+	// copies again. A world that dies sealed keeps the record, so a
+	// release that can prove every fork is already dead
+	// (Ctx.releaseExhausted) reclaims the containers the plain release
+	// path would have to leak to the garbage collector.
+	sealed bool
 
 	// forks counts Clone/DeepClone calls on this world; each fork's seed
 	// is derived from (Seed, fork index) so sibling forks get distinct
@@ -151,6 +160,19 @@ type World struct {
 	// nodeOrder caches the sorted node IDs (invalidated only by AddNode).
 	// The slice is immutable once built and shared by forks.
 	nodeOrder []NodeID
+
+	// Per-world scratch reused across handler executions and action
+	// enumerations on this world. Never shared: cloneInto leaves the
+	// fields behind, so a fork starts from whatever its (possibly
+	// recycled) shell carries, and pool.put clears the references they
+	// pin while keeping the capacity. Each slice backs exactly one
+	// chain/expansion frame at a time — recursion always moves to a
+	// fork — which is what makes single-buffer reuse safe.
+	scratchEnv    worldEnv  // handler invocation env + produced buffer
+	actScratch    []Action  // enabled() result
+	faultScratch  []Action  // faultActions() result (distinct: RandomWalk reads both)
+	conseqScratch []*sm.Msg // consequences() result
+	spareDirty    []NodeID  // reclaimed digest dirty-list backing
 
 	// dig is the maintained state digest (see Digest). Forks copy it and
 	// share the per-node component map copy-on-write.
@@ -278,8 +300,12 @@ func (w *World) cloneInto(c *World) *World {
 }
 
 // owning reports whether the world holds any container it may write in
-// place — i.e. whether Freeze would change anything.
+// place — i.e. whether Freeze would change anything. Sealed worlds own
+// nothing writable: their marks are provenance, not write permission.
 func (w *World) owning() bool {
+	if w.sealed {
+		return false
+	}
 	return w.svcMapOwned || w.timerMapOwned || w.downMapOwned ||
 		len(w.ownedSvc) > 0 || len(w.ownedTimers) > 0 ||
 		w.inflightOwned || w.partOwned || w.dig.hashOwned
@@ -287,14 +313,19 @@ func (w *World) owning() bool {
 
 // adoptDigest copies the parent's maintained digest into the fork. The
 // per-node component map is shared copy-on-write; a pending dirty list is
-// duplicated so sibling appends cannot clobber each other's entries.
+// duplicated (into the shell's reclaimed backing when it fits) so sibling
+// appends cannot clobber each other's entries.
 func (c *World) adoptDigest(d *worldDigest) {
 	c.dig = *d
 	c.dig.hashOwned = false
-	if len(d.dirty) > 0 {
-		c.dig.dirty = append(make([]NodeID, 0, len(d.dirty)), d.dirty...)
-	} else {
+	switch {
+	case len(d.dirty) == 0:
 		c.dig.dirty = nil
+	case cap(c.spareDirty) >= len(d.dirty):
+		c.dig.dirty = append(c.spareDirty[:0], d.dirty...)
+		c.spareDirty = nil
+	default:
+		c.dig.dirty = append(make([]NodeID, 0, len(d.dirty)), d.dirty...)
 	}
 }
 
@@ -361,6 +392,17 @@ func (w *World) DeepClone() *World {
 // read-only operation and safe to call from several goroutines.
 func (w *World) Freeze() {
 	w.cow = true
+	w.sealed = true
+}
+
+// unseal retires the ownership marks of a world whose containers became
+// shared with forks (Freeze), restoring the invariant that an effective
+// mark proves exclusivity. It runs lazily before the next in-place
+// write; until then a sealed world keeps its marks as pure provenance,
+// which releaseExhausted — callable only once every fork is dead —
+// turns back into reclaimable ownership.
+func (w *World) unseal() {
+	w.sealed = false
 	w.svcMapOwned = false
 	w.timerMapOwned = false
 	w.downMapOwned = false
@@ -374,6 +416,9 @@ func (w *World) Freeze() {
 // ownServicesMap copies the shared outer Services map before the first
 // write of a service pointer into it, reusing the shell's spare.
 func (w *World) ownServicesMap() {
+	if w.sealed {
+		w.unseal()
+	}
 	if !w.cow || w.svcMapOwned {
 		return
 	}
@@ -391,6 +436,9 @@ func (w *World) ownServicesMap() {
 
 // ownTimersMap is ownServicesMap for the outer per-node timer-set map.
 func (w *World) ownTimersMap() {
+	if w.sealed {
+		w.unseal()
+	}
 	if !w.cow || w.timerMapOwned {
 		return
 	}
@@ -408,6 +456,9 @@ func (w *World) ownTimersMap() {
 
 // ownDownMap is ownServicesMap for the outer down-flag map.
 func (w *World) ownDownMap() {
+	if w.sealed {
+		w.unseal()
+	}
 	if !w.cow || w.downMapOwned {
 		return
 	}
@@ -469,20 +520,43 @@ func (w *World) ownService(id NodeID) sm.Service {
 		return nil
 	}
 	w.markDigestDirty(id) // caller is about to mutate the service
+	if w.sealed {
+		w.unseal()
+	}
 	if !w.cow || w.ownedSvc[id] {
 		return svc
 	}
-	svc = svc.Clone()
+	cl := svc.Clone()
+	if sameService(cl, svc) {
+		// Self-cloning service: by returning itself, Clone declares the
+		// service holds no per-world state worth isolating, so the map
+		// write below would be a no-op. Skip the outer-map fork and the
+		// ownership mark entirely — stateless nodes cost nothing to own.
+		return svc
+	}
 	w.ownServicesMap()
-	w.Services[id] = svc
+	w.Services[id] = cl
 	w.markOwnedSvc(id)
-	return svc
+	return cl
+}
+
+// sameService reports whether two Service interface values are identical
+// — same dynamic type and same data word. For the universal pointer-
+// receiver case that is pointer identity; for exotic value-typed services
+// it may report false for equal values, which only costs the conservative
+// copy path. Comparing the raw interface words (rather than ==) never
+// panics on uncomparable dynamic types and never allocates.
+func sameService(a, b sm.Service) bool {
+	return *(*[2]uintptr)(unsafe.Pointer(&a)) == *(*[2]uintptr)(unsafe.Pointer(&b))
 }
 
 // ownTimers returns node id's timer set ready for mutation, forking a
 // shared set and materializing a missing one.
 func (w *World) ownTimers(id NodeID) map[string]bool {
 	w.markDigestDirty(id) // caller is about to mutate the timer set
+	if w.sealed {
+		w.unseal()
+	}
 	set := w.Timers[id]
 	if set == nil {
 		set = w.newTimerSet(4)
@@ -510,6 +584,9 @@ func (w *World) ownTimers(id NodeID) map[string]bool {
 // cannot write into a sibling world's backing array. The copy lands in
 // the shell's spare backing array when it fits.
 func (w *World) ownInflight() {
+	if w.sealed {
+		w.unseal()
+	}
 	if !w.cow || w.inflightOwned {
 		return
 	}
@@ -529,6 +606,9 @@ func (w *World) ownInflight() {
 // shared map and materializing a missing one (recycled when the shell
 // carries a spare).
 func (w *World) ownPartitions() {
+	if w.sealed {
+		w.unseal()
+	}
 	if !w.cow && w.partitioned != nil {
 		return
 	}
@@ -752,23 +832,44 @@ func (w *World) Recover(id NodeID, svc sm.Service) []*sm.Msg {
 	if s == nil {
 		return nil
 	}
-	env := &worldEnv{w: w, id: id}
+	env := w.handlerEnv(id)
 	s.Init(env)
 	w.absorb(env.produced)
 	return env.produced
 }
 
-// RemoveInflight deletes the in-flight message at index i. Removal is safe
-// on a shared in-flight set: the full-slice expression caps the prefix at
-// len == cap, so appending a non-empty tail always reallocates. Appending
-// an empty tail (i was the last index) returns the capped prefix itself —
-// still never writable in place, but aliasing whatever backing array the
-// slice had, so ownership is only claimed when a fresh array was made.
+// RemoveInflight deletes the in-flight message at index i. A world that
+// owns its backing array (allocated it and never shared it onward —
+// Freeze clears the mark before any sharing) compacts in place; on a
+// shared set, the full-slice expression caps the prefix at len == cap,
+// so appending a non-empty tail always reallocates (into the shell's
+// spare backing when it fits). Appending an empty tail (i was the last
+// index) returns the capped prefix itself — still never writable in
+// place, but aliasing whatever backing array the slice had, so ownership
+// is only claimed when a fresh array was made.
 func (w *World) RemoveInflight(i int) {
 	if w.dig.valid {
 		w.dig.inflightSum -= sm.Mix64(w.Inflight[i].Digest())
 	}
+	if w.sealed {
+		w.unseal()
+	}
+	if w.inflightOwned {
+		n := len(w.Inflight)
+		copy(w.Inflight[i:], w.Inflight[i+1:])
+		w.Inflight[n-1] = nil // keep the vacated slot collectible
+		w.Inflight = w.Inflight[:n-1]
+		return
+	}
 	rest := w.Inflight[i+1:]
+	if len(rest) > 0 && cap(w.spareInflight) >= len(w.Inflight)-1 {
+		cp := w.spareInflight[:0]
+		w.spareInflight = nil
+		cp = append(append(cp, w.Inflight[:i]...), rest...)
+		w.Inflight = cp
+		w.inflightOwned = true
+		return
+	}
 	w.Inflight = append(w.Inflight[:i:i], rest...)
 	if len(rest) > 0 {
 		w.inflightOwned = true
@@ -878,18 +979,20 @@ func (w *World) nodeComponent(id NodeID) uint64 {
 	h.WriteNode(id)
 	h.WriteUint(w.Services[id].Digest())
 	h.WriteBool(w.Down[id])
-	names := borrowNames()
+	np := borrowNames()
+	names := (*np)[:0]
 	for name, on := range w.Timers[id] {
 		if on {
 			names = append(names, name)
 		}
 	}
-	sort.Strings(names)
+	slices.Sort(names) // generic sort: no interface boxing per call
 	h.WriteInt(int64(len(names)))
 	for _, name := range names {
 		h.WriteString(name)
 	}
-	returnNames(names)
+	*np = names
+	returnNames(np)
 	d := sm.Mix64(h.Sum())
 	sm.PutHasher(h)
 	return d
@@ -927,6 +1030,12 @@ func (w *World) markDigestDirty(id NodeID) {
 			return
 		}
 	}
+	if w.dig.dirty == nil && w.spareDirty != nil {
+		// First dirty mark on this fork: reuse the shell's reclaimed
+		// dirty-list backing instead of allocating one.
+		w.dig.dirty = w.spareDirty[:0]
+		w.spareDirty = nil
+	}
 	w.dig.dirty = append(w.dig.dirty, id)
 }
 
@@ -958,6 +1067,9 @@ func (w *World) rebuildDigest() {
 // flushDigestDirty re-hashes the components the COW hooks invalidated,
 // adjusting the commutative node sum by the difference.
 func (w *World) flushDigestDirty() {
+	if w.sealed {
+		w.unseal()
+	}
 	if !w.dig.hashOwned {
 		// Copy the shared component array before writing, reusing the
 		// shell's spare scratch when it fits.
@@ -987,12 +1099,15 @@ var namesPool = sync.Pool{New: func() any {
 	return &s
 }}
 
-func borrowNames() []string {
-	return (*namesPool.Get().(*[]string))[:0]
+// borrowNames/returnNames traffic in the pooled *[]string directly:
+// putting a plain slice back would re-box its header on every call,
+// costing an allocation per node-component hash.
+func borrowNames() *[]string {
+	return namesPool.Get().(*[]string)
 }
 
-func returnNames(s []string) {
-	namesPool.Put(&s)
+func returnNames(p *[]string) {
+	namesPool.Put(p)
 }
 
 // BodyDigester lets message bodies provide a stable digest. It is an alias
@@ -1068,9 +1183,21 @@ func (e *worldEnv) Choose(c sm.Choice) int {
 	return idx
 }
 
+// handlerEnv readies the world's reusable env scratch for one handler
+// invocation. The env — and the produced slice handler-running methods
+// return — is valid only until the next handler execution on this
+// world; callers that need the messages longer copy them (the explorer
+// snapshots them into the world's consequence scratch immediately).
+func (w *World) handlerEnv(id NodeID) *worldEnv {
+	e := &w.scratchEnv
+	*e = worldEnv{w: w, id: id, produced: e.produced[:0]}
+	return e
+}
+
 // DeliverMessage executes the handler for in-flight message index i,
 // removing it from the channel and appending the messages it produces.
-// It reports the produced messages.
+// It reports the produced messages; the slice is valid until the next
+// handler execution on this world (see handlerEnv).
 func (w *World) DeliverMessage(i int) []*sm.Msg {
 	m := w.Inflight[i]
 	w.RemoveInflight(i)
@@ -1081,14 +1208,15 @@ func (w *World) DeliverMessage(i int) []*sm.Msg {
 	if svc == nil {
 		return nil
 	}
-	env := &worldEnv{w: w, id: m.Dst}
+	env := w.handlerEnv(m.Dst)
 	svc.OnMessage(env, m)
 	w.absorb(env.produced)
 	return env.produced
 }
 
 // FireTimer executes node id's named timer handler, clearing its pending
-// flag, and returns the messages produced.
+// flag, and returns the messages produced (valid until the next handler
+// execution on this world; see handlerEnv).
 func (w *World) FireTimer(id NodeID, name string) []*sm.Msg {
 	if set := w.Timers[id]; set != nil && set[name] {
 		delete(w.ownTimers(id), name)
@@ -1100,7 +1228,7 @@ func (w *World) FireTimer(id NodeID, name string) []*sm.Msg {
 	if svc == nil {
 		return nil
 	}
-	env := &worldEnv{w: w, id: id}
+	env := w.handlerEnv(id)
 	svc.OnTimer(env, name)
 	w.absorb(env.produced)
 	return env.produced

@@ -1,0 +1,50 @@
+// Package profiling wires the standard runtime/pprof collectors into the
+// command-line tools. Both profiles are flag-gated and written only on a
+// clean exit path: the commands route through a run() function whose
+// deferred stop flushes the files before main's os.Exit (which would
+// otherwise discard them).
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath and arranges a heap snapshot
+// into memPath; either path may be empty to skip that profile. The
+// returned stop must be deferred: it ends the CPU profile and writes the
+// heap profile (after a GC, so the snapshot shows live objects rather
+// than garbage awaiting collection).
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mem profile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "mem profile: %v\n", err)
+			}
+			f.Close()
+		}
+	}, nil
+}
