@@ -8,7 +8,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
 	"crystalchoice/internal/apps/dissem"
@@ -16,6 +15,7 @@ import (
 	"crystalchoice/internal/apps/paxos"
 	"crystalchoice/internal/apps/randtree"
 	"crystalchoice/internal/apps/tracker"
+	"crystalchoice/internal/cliutil"
 	"crystalchoice/internal/explore"
 	"crystalchoice/internal/profiling"
 )
@@ -52,7 +52,7 @@ func run() int {
 	app := flag.String("app", "all", "experiment to run: gossip | dissem | paxos | overload | steering | tracker | all")
 	seed := flag.Int64("seed", 1, "first seed")
 	seeds := flag.Int("seeds", 3, "seeds to average over")
-	flag.IntVar(&lookaheadWorkers, "workers", 1, "lookahead exploration worker pool per node (0 = GOMAXPROCS)")
+	flag.IntVar(&lookaheadWorkers, "workers", 1, "lookahead exploration worker pool per node")
 	flag.StringVar(&lookaheadStrategy, "strategy", "chaindfs", "lookahead exploration strategy: chaindfs | bfs | randomwalk | guided")
 	flag.IntVar(&lookaheadFaults, "faults", 0, "fault-transition budget per runtime lookahead (crash/recover/reset)")
 	flag.BoolVar(&lookaheadPartitions, "partitions", false, "also explore partition transitions in runtime lookaheads")
@@ -62,11 +62,19 @@ func run() int {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	flag.Parse()
-	if lookaheadWorkers == 0 {
-		lookaheadWorkers = runtime.GOMAXPROCS(0)
+	if err := cliutil.FirstErr(
+		cliutil.Positive("workers", lookaheadWorkers),
+		cliutil.Positive("seeds", *seeds),
+		cliutil.NonNegative("faults", lookaheadFaults),
+		cliutil.NonNegative("maxfrontier", lookaheadMaxFrontier),
+	); err != nil {
+		fmt.Fprintf(os.Stderr, "crystalball: %v\n", err)
+		flag.Usage()
+		return 2
 	}
 	if _, err := explore.ParseStrategy(lookaheadStrategy); err != nil {
 		fmt.Fprintf(os.Stderr, "crystalball: %v\n", err)
+		flag.Usage()
 		return 2
 	}
 	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)

@@ -11,10 +11,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
 	"crystalchoice/internal/apps/randtree"
+	"crystalchoice/internal/cliutil"
 	"crystalchoice/internal/explore"
 	"crystalchoice/internal/profiling"
 	"crystalchoice/internal/sm"
@@ -32,27 +32,38 @@ func run() int {
 	inject := flag.Bool("inject-cycle", false, "inject a forged parent-cycle message before exploring")
 	faults := flag.Int("faults", 0, "fault-transition budget per explored path (crash/recover/reset as explorer actions)")
 	partitions := flag.Bool("partitions", false, "also explore network-partition transitions (drawn from the fault budget)")
-	workers := flag.Int("workers", 1, "exploration worker pool size (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 1, "exploration worker pool size")
 	strategyName := flag.String("strategy", "chaindfs", "exploration strategy: chaindfs | bfs | randomwalk | guided")
 	fullDigests := flag.Bool("fulldigests", false, "dedup with from-scratch world digests instead of incremental (ablation)")
 	maxFrontier := flag.Int("maxfrontier", 0, "cap on pending frontier units, dropping lowest-priority work (0 = unbounded)")
 	classesJSON := flag.String("classes-json", "", "write the violation classes (digest, count, shortest witness) as JSON to this path for cross-run diffing")
 	noArena := flag.Bool("noarena", false, "heap-allocate trace nodes instead of per-worker arenas (ablation)")
 	lockedSeen := flag.Bool("lockedseen", false, "dedup through the locked sharded seen set instead of the lock-free table (ablation)")
+	deadline := flag.Duration("deadline", 0, "wall-clock budget for the exploration; past it the report is partial and marked truncated (0 = none)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	flag.Parse()
 
-	if *n < 3 {
-		fmt.Fprintln(os.Stderr, "mc: need -n >= 3")
+	if err := cliutil.FirstErr(
+		cliutil.Positive("depth", *depth),
+		cliutil.Positive("workers", *workers),
+		cliutil.NonNegative("budget", *budget),
+		cliutil.NonNegative("faults", *faults),
+		cliutil.NonNegative("maxfrontier", *maxFrontier),
+	); err != nil {
+		fmt.Fprintf(os.Stderr, "mc: %v\n", err)
+		flag.Usage()
 		return 2
 	}
-	if *workers == 0 {
-		*workers = runtime.GOMAXPROCS(0)
+	if *n < 3 {
+		fmt.Fprintln(os.Stderr, "mc: need -n >= 3")
+		flag.Usage()
+		return 2
 	}
 	strategy, err := explore.ParseStrategy(*strategyName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mc: %v\n", err)
+		flag.Usage()
 		return 2
 	}
 	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
@@ -99,6 +110,9 @@ func run() int {
 	x.MaxFrontier = *maxFrontier
 	x.FaultBudget = *faults
 	x.PartitionFaults = *partitions
+	if *deadline > 0 {
+		x.Deadline = time.Now().Add(*deadline)
+	}
 	x.Properties = []explore.Property{
 		randtree.NoParentCycleProperty(),
 		randtree.DegreeBoundProperty(),

@@ -1,0 +1,329 @@
+// Command scenario drives the declarative scenario lab: run executes a
+// JSON spec against any of the app harnesses with live property probing,
+// fuzz searches seeded random fault schedules for safety violations,
+// shrink delta-debugs a violating spec down to a near-minimal replayable
+// repro, and replay re-executes a repro spec twice to confirm it
+// reproduces the same violation classes and world digest deterministically.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"sort"
+	"time"
+
+	"crystalchoice/internal/cliutil"
+	"crystalchoice/internal/scenario"
+)
+
+const usage = `usage: scenario <command> [flags]
+
+commands:
+  run     execute a scenario spec and report observed violation classes
+  fuzz    search seeded random fault schedules for violations
+  shrink  minimize a violating spec to a near-minimal replayable repro
+  replay  re-execute a repro spec and verify it reproduces deterministically
+
+run 'scenario <command> -h' for a command's flags`
+
+// main delegates to dispatch so exit codes stay in one place: 0 clean,
+// 1 violation found (or replay mismatch), 2 usage or spec error.
+func main() { os.Exit(dispatch(os.Args[1:])) }
+
+func dispatch(args []string) int {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, usage)
+		return 2
+	}
+	switch args[0] {
+	case "run":
+		return cmdRun(args[1:])
+	case "fuzz":
+		return cmdFuzz(args[1:])
+	case "shrink":
+		return cmdShrink(args[1:])
+	case "replay":
+		return cmdReplay(args[1:])
+	case "help", "-h", "-help", "--help":
+		fmt.Println(usage)
+		return 0
+	default:
+		fmt.Fprintf(os.Stderr, "scenario: unknown command %q\n%s\n", args[0], usage)
+		return 2
+	}
+}
+
+// fail prints the one-line error plus the command's usage and returns the
+// usage exit code.
+func fail(fs *flag.FlagSet, err error) int {
+	fmt.Fprintf(os.Stderr, "scenario %s: %v\n", fs.Name(), err)
+	fs.Usage()
+	return 2
+}
+
+// options converts a -deadline budget into run options.
+func options(budget time.Duration) scenario.Options {
+	if budget <= 0 {
+		return scenario.Options{}
+	}
+	return scenario.Options{Deadline: time.Now().Add(budget)}
+}
+
+func report(r *scenario.Result) {
+	fmt.Printf("%s n=%d seed=%d: %d fault events over %v, classes %s (%v wall)\n",
+		r.Spec.App, r.Spec.N, r.Spec.Seed, r.Events, r.Spec.Duration, r.ClassString(), r.Elapsed.Round(time.Millisecond))
+	for _, v := range r.Violations {
+		fmt.Printf("  %s first violated at %v\n", v.Property, v.At)
+	}
+	if r.PanicCount > 0 {
+		fmt.Printf("  %d handler panic(s) contained\n", r.PanicCount)
+	}
+	if r.Truncated {
+		fmt.Println("  truncated by wall-clock deadline: classes are a lower bound")
+	}
+	fmt.Printf("  final world digest %016x\n", r.Digest)
+}
+
+func cmdRun(args []string) int {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	specPath := fs.String("spec", "", "scenario spec JSON file (required)")
+	deadline := fs.Duration("deadline", 0, "wall-clock budget; past it the run returns truncated (0 = none)")
+	repro := fs.String("repro", "", "write the normalized spec (replayable repro form) to this path")
+	fs.Parse(args)
+	if *specPath == "" {
+		return fail(fs, fmt.Errorf("-spec is required"))
+	}
+	s, err := scenario.Load(*specPath)
+	if err != nil {
+		return fail(fs, err)
+	}
+	r, err := scenario.Run(s, options(*deadline))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenario run: %v\n", err)
+		return 2
+	}
+	report(r)
+	if *repro != "" {
+		if err := saveNormalized(s, *repro); err != nil {
+			fmt.Fprintf(os.Stderr, "scenario run: %v\n", err)
+			return 2
+		}
+		fmt.Printf("wrote repro spec to %s\n", *repro)
+	}
+	if len(r.Classes) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func cmdFuzz(args []string) int {
+	fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
+	specPath := fs.String("spec", "", "template spec JSON file (fault schedule is replaced per seed)")
+	app := fs.String("app", "randtree", "app when no -spec template is given: randtree | gossip | dissem | paxos | tracker")
+	n := fs.Int("n", 15, "topology size when no -spec template is given")
+	duration := fs.Duration("duration", 8*time.Second, "virtual run length when no -spec template is given")
+	seed := fs.Int64("seed", 1, "first schedule seed")
+	runs := fs.Int("runs", 20, "number of seeded schedules to run (seed, seed+1, ...)")
+	maxFaults := fs.Int("max-faults", 0, "fault budget per generated schedule (0 = default)")
+	quorum := fs.Bool("preserve-quorum", false, "only generate schedules that keep a live majority")
+	deadline := fs.Duration("deadline", 0, "wall-clock budget for the whole fuzz session (0 = none)")
+	repro := fs.String("repro", "", "write the first violating schedule to this path")
+	classesOut := fs.String("classes-out", "", "write the sorted union of observed classes as JSON to this path")
+	fs.Parse(args)
+	if err := cliutil.FirstErr(
+		cliutil.Positive("runs", *runs),
+		cliutil.Positive("n", *n),
+		cliutil.NonNegative("max-faults", *maxFaults),
+	); err != nil {
+		return fail(fs, err)
+	}
+
+	var template scenario.Spec
+	if *specPath != "" {
+		s, err := scenario.Load(*specPath)
+		if err != nil {
+			return fail(fs, err)
+		}
+		template = *s
+	} else {
+		template = scenario.Spec{App: *app, N: *n, Duration: scenario.Dur(*duration)}
+	}
+	template.MaxFaults = *maxFaults
+	template.PreserveQuorum = template.PreserveQuorum || *quorum
+
+	var stop time.Time
+	if *deadline > 0 {
+		stop = time.Now().Add(*deadline)
+	}
+	start := time.Now()
+	classes := map[string]bool{}
+	ran, violating, saved := 0, 0, false
+	for k := 0; k < *runs; k++ {
+		if !stop.IsZero() && time.Now().After(stop) {
+			fmt.Printf("deadline hit after %d/%d schedules\n", ran, *runs)
+			break
+		}
+		s := scenario.Generate(template, *seed+int64(k))
+		opt := scenario.Options{}
+		if !stop.IsZero() {
+			opt.Deadline = stop
+		}
+		r, err := scenario.Run(s, opt)
+		if err != nil {
+			// Generate only emits Validate-clean specs; a run error here is
+			// a bug worth surfacing, not skipping.
+			fmt.Fprintf(os.Stderr, "scenario fuzz: seed %d: %v\n", s.Seed, err)
+			return 2
+		}
+		ran++
+		fmt.Printf("seed %-6d %2d events  classes %-28s %v\n", s.Seed, r.Events, r.ClassString(), r.Elapsed.Round(time.Millisecond))
+		for _, c := range r.Classes {
+			classes[c] = true
+		}
+		if len(r.Classes) > 0 {
+			violating++
+			if *repro != "" && !saved {
+				if err := s.Save(*repro); err != nil {
+					fmt.Fprintf(os.Stderr, "scenario fuzz: %v\n", err)
+					return 2
+				}
+				fmt.Printf("wrote violating schedule (seed %d) to %s\n", s.Seed, *repro)
+				saved = true
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	all := sortedKeys(classes)
+	perMin := float64(ran) / elapsed.Minutes()
+	fmt.Printf("fuzz: %d schedules, %d violating, classes %v, %.0f schedules/min (%v wall)\n",
+		ran, violating, all, perMin, elapsed.Round(time.Millisecond))
+	if *classesOut != "" {
+		b, _ := json.MarshalIndent(all, "", "  ")
+		if err := os.WriteFile(*classesOut, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "scenario fuzz: %v\n", err)
+			return 2
+		}
+	}
+	if violating > 0 {
+		return 1
+	}
+	return 0
+}
+
+func cmdShrink(args []string) int {
+	fs := flag.NewFlagSet("shrink", flag.ExitOnError)
+	specPath := fs.String("spec", "", "violating spec JSON file (required)")
+	class := fs.String("class", "", "violation class to preserve (default: first class of an initial run)")
+	repro := fs.String("repro", "shrunk.json", "write the minimized replayable spec to this path")
+	deadline := fs.Duration("deadline", 0, "wall-clock budget across all oracle runs (0 = none)")
+	fs.Parse(args)
+	if *specPath == "" {
+		return fail(fs, fmt.Errorf("-spec is required"))
+	}
+	s, err := scenario.Load(*specPath)
+	if err != nil {
+		return fail(fs, err)
+	}
+	opt := options(*deadline)
+
+	target := *class
+	if target == "" {
+		r, err := scenario.Run(s, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenario shrink: %v\n", err)
+			return 2
+		}
+		if len(r.Classes) == 0 {
+			fmt.Fprintln(os.Stderr, "scenario shrink: spec violates nothing; nothing to preserve")
+			return 1
+		}
+		target = r.Classes[0]
+		fmt.Printf("no -class given; preserving %q\n", target)
+	}
+
+	norm := s.Clone()
+	if err := norm.Normalize(); err != nil {
+		fmt.Fprintf(os.Stderr, "scenario shrink: %v\n", err)
+		return 2
+	}
+	before := len(norm.Events)
+	oracleRuns := 0
+	min, err := scenario.Shrink(s, target, func(cand *scenario.Spec) (*scenario.Result, error) {
+		oracleRuns++
+		return scenario.Run(cand, opt)
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenario shrink: %v\n", err)
+		return 1
+	}
+	after := len(min.Events)
+	fmt.Printf("shrunk %d -> %d events (%.0f%%) preserving %q in %d oracle runs\n",
+		before, after, 100*float64(after)/float64(before), target, oracleRuns)
+	if err := min.Save(*repro); err != nil {
+		fmt.Fprintf(os.Stderr, "scenario shrink: %v\n", err)
+		return 2
+	}
+	fmt.Printf("wrote minimized repro to %s\n", *repro)
+	return 0
+}
+
+func cmdReplay(args []string) int {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	specPath := fs.String("spec", "", "repro spec JSON file (required)")
+	expect := fs.String("expect", "", "violation class the replay must reproduce (optional)")
+	deadline := fs.Duration("deadline", 0, "wall-clock budget per run (0 = none)")
+	fs.Parse(args)
+	if *specPath == "" {
+		return fail(fs, fmt.Errorf("-spec is required"))
+	}
+	s, err := scenario.Load(*specPath)
+	if err != nil {
+		return fail(fs, err)
+	}
+	// Two back-to-back runs: the repro claim is only honest if the spec
+	// plus its embedded seed reproduce the same classes and final digest.
+	r1, err := scenario.Run(s, options(*deadline))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenario replay: %v\n", err)
+		return 2
+	}
+	r2, err := scenario.Run(s, options(*deadline))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenario replay: %v\n", err)
+		return 2
+	}
+	report(r1)
+	if !reflect.DeepEqual(r1.Classes, r2.Classes) || r1.Digest != r2.Digest {
+		fmt.Fprintf(os.Stderr, "scenario replay: NONDETERMINISTIC: classes %s vs %s, digest %016x vs %016x\n",
+			r1.ClassString(), r2.ClassString(), r1.Digest, r2.Digest)
+		return 1
+	}
+	fmt.Println("replayed deterministically: second run matched classes and digest")
+	if *expect != "" && !r1.HasClass(*expect) {
+		fmt.Fprintf(os.Stderr, "scenario replay: expected class %q not reproduced (got %s)\n", *expect, r1.ClassString())
+		return 1
+	}
+	return 0
+}
+
+// saveNormalized writes the spec in its flattened repro form, so the file
+// the user replays lists every primitive fault event explicitly.
+func saveNormalized(s *scenario.Spec, path string) error {
+	cp := s.Clone()
+	if err := cp.Normalize(); err != nil {
+		return err
+	}
+	return cp.Save(path)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

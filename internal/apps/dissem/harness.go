@@ -114,6 +114,33 @@ type Result struct {
 	Completed, Peers              int
 }
 
+// Deploy populates cl with an n-peer swarm (node 0 the seed) and returns
+// the cold-restart service factory for scripted resets. Run and the
+// scenario lab (internal/scenario) share it.
+func Deploy(cl *core.Cluster, n, blocks, blockSize int) func(sm.NodeID) sm.Service {
+	var all []sm.NodeID
+	for i := 0; i < n; i++ {
+		all = append(all, sm.NodeID(i))
+	}
+	fresh := func(id sm.NodeID) sm.Service {
+		swarm := make([]sm.NodeID, 0, n-1)
+		for _, o := range all {
+			if o != id {
+				swarm = append(swarm, o)
+			}
+		}
+		return New(id, swarm, blocks, blockSize, id == 0)
+	}
+	for i := 0; i < n; i++ {
+		cl.AddNode(sm.NodeID(i), fresh(sm.NodeID(i)))
+	}
+	return fresh
+}
+
+// Timers names the dissem protocol timers, for marking pending when a
+// scenario materializes the deployment as an explorable world.
+func Timers() []string { return []string{timerTick} }
+
 // Run executes one download experiment.
 func Run(cfg ExperimentConfig) Result {
 	cfg.fill()
@@ -153,19 +180,7 @@ func Run(cfg ExperimentConfig) Result {
 	}
 
 	cl := core.NewCluster(eng, net, ccfg)
-	var all []sm.NodeID
-	for i := 0; i < cfg.N; i++ {
-		all = append(all, sm.NodeID(i))
-	}
-	for i := 0; i < cfg.N; i++ {
-		swarm := make([]sm.NodeID, 0, cfg.N-1)
-		for _, id := range all {
-			if id != sm.NodeID(i) {
-				swarm = append(swarm, id)
-			}
-		}
-		cl.AddNode(sm.NodeID(i), New(sm.NodeID(i), swarm, cfg.Blocks, cfg.BlockSize, i == 0))
-	}
+	Deploy(cl, cfg.N, cfg.Blocks, cfg.BlockSize)
 	cl.Start()
 
 	// Run until every leecher completes or the deadline passes.

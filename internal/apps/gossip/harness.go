@@ -101,6 +101,46 @@ type Result struct {
 	FastCovered           int
 }
 
+// Deploy populates cl with n fully-meshed gossip peers and returns the
+// cold-restart service factory for scripted resets. Run and the scenario
+// lab (internal/scenario) share it, so a scripted deployment is
+// node-for-node the experiment's.
+func Deploy(cl *core.Cluster, n int) func(sm.NodeID) sm.Service {
+	var view []sm.NodeID
+	for i := 0; i < n; i++ {
+		view = append(view, sm.NodeID(i))
+	}
+	fresh := func(id sm.NodeID) sm.Service {
+		v := make([]sm.NodeID, 0, n-1)
+		for _, o := range view {
+			if o != id {
+				v = append(v, o)
+			}
+		}
+		return New(id, v)
+	}
+	for i := 0; i < n; i++ {
+		cl.AddNode(sm.NodeID(i), fresh(sm.NodeID(i)))
+	}
+	return fresh
+}
+
+// Timers names the gossip protocol timers, for marking pending when a
+// scenario materializes the deployment as an explorable world.
+func Timers() []string { return []string{timerRound} }
+
+// PublishUpdate seeds update u at origin, as the experiment's staggered
+// publisher does. A crashed origin drops the publish.
+func PublishUpdate(cl *core.Cluster, origin sm.NodeID, u int) {
+	node := cl.Node(origin)
+	if node == nil || node.Down() {
+		return
+	}
+	p := node.Service().(*Peer)
+	p.Updates[u] = true
+	p.Received[u] = time.Duration(cl.Engine().Now())
+}
+
 // Run executes the experiment: publish cfg.Updates updates at staggered
 // times and measure how long each takes to reach all nodes.
 func Run(cfg ExperimentConfig) Result {
@@ -152,19 +192,7 @@ func Run(cfg ExperimentConfig) Result {
 	}
 
 	cl := core.NewCluster(eng, net, ccfg)
-	var view []sm.NodeID
-	for i := 0; i < cfg.N; i++ {
-		view = append(view, sm.NodeID(i))
-	}
-	for i := 0; i < cfg.N; i++ {
-		v := make([]sm.NodeID, 0, cfg.N-1)
-		for _, id := range view {
-			if id != sm.NodeID(i) {
-				v = append(v, id)
-			}
-		}
-		cl.AddNode(sm.NodeID(i), New(sm.NodeID(i), v))
-	}
+	Deploy(cl, cfg.N)
 	cl.Start()
 
 	type pub struct {
@@ -176,11 +204,7 @@ func Run(cfg ExperimentConfig) Result {
 		at := time.Duration(u) * 400 * time.Millisecond
 		origin := sm.NodeID(u % (cfg.N - cfg.SlowNodes))
 		u := u
-		eng.Schedule(at, func() {
-			node := cl.Node(origin)
-			node.Service().(*Peer).Updates[u] = true
-			node.Service().(*Peer).Received[u] = time.Duration(eng.Now())
-		})
+		eng.Schedule(at, func() { PublishUpdate(cl, origin, u) })
 		pubs = append(pubs, pub{update: u, at: at})
 	}
 

@@ -1,0 +1,90 @@
+// Package panicapp is a deliberately faulty test service: it behaves as a
+// trivial ping-forwarding node until it receives the trigger message (or
+// its trigger timer fires), at which point its handler panics. It exists
+// to pin the runtime's panic containment — a panicking handler must
+// become a recorded PanicRecord / PanicViolation, never a dead process —
+// in both the live runtime and the explorer.
+package panicapp
+
+import (
+	"time"
+
+	"crystalchoice/internal/sm"
+)
+
+// Message kinds and timer names understood by the service.
+const (
+	MsgPing    = "pa.ping"    // benign: forwarded to the next node
+	MsgTrigger = "pa.trigger" // handler panics on receipt
+	TimerBomb  = "pa.bomb"    // handler panics when it fires
+	TimerTick  = "pa.tick"    // benign periodic self-timer
+)
+
+// Service is the panicapp node state.
+type Service struct {
+	id    sm.NodeID
+	peers []sm.NodeID
+	// Pings counts benign messages handled, proving the node was alive
+	// and doing work before (and, on other nodes, after) the panic.
+	Pings int
+	// Fuse, when positive, arms TimerBomb to fire after this delay at
+	// Init time. Zero leaves the node benign until an MsgTrigger arrives.
+	Fuse time.Duration
+}
+
+// New returns a panicapp node that knows its peers. A node with a
+// positive fuse self-destructs on its own timer; otherwise it panics only
+// when sent MsgTrigger.
+func New(id sm.NodeID, peers []sm.NodeID, fuse time.Duration) *Service {
+	return &Service{id: id, peers: append([]sm.NodeID(nil), peers...), Fuse: fuse}
+}
+
+func (s *Service) Init(env sm.Env) {
+	env.SetTimer(TimerTick, 100*time.Millisecond)
+	if s.Fuse > 0 {
+		env.SetTimer(TimerBomb, s.Fuse)
+	}
+}
+
+func (s *Service) OnMessage(env sm.Env, m *sm.Msg) {
+	switch m.Kind {
+	case MsgTrigger:
+		panic("panicapp: triggered by message")
+	case MsgPing:
+		s.Pings++
+	}
+}
+
+func (s *Service) OnTimer(env sm.Env, name string) {
+	switch name {
+	case TimerBomb:
+		panic("panicapp: fuse burned down")
+	case TimerTick:
+		// Keep a little benign traffic flowing so the explorer has
+		// message actions to branch on.
+		for _, p := range s.peers {
+			if p != s.id {
+				env.Send(p, MsgPing, nil, 16)
+			}
+		}
+		env.SetTimer(TimerTick, 100*time.Millisecond)
+	}
+}
+
+func (s *Service) Clone() sm.Service {
+	cp := *s
+	cp.peers = append([]sm.NodeID(nil), s.peers...)
+	return &cp
+}
+
+func (s *Service) Digest() uint64 {
+	h := sm.NewHasher()
+	h.WriteString("panicapp")
+	h.WriteNode(s.id)
+	h.WriteInt(int64(s.Pings))
+	h.WriteInt(int64(s.Fuse))
+	return h.Sum()
+}
+
+// Name labels the protocol in traces.
+func (s *Service) Name() string { return "panicapp" }

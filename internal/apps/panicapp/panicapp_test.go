@@ -1,0 +1,128 @@
+package panicapp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"crystalchoice/internal/core"
+	"crystalchoice/internal/explore"
+	"crystalchoice/internal/netmodel"
+	"crystalchoice/internal/sim"
+	"crystalchoice/internal/sm"
+	"crystalchoice/internal/transport"
+)
+
+func rig(cfg core.Config, fuse map[sm.NodeID]time.Duration) (*sim.Engine, *core.Cluster) {
+	eng := sim.NewEngine(11)
+	net := transport.New(eng, netmodel.Uniform(4, time.Millisecond, 0, 0))
+	cl := core.NewCluster(eng, net, cfg)
+	peers := []sm.NodeID{0, 1, 2, 3}
+	for _, id := range peers {
+		cl.AddNode(id, New(id, peers, fuse[id]))
+	}
+	cl.Start()
+	return eng, cl
+}
+
+// TestLiveContainment pins Config.ContainPanics: a handler panic becomes a
+// PanicRecord plus a crash of the offending node, and the rest of the
+// cluster keeps running.
+func TestLiveContainment(t *testing.T) {
+	eng, cl := rig(core.Config{ContainPanics: true},
+		map[sm.NodeID]time.Duration{1: 500 * time.Millisecond})
+	eng.RunFor(2 * time.Second)
+
+	recs := cl.Panics()
+	if len(recs) != 1 {
+		t.Fatalf("want 1 contained panic, got %d: %v", len(recs), recs)
+	}
+	r := recs[0]
+	if r.Node != 1 || r.Event != "t:"+TimerBomb {
+		t.Fatalf("wrong panic attribution: %+v", r)
+	}
+	if r.At != 500*time.Millisecond {
+		t.Fatalf("panic at %v, want 500ms", r.At)
+	}
+	if !strings.Contains(r.Value.(string), "fuse") {
+		t.Fatalf("panic value not preserved: %v", r.Value)
+	}
+	if !cl.Node(1).Down() {
+		t.Fatal("panicking node should be crashed for containment")
+	}
+	// The survivors kept exchanging pings long after the panic: with
+	// three live nodes ticking every 100ms for 2s, each sees well over
+	// the handful it had at t=500ms.
+	for _, id := range []sm.NodeID{0, 2, 3} {
+		if got := cl.Node(id).Service().(*Service).Pings; got < 20 {
+			t.Fatalf("node %d stalled after contained panic: %d pings", id, got)
+		}
+	}
+}
+
+// TestLivePanicFatalByDefault pins the zero-value behavior: without
+// ContainPanics a handler panic unwinds out of the engine, so bugs in
+// existing tests still fail loudly.
+func TestLivePanicFatalByDefault(t *testing.T) {
+	eng, _ := rig(core.Config{}, map[sm.NodeID]time.Duration{1: 500 * time.Millisecond})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic should have propagated without ContainPanics")
+		}
+	}()
+	eng.RunFor(2 * time.Second)
+}
+
+// TestExplorerContainment pins Explorer.ContainPanics (on by default via
+// NewExplorer): a handler that panics inside a lookahead world is recorded
+// as a PanicProperty violation with a reconstructed trace, and exploration
+// of the remaining branches continues.
+func TestExplorerContainment(t *testing.T) {
+	eng, cl := rig(core.Config{}, nil)
+	eng.RunFor(time.Second)
+	w := cl.MaterializeWorld(explore.FirstPolicy, 7, []string{TimerTick})
+	w.InjectMessage(&sm.Msg{Src: 0, Dst: 1, Kind: MsgTrigger, Size: 1})
+
+	x := explore.NewExplorer(3)
+	rep := x.Explore(w)
+	if rep.Panics == 0 {
+		t.Fatal("explorer swallowed the panic without recording it")
+	}
+	var hit *explore.Violation
+	for i := range rep.Violations {
+		if rep.Violations[i].Property == explore.PanicProperty {
+			hit = &rep.Violations[i]
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no %s violation in %d violations", explore.PanicProperty, len(rep.Violations))
+	}
+	last := hit.Trace[len(hit.Trace)-1]
+	if !strings.Contains(last, "panic:") || !strings.Contains(last, "triggered") {
+		t.Fatalf("trace does not end in the panic record: %q", last)
+	}
+	// Containment means the rest of the tree was still explored: far more
+	// states than the panicking branch alone.
+	if rep.StatesExplored < 10 {
+		t.Fatalf("exploration died with the panic: %d states", rep.StatesExplored)
+	}
+}
+
+// TestExplorerPanicFatalWhenDisabled pins that a zero-value Explorer keeps
+// panics fatal, preserving fail-loud behavior for engine bugs.
+func TestExplorerPanicFatalWhenDisabled(t *testing.T) {
+	eng, cl := rig(core.Config{}, nil)
+	eng.RunFor(time.Second)
+	w := cl.MaterializeWorld(explore.FirstPolicy, 7, []string{TimerTick})
+	w.InjectMessage(&sm.Msg{Src: 0, Dst: 1, Kind: MsgTrigger, Size: 1})
+
+	x := explore.NewExplorer(3)
+	x.ContainPanics = false
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic should have propagated with ContainPanics off")
+		}
+	}()
+	x.Explore(w)
+}

@@ -152,6 +152,62 @@ func LatencyObjective(plane *iplane.Plane, sites int) func(n *core.Node) explore
 	}
 }
 
+// Deploy populates cl with one replica per site and returns the
+// cold-restart service factory for scripted resets. Run and the scenario
+// lab (internal/scenario) share it.
+func Deploy(cl *core.Cluster, sites int, workDelay time.Duration) func(sm.NodeID) sm.Service {
+	fresh := func(id sm.NodeID) sm.Service {
+		rep := New(id, sites)
+		rep.WorkDelay = workDelay
+		return rep
+	}
+	for i := 0; i < sites; i++ {
+		cl.AddNode(sm.NodeID(i), fresh(sm.NodeID(i)))
+	}
+	return fresh
+}
+
+// Timers returns nil: paxos timers are per-instance and dynamically named,
+// so scenario worlds carry no static pending set.
+func Timers() []string { return nil }
+
+// SubmitCmd injects command c at origin, as the experiment's staggered
+// submitter does. A crashed origin drops the submission.
+func SubmitCmd(cl *core.Cluster, origin sm.NodeID, c int) {
+	n := cl.Node(origin)
+	if n == nil || n.Down() {
+		return
+	}
+	cmd := Cmd{ID: c, Origin: origin, SubmitAt: time.Duration(cl.Engine().Now())}
+	n.Inject(KindSubmit, Submit{Cmd: cmd}, 48)
+}
+
+// AgreementProperty asserts Paxos safety: no two replicas have decided
+// different commands for the same consensus instance. Crashed replicas
+// count — a decision is permanent, and a conflicting decided value on a
+// down node is still a violation waiting to be observed.
+func AgreementProperty() explore.Property {
+	return explore.Property{
+		Name: "px.agreement",
+		Check: func(w *explore.World) bool {
+			decided := make(map[int]int) // instance -> command ID
+			for _, id := range w.Nodes() {
+				r, ok := w.Services[id].(*Replica)
+				if !ok {
+					continue
+				}
+				for inst, cmd := range r.Decided {
+					if prev, ok := decided[inst]; ok && prev != cmd.ID {
+						return false
+					}
+					decided[inst] = cmd.ID
+				}
+			}
+			return true
+		},
+	}
+}
+
 // Run executes one consensus experiment.
 func Run(cfg ExperimentConfig) Result {
 	cfg.fill()
@@ -189,11 +245,7 @@ func Run(cfg ExperimentConfig) Result {
 	}
 
 	cl := core.NewCluster(eng, net, ccfg)
-	for i := 0; i < cfg.Sites; i++ {
-		rep := New(sm.NodeID(i), cfg.Sites)
-		rep.WorkDelay = cfg.WorkDelay
-		cl.AddNode(sm.NodeID(i), rep)
-	}
+	Deploy(cl, cfg.Sites, cfg.WorkDelay)
 	cl.Start()
 
 	// Submit commands at rotating origins.
@@ -202,10 +254,7 @@ func Run(cfg ExperimentConfig) Result {
 		at := time.Duration(c) * cfg.Interarrival
 		origin := sm.NodeID(rng.Intn(cfg.Sites))
 		c := c
-		eng.Schedule(at, func() {
-			cmd := Cmd{ID: c, Origin: origin, SubmitAt: time.Duration(eng.Now())}
-			cl.Node(origin).Inject(KindSubmit, Submit{Cmd: cmd}, 48)
-		})
+		eng.Schedule(at, func() { SubmitCmd(cl, origin, c) })
 	}
 
 	eng.RunFor(time.Duration(cfg.Commands)*cfg.Interarrival + 30*time.Second)

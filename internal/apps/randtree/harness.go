@@ -72,7 +72,11 @@ type ExperimentConfig struct {
 	// Steering enables execution steering against Properties (E8).
 	Steering   bool
 	Properties []explore.Property
-	Trace      *trace.Log
+	// ContainPanics converts handler panics into recorded PanicRecords
+	// plus a node crash (see core.Config.ContainPanics); the scenario lab
+	// turns it on so one faulty interleaving cannot kill a fuzz campaign.
+	ContainPanics bool
+	Trace         *trace.Log
 }
 
 func (c *ExperimentConfig) fill() {
@@ -110,7 +114,7 @@ func NewExperiment(cfg ExperimentConfig) *Experiment {
 		LookaheadNoArena: cfg.LookaheadNoArena, LookaheadLockedSeen: cfg.LookaheadLockedSeen,
 		LookaheadStrategy: explore.MustParseStrategy(cfg.LookaheadStrategy),
 		LookaheadFaults:   cfg.LookaheadFaults, LookaheadPartitions: cfg.LookaheadPartitions,
-		LookaheadMaxFrontier: cfg.LookaheadMaxFrontier}
+		LookaheadMaxFrontier: cfg.LookaheadMaxFrontier, ContainPanics: cfg.ContainPanics}
 	// Fault lookaheads restart reset nodes from the as-deployed cold state
 	// when no fresh checkpoint is retained.
 	ccfg.InitialState = func(id sm.NodeID) sm.Service { return newService(cfg.Setup, id, 0, 0) }
@@ -140,12 +144,39 @@ func NewExperiment(cfg ExperimentConfig) *Experiment {
 	}
 
 	cl := core.NewCluster(eng, net, ccfg)
-	for i := 0; i < cfg.N; i++ {
-		cl.AddNode(sm.NodeID(i), newService(cfg.Setup, sm.NodeID(i), 0, time.Duration(i)*cfg.JoinSpacing))
-	}
+	Deploy(cl, cfg.Setup, cfg.N, cfg.JoinSpacing)
 	cl.Start()
 	return &Experiment{Cfg: cfg, Eng: eng, Net: net, Cluster: cl}
 }
+
+// Deploy populates cl with n tree nodes joining through the root at
+// staggered delays and returns the cold-restart service factory (an
+// immediate rejoin through the root). NewExperiment and the scenario lab
+// (internal/scenario) share it.
+func Deploy(cl *core.Cluster, setup Setup, n int, joinSpacing time.Duration) func(sm.NodeID) sm.Service {
+	for i := 0; i < n; i++ {
+		cl.AddNode(sm.NodeID(i), newService(setup, sm.NodeID(i), 0, time.Duration(i)*joinSpacing))
+	}
+	return func(id sm.NodeID) sm.Service { return newService(setup, id, 0, 0) }
+}
+
+// Timers names the tree protocol timers, for marking pending when a
+// scenario materializes the deployment as an explorable world.
+func Timers() []string { return []string{timerHeartbeat, timerHBCheck, timerSummarize} }
+
+// Properties returns the safety properties of the tree overlay — the
+// paper's steering targets.
+func Properties() []explore.Property {
+	return []explore.Property{
+		NoParentCycleProperty(),
+		NoOrphanedChildProperty(),
+		DegreeBoundProperty(),
+	}
+}
+
+// FreshService returns node id's cold-restart state — what Deploy's
+// factory builds — for scripted resets on an existing deployment.
+func FreshService(setup Setup, id sm.NodeID) sm.Service { return newService(setup, id, 0, 0) }
 
 // newService constructs the right variant with a staggered join delay.
 func newService(setup Setup, id, root sm.NodeID, joinDelay time.Duration) sm.Service {

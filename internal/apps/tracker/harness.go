@@ -94,6 +94,44 @@ func (r Result) CrossFraction() float64 {
 	return float64(r.CrossISPBytes) / float64(r.TotalBytes)
 }
 
+// Deploy populates cl with a tracker-mediated swarm: peers nodes of
+// dissem (node 0 the seed, discovering partners only through the tracker)
+// plus the tracker itself at NodeID(peers). It returns the cold-restart
+// service factory for scripted resets. Run and the scenario lab
+// (internal/scenario) share it.
+func Deploy(cl *core.Cluster, peers, blocks, blockSize, grantK int) func(sm.NodeID) sm.Service {
+	trackerID := sm.NodeID(peers)
+	fresh := func(id sm.NodeID) sm.Service {
+		if id == trackerID {
+			return New(trackerID)
+		}
+		p := dissem.New(id, nil, blocks, blockSize, id == 0)
+		p.RequestPeers = func(env sm.Env) {
+			env.Send(trackerID, KindGetPeers, GetPeers{K: grantK}, 16)
+		}
+		return p
+	}
+	for i := 0; i <= peers; i++ {
+		cl.AddNode(sm.NodeID(i), fresh(sm.NodeID(i)))
+	}
+	return fresh
+}
+
+// Timers names the protocol timers of the swarm's peers (the tracker
+// itself is purely reactive).
+func Timers() []string { return dissem.Timers() }
+
+// Enroll registers every live peer with the tracker, as Run does at start
+// and as a scenario's workload does after node churn.
+func Enroll(cl *core.Cluster, peers int) {
+	trackerID := sm.NodeID(peers)
+	for i := 0; i < peers; i++ {
+		if n := cl.Node(sm.NodeID(i)); n != nil && !n.Down() {
+			n.SendApp(trackerID, KindRegister, Register{}, 16)
+		}
+	}
+}
+
 // Run executes the experiment: peers discover each other only through the
 // tracker, download a file seeded in ISP 0, and the harness accounts
 // cross-ISP traffic.
@@ -142,21 +180,10 @@ func Run(cfg ExperimentConfig) Result {
 	}
 
 	cl := core.NewCluster(eng, net, ccfg)
-	for i := 0; i < cfg.Peers; i++ {
-		id := sm.NodeID(i)
-		p := dissem.New(id, nil, cfg.Blocks, cfg.BlockSize, i == 0)
-		k := cfg.GrantK
-		p.RequestPeers = func(env sm.Env) {
-			env.Send(trackerID, KindGetPeers, GetPeers{K: k}, 16)
-		}
-		cl.AddNode(id, p)
-	}
-	cl.AddNode(trackerID, New(trackerID))
+	Deploy(cl, cfg.Peers, cfg.Blocks, cfg.BlockSize, cfg.GrantK)
 	cl.Start()
 	// Registration: every peer enrolls at start.
-	for i := 0; i < cfg.Peers; i++ {
-		cl.Node(sm.NodeID(i)).SendApp(trackerID, KindRegister, Register{}, 16)
-	}
+	Enroll(cl, cfg.Peers)
 
 	deadline := 10 * time.Minute
 	step := 500 * time.Millisecond

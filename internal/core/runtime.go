@@ -89,6 +89,12 @@ type Config struct {
 	// fresh-enough checkpoint is retained. Nil limits recovery to
 	// checkpointed (or pre-crash) state.
 	InitialState func(id NodeID) sm.Service
+	// ContainPanics converts a panicking service handler into a recorded
+	// PanicRecord plus a crash of the offending node — what a supervisor
+	// does to a wedged process — instead of unwinding through the engine
+	// and killing the whole run. Off by default so engine bugs in tests
+	// still fail loudly; the scenario runner turns it on.
+	ContainPanics bool
 	// EnvelopeOverhead is added to every message's modeled size.
 	EnvelopeOverhead int
 	// Trace receives structured log entries (nil = discard).
@@ -166,14 +172,29 @@ func (e *pendingEvent) injectInto(w *explore.World, self NodeID) {
 	}
 }
 
+// PanicRecord captures one handler panic contained by
+// Config.ContainPanics: which node, which event was being dispatched,
+// the recovered value, and the virtual time.
+type PanicRecord struct {
+	Node  NodeID
+	Event string // "m:<kind>" or "t:<name>"
+	Value any
+	At    time.Duration
+}
+
 // Cluster is a set of runtime nodes sharing one simulated deployment.
 type Cluster struct {
-	eng   *sim.Engine
-	net   *transport.Network
-	cfg   Config
-	nodes map[NodeID]*Node
-	order []NodeID
+	eng    *sim.Engine
+	net    *transport.Network
+	cfg    Config
+	nodes  map[NodeID]*Node
+	order  []NodeID
+	panics []PanicRecord
 }
+
+// Panics returns the handler panics contained so far (empty unless
+// Config.ContainPanics is set).
+func (c *Cluster) Panics() []PanicRecord { return c.panics }
 
 // NewCluster creates a cluster over the given engine and network.
 func NewCluster(eng *sim.Engine, net *transport.Network, cfg Config) *Cluster {
@@ -608,7 +629,7 @@ func (n *Node) dispatchMessage(msg *sm.Msg) {
 	} else {
 		n.preEventState = nil
 	}
-	n.svc.OnMessage(n.env(), msg)
+	n.runHandler(func() { n.svc.OnMessage(n.env(), msg) })
 	n.currentEvent = nil
 	n.preEventState = nil
 }
@@ -624,9 +645,36 @@ func (n *Node) dispatchTimer(name string) {
 	} else {
 		n.preEventState = nil
 	}
-	n.svc.OnTimer(n.env(), name)
+	n.runHandler(func() { n.svc.OnTimer(n.env(), name) })
 	n.currentEvent = nil
 	n.preEventState = nil
+}
+
+// runHandler executes one service handler. Under Config.ContainPanics a
+// panic is recorded on the cluster and the node crashed — containing the
+// blast radius to the faulty node, like a supervisor restarting a wedged
+// process — instead of unwinding through the engine. The crash happens
+// after the dispatch bookkeeping is cleared so a later Restart starts
+// from a consistent node.
+func (n *Node) runHandler(fn func()) {
+	if !n.cluster.cfg.ContainPanics {
+		fn()
+		return
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			n.cluster.panics = append(n.cluster.panics, PanicRecord{
+				Node:  n.id,
+				Event: n.currentEvent.label(),
+				Value: p,
+				At:    time.Duration(n.cluster.eng.Now()),
+			})
+			n.currentEvent = nil
+			n.preEventState = nil
+			n.cluster.Crash(n.id)
+		}
+	}()
+	fn()
 }
 
 func (n *Node) onConnDown(peer NodeID) {

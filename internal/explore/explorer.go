@@ -48,6 +48,13 @@ func (v Violation) String() string {
 	return fmt.Sprintf("violation of %s at depth %d via %v", v.Property, v.Depth, v.Trace)
 }
 
+// PanicProperty names the synthetic property a contained worker panic is
+// recorded under: a panicking service handler or invariant inside an
+// exploration branch becomes a PanicViolation (trace reconstructed up to
+// the panicking step, panic value appended) instead of killing the
+// process. See Explorer.ContainPanics.
+const PanicProperty = "explore.panic"
+
 // Report summarizes one exploration.
 type Report struct {
 	StatesExplored int
@@ -55,7 +62,10 @@ type Report struct {
 	// FaultsInjected counts the fault transitions (crash, recover, reset,
 	// partition, heal) executed across all explored branches.
 	FaultsInjected int
-	Violations     []Violation
+	// Panics counts worker panics contained into PanicProperty violations
+	// (each abandons the branch it struck).
+	Panics     int
+	Violations []Violation
 	// MinScore, MeanScore and MaxScore aggregate the objective over every
 	// explored state (not just leaves), so transient bad states count.
 	MinScore, MeanScore, MaxScore float64
@@ -177,6 +187,20 @@ type Explorer struct {
 	// multi-million-state budgets safe on small machines: BFS frontier
 	// width, not the state budget, is what exhausts memory.
 	MaxFrontier int
+	// Deadline, when non-zero, is a wall-clock bound on the run: once it
+	// passes, workers stop expanding and the report comes back partial and
+	// marked Truncated, exactly as when the state budget is spent. Long
+	// fuzz campaigns use it so one pathological schedule cannot overrun
+	// the campaign's time box. The clock is polled every few hundred
+	// states, so overshoot is bounded by a handful of handler executions.
+	Deadline time.Time
+	// ContainPanics converts a panic inside a worker's expansion — a
+	// panicking service handler or a panicking property — into a recorded
+	// PanicProperty violation carrying the branch's reconstructed trace,
+	// abandoning that branch but letting the run (and the process) finish.
+	// NewExplorer enables it; zero-value Explorers keep panics fatal so
+	// engine bugs in tests fail loudly.
+	ContainPanics bool
 
 	// forceScheduler routes even Workers<=1 runs through the parallel
 	// scheduler machinery (tests assert it matches the sequential path).
@@ -221,7 +245,7 @@ func (x *Explorer) visitKey(w *World, faults int) uint64 {
 // NewExplorer returns an explorer with the given chain depth and a state
 // budget proportionate to it.
 func NewExplorer(depth int) *Explorer {
-	return &Explorer{Depth: depth, MaxStates: 4096, ExploreTimers: true}
+	return &Explorer{Depth: depth, MaxStates: 4096, ExploreTimers: true, ContainPanics: true}
 }
 
 // enabled enumerates w's schedulable actions into the world's reusable
@@ -327,7 +351,7 @@ func (x *Explorer) Explore(w *World) *Report {
 	if budget <= 0 {
 		budget = 4096
 	}
-	ctx := &Ctx{x: x, root: w, budget: budget, names: &nameTable{}}
+	ctx := &Ctx{x: x, root: w, budget: budget, names: &nameTable{}, deadline: x.Deadline}
 	useArena := !x.NoArena && !x.EagerTraces
 	if useArena {
 		ctx.rootArena = &pathArena{}
@@ -359,7 +383,7 @@ func (x *Explorer) Explore(w *World) *Report {
 	}
 	// Freeze before forking so concurrent root forks stay read-only on w.
 	w.Freeze()
-	frontier := strat.Roots(x, ctx, w)
+	frontier, rootPanic := x.roots(ctx, strat, w)
 	if workers > len(frontier) && len(frontier) > 0 {
 		// More workers than frontier entries only helps strategies that
 		// grow the frontier; cap the pool for the chain strategy, whose
@@ -375,7 +399,11 @@ func (x *Explorer) Explore(w *World) *Report {
 			reports[i].arena = &pathArena{}
 		}
 	}
-	x.check(ctx, w, reports[0], branchTrace{}, 0) // score the root state too
+	if rootPanic != nil {
+		reports[0].Panics++
+		reports[0].addViolation(*rootPanic)
+	}
+	x.checkRoot(ctx, w, reports[0]) // score the root state too
 	if workers == 1 && !x.forceScheduler {
 		if bestFirst(strat) {
 			x.runSequential(ctx, strat, newHeapFrontier(frontier, ctx), reports[0])
@@ -634,6 +662,62 @@ func (w *World) consequences(msgs []*sm.Msg) []*sm.Msg {
 	}
 	w.conseqScratch = out
 	return out
+}
+
+// roots seeds the frontier, containing a strategy/handler panic into a
+// violation record when ContainPanics is set (the frontier then comes
+// back empty and the run reports the panic instead of dying).
+func (x *Explorer) roots(ctx *Ctx, strat Strategy, w *World) (units []Unit, panicV *Violation) {
+	if !x.ContainPanics {
+		return strat.Roots(x, ctx, w), nil
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			units = nil
+			panicV = &Violation{Property: PanicProperty, Trace: []string{fmt.Sprintf("panic: %v", p)}}
+		}
+	}()
+	return strat.Roots(x, ctx, w), nil
+}
+
+// checkRoot scores the start state, containing a panicking property into
+// a PanicProperty violation (deeper states are covered by the expansion
+// wrapper, but the root is checked outside any expansion).
+func (x *Explorer) checkRoot(ctx *Ctx, w *World, r *Report) {
+	if x.ContainPanics {
+		defer func() {
+			if p := recover(); p != nil {
+				r.Panics++
+				r.addViolation(Violation{Property: PanicProperty,
+					Trace: []string{fmt.Sprintf("panic: %v", p)}})
+			}
+		}()
+	}
+	x.check(ctx, w, r, branchTrace{}, 0)
+}
+
+// expand runs one strategy expansion for the scheduler, converting a
+// panic — a service handler or invariant blowing up inside the branch —
+// into a recorded PanicProperty violation whose trace is the branch's
+// reconstructed path plus the panic value. The branch (and whatever
+// worlds it held) is abandoned to the garbage collector; every other
+// branch, and the process, keeps running.
+func (x *Explorer) expand(ctx *Ctx, strat Strategy, u Unit, r *Report) (succ []Unit) {
+	if !x.ContainPanics {
+		return strat.Expand(x, ctx, u, r)
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			r.Panics++
+			r.addViolation(Violation{
+				Property: PanicProperty,
+				Trace:    append(x.materializeTrace(ctx, u.trace), fmt.Sprintf("panic: %v", p)),
+				Depth:    u.Depth,
+			})
+			succ = nil
+		}
+	}()
+	return strat.Expand(x, ctx, u, r)
 }
 
 // check scores one reached state into the worker's report shard and the

@@ -29,6 +29,12 @@ type Ctx struct {
 	rootArena *pathArena
 	// dropped counts frontier units discarded by the MaxFrontier cap.
 	dropped atomic.Int64
+	// deadline, when non-zero, wall-clock-bounds the run (Explorer.Deadline).
+	// polls rations the time.Now calls; expired latches the verdict so the
+	// clock is read at most once per poll window across all workers.
+	deadline time.Time
+	polls    atomic.Int64
+	expired  atomic.Bool
 }
 
 // release returns a dead world's shell and exclusively owned containers
@@ -78,8 +84,25 @@ func (c *Ctx) releaseSubtree(w *World, r *Report, preViolations int) {
 // (copy-on-write) but must never mutate it.
 func (c *Ctx) Root() *World { return c.root }
 
-// Exhausted reports whether the run's state budget is spent.
-func (c *Ctx) Exhausted() bool { return c.count.Load() >= int64(c.budget) }
+// Exhausted reports whether the run's state budget is spent or its
+// wall-clock deadline has passed. The deadline is polled once every 256
+// calls, so overshoot past it is bounded by a few hundred cheap checks.
+func (c *Ctx) Exhausted() bool {
+	if c.count.Load() >= int64(c.budget) {
+		return true
+	}
+	if c.deadline.IsZero() {
+		return false
+	}
+	if c.expired.Load() {
+		return true
+	}
+	if c.polls.Add(1)&255 == 0 && time.Now().After(c.deadline) {
+		c.expired.Store(true)
+		return true
+	}
+	return false
+}
 
 // Visit records the digest of a reached state, reporting true when it was
 // already recorded — the caller then prunes the duplicate subtree.
@@ -96,7 +119,7 @@ func (x *Explorer) runSequential(ctx *Ctx, strat Strategy, fr frontier, r *Repor
 			return
 		}
 		u, _ := fr.pop()
-		fr.pushAll(strat.Expand(x, ctx, u, r))
+		fr.pushAll(x.expand(ctx, strat, u, r))
 	}
 }
 
@@ -156,7 +179,7 @@ func (x *Explorer) runShared(ctx *Ctx, strat Strategy, fr frontier, reports []*R
 					ctx.release(u.World) // never expanded: recycle now
 					releaseTrace(r.arena, u.trace)
 				} else {
-					succ = strat.Expand(x, ctx, u, r)
+					succ = x.expand(ctx, strat, u, r)
 				}
 
 				mu.Lock()
@@ -292,7 +315,7 @@ func (x *Explorer) runStealing(ctx *Ctx, strat Strategy, units []Unit, reports [
 					ctx.release(u.World) // never expanded: recycle now
 					releaseTrace(r.arena, u.trace)
 				} else {
-					succ = strat.Expand(x, ctx, u, r)
+					succ = x.expand(ctx, strat, u, r)
 				}
 				// Publish successors before giving up this unit's pending
 				// slot, so the counter never reads zero while work exists.
@@ -308,6 +331,7 @@ func (x *Explorer) runStealing(ctx *Ctx, strat Strategy, units []Unit, reports [
 func (r *Report) merge(o *Report) {
 	r.StatesExplored += o.StatesExplored
 	r.FaultsInjected += o.FaultsInjected
+	r.Panics += o.Panics
 	if o.MaxDepth > r.MaxDepth {
 		r.MaxDepth = o.MaxDepth
 	}

@@ -106,6 +106,21 @@ func (s *Schedule) HealAt(at time.Duration) *Schedule {
 	return s
 }
 
+// HealGroupsAt schedules the partition between groups a and b to be
+// removed, leaving any other active partition in place. Flap schedules and
+// overlapping partition windows need this primitive: HealAt's heal-all
+// would erase concurrent cuts.
+func (s *Schedule) HealGroupsAt(at time.Duration, a, b []sm.NodeID) *Schedule {
+	a = append([]sm.NodeID(nil), a...)
+	b = append([]sm.NodeID(nil), b...)
+	s.events = append(s.events, Event{
+		At:    at,
+		Label: "heal-groups",
+		Apply: func(cl *core.Cluster) { cl.Network().HealGroups(a, b) },
+	})
+	return s
+}
+
 // Len returns the number of scheduled events.
 func (s *Schedule) Len() int { return len(s.events) }
 

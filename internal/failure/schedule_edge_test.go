@@ -1,0 +1,156 @@
+package failure
+
+import (
+	"testing"
+	"time"
+
+	"crystalchoice/internal/core"
+	"crystalchoice/internal/explore"
+	"crystalchoice/internal/sm"
+)
+
+// The edge-case suite: fault schedules that compose operations in the
+// awkward orders real scenarios (and the fuzzer) produce. Each case runs
+// the schedule on a live cluster, applies the equivalent explorer fault
+// transitions to a fault-free twin, and demands digest parity — the same
+// invariant the basic parity test pins, here under composition: resets
+// inside partitions, overlapping partition windows with group heals,
+// heals of pairs that were never cut, and warm recovery while a partition
+// is flapping.
+
+func edgeMaterialize(cl *core.Cluster) *explore.World {
+	return cl.MaterializeWorld(explore.FirstPolicy, 7, nil)
+}
+
+// healGroupsWorld mirrors transport.Network.HealGroups onto a world:
+// heal exactly the a x b pairs, leaving concurrent cuts alone.
+func healGroupsWorld(w *explore.World, a, b []sm.NodeID) {
+	for _, x := range a {
+		for _, y := range b {
+			w.HealPair(x, y)
+		}
+	}
+}
+
+func runEdgeCase(t *testing.T, sched func(s *Schedule), world func(w *explore.World)) *core.Cluster {
+	t.Helper()
+	// Path A: the schedule fires on the live cluster.
+	engA, clA := rig()
+	var s Schedule
+	sched(&s)
+	s.Install(clA)
+	engA.RunFor(2 * time.Second)
+	live := edgeMaterialize(clA).Digest()
+
+	// Path B: a fault-free twin runs the same history, then the explorer
+	// transitions reproduce the schedule's end state.
+	engB, clB := rig()
+	engB.RunFor(2 * time.Second)
+	w := edgeMaterialize(clB)
+	world(w)
+	if got := w.Digest(); got != live {
+		t.Fatalf("explorer fault digest %#x != live schedule digest %#x", got, live)
+	}
+	if got, want := w.Digest(), w.DigestFull(); got != want {
+		t.Fatalf("incremental %#x != full %#x after explorer faults", got, want)
+	}
+	return clA
+}
+
+// A reset of a partitioned node must not disturb the partition: the node
+// comes back cold but still cut off, exactly as a process restart behind a
+// broken link would.
+func TestResetWhilePartitioned(t *testing.T) {
+	fresh := func(id sm.NodeID) sm.Service { return &echo{id: id} }
+	cl := runEdgeCase(t,
+		func(s *Schedule) {
+			s.PartitionAt(time.Second, []sm.NodeID{2}, []sm.NodeID{0, 1, 3})
+			s.ResetAt(1500*time.Millisecond, fresh, 2)
+		},
+		func(w *explore.World) {
+			w.IsolateNode(2)
+			w.Crash(2)
+			w.Recover(2, &echo{id: 2})
+		})
+	if cl.Node(2).Down() {
+		t.Fatal("node 2 should be back up after the reset")
+	}
+	if got := len(cl.Network().Partitions()); got != 3 {
+		t.Fatalf("reset disturbed the partition: %d cut pairs, want 3", got)
+	}
+}
+
+// Overlapping partition windows: two concurrent group cuts where a group
+// heal closes only the first window, leaving the second cut active. This
+// is the asymmetric-relation shape flap schedules compose into.
+func TestOverlappingPartitionWindows(t *testing.T) {
+	cl := runEdgeCase(t,
+		func(s *Schedule) {
+			s.PartitionAt(time.Second, []sm.NodeID{0}, []sm.NodeID{1, 2})
+			s.PartitionAt(1200*time.Millisecond, []sm.NodeID{1}, []sm.NodeID{3})
+			s.HealGroupsAt(1500*time.Millisecond, []sm.NodeID{0}, []sm.NodeID{1, 2})
+		},
+		func(w *explore.World) {
+			w.Partition([]sm.NodeID{0}, []sm.NodeID{1, 2})
+			w.Partition([]sm.NodeID{1}, []sm.NodeID{3})
+			healGroupsWorld(w, []sm.NodeID{0}, []sm.NodeID{1, 2})
+		})
+	parts := cl.Network().Partitions()
+	if len(parts) != 1 {
+		t.Fatalf("want only the 1|3 cut to survive the group heal, got %v", parts)
+	}
+	if p := parts[0]; p != [2]sm.NodeID{1, 3} {
+		t.Fatalf("surviving cut is %v, want [1 3]", p)
+	}
+}
+
+// Healing a pair that was never cut must be a no-op on both sides — the
+// schedule, the network, and the world all treat it as absence, not an
+// error, so shrunk schedules with orphaned heals stay replayable.
+func TestHealOfNeverCutPair(t *testing.T) {
+	cl := runEdgeCase(t,
+		func(s *Schedule) {
+			s.HealGroupsAt(time.Second, []sm.NodeID{0}, []sm.NodeID{1})
+			s.HealAt(1500 * time.Millisecond)
+		},
+		func(w *explore.World) {
+			healGroupsWorld(w, []sm.NodeID{0}, []sm.NodeID{1})
+			w.Heal()
+		})
+	if got := len(cl.Network().Partitions()); got != 0 {
+		t.Fatalf("heal of nothing created %d cut pairs", got)
+	}
+}
+
+// Warm recovery under an active flap: the node crashes during one cut
+// window and restarts with its pre-crash state while a later window of
+// the same flap is open. The end state — node up, warm, third cut active
+// — must be reachable by the explorer's transitions too.
+func TestRecoveryUnderActiveFlap(t *testing.T) {
+	a, b := []sm.NodeID{0, 1}, []sm.NodeID{2, 3}
+	cl := runEdgeCase(t,
+		func(s *Schedule) {
+			// Three cut windows of a 400ms flap: cut at 1s, 1.4s, 1.8s; the
+			// first two heal, the last is still open at the 2s observation.
+			for i := 0; i < 3; i++ {
+				cut := time.Second + time.Duration(i)*400*time.Millisecond
+				s.PartitionAt(cut, a, b)
+				if i < 2 {
+					s.HealGroupsAt(cut+200*time.Millisecond, a, b)
+				}
+			}
+			s.CrashAt(1100*time.Millisecond, 3)
+			s.RestartAt(1700*time.Millisecond, nil, 3)
+		},
+		func(w *explore.World) {
+			w.Crash(3)
+			w.Recover(3, nil) // warm: replays the retained pre-crash state
+			w.Partition(a, b)
+		})
+	if cl.Node(3).Down() {
+		t.Fatal("node 3 should have restarted under the flap")
+	}
+	if got := len(cl.Network().Partitions()); got != 4 {
+		t.Fatalf("final flap window should leave 4 cut pairs, got %d", got)
+	}
+}

@@ -1,0 +1,59 @@
+package scenario
+
+import (
+	"fmt"
+
+	"crystalchoice/internal/failure"
+	"crystalchoice/internal/sm"
+)
+
+// Compile lowers the spec's fault schedule — explicit events plus
+// expanded flaps and churn — onto a failure.Schedule. fresh supplies the
+// per-node cold-restart state (the app Deploy's factory); warm restarts
+// and resets pass nil through to the runtime, keeping pre-crash state.
+// Because the output is the same failure.Schedule the hand-written
+// experiments use, a scripted fault is byte-for-byte the fault a live run
+// or an explorer lookahead would see (see internal/failure's parity
+// tests).
+func (s *Spec) Compile(fresh func(sm.NodeID) sm.Service) (*failure.Schedule, error) {
+	events, err := s.expand()
+	if err != nil {
+		return nil, err
+	}
+	var sched failure.Schedule
+	for i, ev := range events {
+		at := ev.At.D()
+		var cold func(sm.NodeID) sm.Service
+		if ev.Cold {
+			if fresh == nil {
+				return nil, fmt.Errorf("scenario: event %d (%s) wants a cold restart but the app supplies no fresh-service factory", i, ev.Op)
+			}
+			cold = fresh
+		}
+		switch ev.Op {
+		case OpCrash:
+			sched.CrashAt(at, nodeIDs(ev.Nodes)...)
+		case OpRestart:
+			sched.RestartAt(at, cold, nodeIDs(ev.Nodes)...)
+		case OpReset:
+			sched.ResetAt(at, cold, nodeIDs(ev.Nodes)...)
+		case OpPartition:
+			sched.PartitionAt(at, nodeIDs(ev.A), nodeIDs(ev.B))
+		case OpHeal:
+			sched.HealGroupsAt(at, nodeIDs(ev.A), nodeIDs(ev.B))
+		case OpHealAll:
+			sched.HealAt(at)
+		default:
+			return nil, fmt.Errorf("scenario: event %d: unknown op %q", i, ev.Op)
+		}
+	}
+	return &sched, nil
+}
+
+func nodeIDs(in []int) []sm.NodeID {
+	out := make([]sm.NodeID, len(in))
+	for i, v := range in {
+		out[i] = sm.NodeID(v)
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package scenario
+
+import (
+	"math/rand"
+	"time"
+)
+
+// DefaultFaultBudget bounds generated schedules when the template sets no
+// max_faults of its own.
+const DefaultFaultBudget = 12
+
+// Generate derives a random valid spec from the template: same app,
+// topology, duration, workload, and budgets, with a fresh randomized
+// fault schedule. The result is deterministic given (template, seed), and
+// carries seed as its own — saving the returned spec is a complete,
+// replayable repro. Schedules draw from the full fault vocabulary (cold
+// and warm resets, crash/restart windows, overlapping group partitions,
+// flaps) and are rejection-sampled against Validate, so fault budgets and
+// the quorum-safety knob hold by construction.
+func Generate(template Spec, seed int64) *Spec {
+	rng := rand.New(rand.NewSource(seed))
+	for attempt := 0; attempt < 64; attempt++ {
+		s := template.Clone()
+		s.fill()
+		s.Seed = seed
+		s.Events, s.Flaps, s.Churn = nil, nil, nil
+		budget := s.MaxFaults
+		if budget == 0 {
+			budget = DefaultFaultBudget
+		}
+		dur := s.Duration.D()
+		// Faults land after the app's warm-up third and before the final
+		// tenth, leaving time for consequences to surface and be probed.
+		lo, hi := dur/3, dur*9/10
+		at := func() Dur { return Dur(lo + time.Duration(rng.Int63n(int64(hi-lo)))) }
+		want := 1 + rng.Intn(budget)
+		for ev := 0; ev < want; {
+			switch rng.Intn(8) {
+			case 0, 1, 2, 3:
+				// Resets dominate: the reset of a node that holds protocol
+				// state (a parent with children, a replica with promises)
+				// is the paper's signature fault class. Cold twice as
+				// often as warm.
+				s.Events = append(s.Events, Event{
+					At: at(), Op: OpReset,
+					Nodes: []int{rng.Intn(s.N)},
+					Cold:  rng.Intn(3) != 0,
+				})
+				ev++
+			case 4, 5:
+				// A crash window with a later restart.
+				cut := at()
+				back := cut + Dur(rng.Int63n(int64(dur/5)+1))
+				if back > s.Duration {
+					back = s.Duration
+				}
+				id := rng.Intn(s.N)
+				s.Events = append(s.Events,
+					Event{At: cut, Op: OpCrash, Nodes: []int{id}},
+					Event{At: back, Op: OpRestart, Nodes: []int{id}, Cold: rng.Intn(2) == 0})
+				ev += 2
+			case 6:
+				// A group partition window; one in four cuts is left open,
+				// and concurrent windows overlap into asymmetric relations.
+				a, b := splitGroups(rng, s.N)
+				cut := at()
+				s.Events = append(s.Events, Event{At: cut, Op: OpPartition, A: a, B: b})
+				ev++
+				if rng.Intn(4) != 0 {
+					heal := cut + Dur(rng.Int63n(int64(dur/4)+1))
+					if heal > s.Duration {
+						heal = s.Duration
+					}
+					s.Events = append(s.Events, Event{At: heal, Op: OpHeal, A: a, B: b})
+					ev++
+				}
+			default:
+				// A short flap: 2-4 cut/heal cycles.
+				a, b := splitGroups(rng, s.N)
+				count := 2 + rng.Intn(3)
+				s.Flaps = append(s.Flaps, Flap{
+					A: a, B: b,
+					Start:  at(),
+					Period: Dur(200*time.Millisecond) + Dur(rng.Int63n(int64(800*time.Millisecond))),
+					Count:  count,
+				})
+				ev += 2 * count
+			}
+		}
+		if s.Validate() == nil {
+			return s
+		}
+	}
+	// Rejection sampling starved (tiny N with a strict quorum knob can do
+	// that): fall back to the one schedule that is always valid — a single
+	// cold reset of a non-root node mid-run.
+	s := template.Clone()
+	s.fill()
+	s.Seed = seed
+	s.Flaps, s.Churn = nil, nil
+	s.Events = []Event{{At: s.Duration / 2, Op: OpReset, Nodes: []int{1 + rng.Intn(s.N-1)}, Cold: true}}
+	return s
+}
+
+// splitGroups draws two disjoint nonempty node groups — deliberately not
+// always a full bisection, so cuts compose into asymmetric partition
+// relations.
+func splitGroups(rng *rand.Rand, n int) (a, b []int) {
+	perm := rng.Perm(n)
+	ka := 1 + rng.Intn(n-1)
+	kb := 1 + rng.Intn(n-ka)
+	return append([]int(nil), perm[:ka]...), append([]int(nil), perm[ka:ka+kb]...)
+}

@@ -1,0 +1,72 @@
+package scenario
+
+import "fmt"
+
+// Shrink minimizes a violating spec's fault schedule with delta
+// debugging: the spec is first normalized (flaps and churn expanded into
+// their primitive events), then ddmin repeatedly deletes chunks of the
+// event list, keeping any deletion after which run still reports the
+// target violation class. Candidates that fail Validate — e.g. a restart
+// orphaned by deleting its crash — are skipped rather than run, so the
+// minimized schedule is always a well-formed spec. The result is a
+// near-minimal (1-minimal at convergence) replayable repro.
+//
+// run is the oracle, normally func(s *Spec) (*Result, error) { return
+// Run(s, opts) }; it is injected so tests can count invocations and the
+// CLI can thread deadlines through.
+func Shrink(spec *Spec, target string, run func(*Spec) (*Result, error)) (*Spec, error) {
+	cur := spec.Clone()
+	cur.fill()
+	if err := cur.Normalize(); err != nil {
+		return nil, err
+	}
+	reproduces := func(s *Spec) bool {
+		if s.Validate() != nil {
+			return false
+		}
+		r, err := run(s)
+		return err == nil && r.HasClass(target)
+	}
+	if !reproduces(cur) {
+		return nil, fmt.Errorf("scenario: spec does not reproduce class %q", target)
+	}
+	// ddmin over the event list: granularity n starts at 2 and doubles
+	// when no chunk can be removed, until chunks are single events.
+	n := 2
+	for len(cur.Events) >= 2 {
+		chunk := (len(cur.Events) + n - 1) / n
+		removed := false
+		for start := 0; start < len(cur.Events); start += chunk {
+			end := start + chunk
+			if end > len(cur.Events) {
+				end = len(cur.Events)
+			}
+			cand := cur.Clone()
+			cand.Events = append(cand.Events[:start], cand.Events[end:]...)
+			if len(cand.Events) == 0 || !reproduces(cand) {
+				continue
+			}
+			cur = cand
+			removed = true
+			// Removing a chunk shrinks the list; re-derive granularity so
+			// chunks never collapse below one event.
+			if n > len(cur.Events) {
+				n = len(cur.Events)
+			}
+			if n < 2 {
+				n = 2
+			}
+			break
+		}
+		if !removed {
+			if n >= len(cur.Events) {
+				break // single-event granularity exhausted: 1-minimal
+			}
+			n *= 2
+			if n > len(cur.Events) {
+				n = len(cur.Events)
+			}
+		}
+	}
+	return cur, nil
+}

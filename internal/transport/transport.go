@@ -193,6 +193,19 @@ func (n *Network) Partition(a, b []NodeID) {
 // Heal removes all partitions.
 func (n *Network) Heal() { n.partitioned = make(map[pairKey]bool) }
 
+// HealGroups removes the partition between every node in a and every node
+// in b, in both directions, leaving any other active partition in place.
+// This is the primitive flapping and overlapping partition schedules need:
+// Heal's heal-all semantics would erase concurrent cuts.
+func (n *Network) HealGroups(a, b []NodeID) {
+	for _, x := range a {
+		for _, y := range b {
+			delete(n.partitioned, pairKey{x, y})
+			delete(n.partitioned, pairKey{y, x})
+		}
+	}
+}
+
 // Partitions returns the currently partitioned node pairs, unordered and
 // deduplicated (Partition cuts both directions, so each cut appears once,
 // normalized low-high). Lookahead world builders use it to mirror the live
