@@ -3,7 +3,7 @@
 N ?= 0
 BENCHTIME ?= 1s
 
-.PHONY: test race bench bench-alloc bench-json bench-diff profile vet
+.PHONY: test race bench bench-alloc bench-json bench-diff bench-load profile vet
 
 vet:
 	go vet ./...
@@ -46,3 +46,11 @@ bench-json:
 bench-diff:
 	go run ./cmd/benchjson -n ci -benchtime $(BENCHTIME) -out BENCH_ci.json
 	-go run ./cmd/benchjson -diff -old "$$(ls BENCH_[0-9]*.json | sort -V | tail -1)" -new BENCH_ci.json
+
+# bench-load is the live-traffic smoke: a short fixed-seed loadgen matrix
+# (steering {off,on} x resolver {random,predictive}) against the paxos
+# harness, leaving loadgen_smoke.json behind as the per-run latency
+# artifact (steering/resolution p50/p99, cache hit rate, dropped windows).
+bench-load:
+	go run ./cmd/loadgen -app paxos -n 5 -seed 1 -rps 25 -warmup 500ms \
+		-duration 2s -slot 1ms -matrix -json loadgen_smoke.json

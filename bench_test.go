@@ -20,7 +20,9 @@ import (
 	"crystalchoice/internal/apps/paxos"
 	"crystalchoice/internal/apps/randtree"
 	"crystalchoice/internal/apps/tracker"
+	"crystalchoice/internal/core"
 	"crystalchoice/internal/explore"
+	"crystalchoice/internal/loadbench"
 	"crystalchoice/internal/metrics"
 	"crystalchoice/internal/sm"
 )
@@ -524,5 +526,88 @@ func BenchmarkE9TrackerPeerChoice(b *testing.B) {
 			b.ReportMetric(frac/float64(b.N)*100, "cross-isp-%")
 			b.ReportMetric(float64(mean.Milliseconds())/float64(b.N), "mean-completion-ms")
 		})
+	}
+}
+
+// BenchmarkE18SteeringLatency measures the live-traffic cost of the
+// CrystalBall runtime: loadgen traffic at a fixed virtual rate, with the
+// wall-clock decision latency of execution steering and predictive choice
+// resolution read from the runtime's own histograms. Reported metrics:
+// steering/resolution p50/p99 (ns), lookahead cache hit rate, windows
+// dropped against a 1ms delivery-slot budget, and messages steered. One
+// benchmark op is one full run (warmup excluded from all numbers).
+func BenchmarkE18SteeringLatency(b *testing.B) {
+	base := loadbench.Config{
+		N: 5, Seed: 1, TargetRPS: 25,
+		Warmup: 500 * time.Millisecond, Duration: 2 * time.Second,
+		DecisionSlot: time.Millisecond,
+	}
+	cells := []struct {
+		name     string
+		app      string
+		steering bool
+		resolver string
+		rps      float64 // 0 = base rate
+	}{
+		{"paxos/random/steer-off", "paxos", false, "random", 0},
+		{"paxos/random/steer-on", "paxos", true, "random", 0},
+		{"paxos/predictive/steer-on", "paxos", true, "predictive", 0},
+		// Gossip publishes at a low rate so the swarm reaches repeatable
+		// quiescent states between updates — the regime where the decision
+		// cache can actually hit.
+		{"gossip/predictive/steer-on", "gossip", true, "predictive", 2},
+	}
+	for _, c := range cells {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			cfg := base
+			cfg.App, cfg.Steering, cfg.Resolver = c.app, c.steering, c.resolver
+			if c.rps > 0 {
+				cfg.TargetRPS = c.rps
+			}
+			var steer, resolve, op core.LatencyHist
+			var hits, misses, dropped, steered uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := loadbench.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mergeHist(&steer, &res.SteerLatency)
+				mergeHist(&resolve, &res.ResolveLatency)
+				mergeHist(&op, &res.OpLatency)
+				hits += res.CacheHits
+				misses += res.CacheMisses
+				dropped += res.DroppedWindows
+				steered += res.Steered
+			}
+			b.ReportMetric(float64(op.Percentile(99)), "op-p99-ns")
+			if steer.N() > 0 {
+				b.ReportMetric(float64(steer.Percentile(50)), "steer-p50-ns")
+				b.ReportMetric(float64(steer.Percentile(99)), "steer-p99-ns")
+			}
+			if resolve.N() > 0 {
+				b.ReportMetric(float64(resolve.Percentile(50)), "resolve-p50-ns")
+				b.ReportMetric(float64(resolve.Percentile(99)), "resolve-p99-ns")
+			}
+			if hits+misses > 0 {
+				b.ReportMetric(float64(hits)/float64(hits+misses)*100, "cache-hit-%")
+			}
+			b.ReportMetric(float64(dropped)/float64(b.N), "dropped-windows")
+			b.ReportMetric(float64(steered)/float64(b.N), "steered/run")
+		})
+	}
+}
+
+// mergeHist folds src into dst bucketwise, so E18 can aggregate the
+// fixed-array histograms across benchmark iterations.
+func mergeHist(dst, src *core.LatencyHist) {
+	for i := range dst.Buckets {
+		dst.Buckets[i] += src.Buckets[i]
+	}
+	dst.Count += src.Count
+	dst.SumNs += src.SumNs
+	if src.MaxNs > dst.MaxNs {
+		dst.MaxNs = src.MaxNs
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"os/exec"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -289,6 +290,19 @@ func diff(oldPath, newPath string) error {
 				note += fmt.Sprintf(" (states/sec %+.1f%%)", (newTput-oldTput)/oldTput*100)
 			}
 		}
+		// Latency metrics (the E18 "-ns" histogram quantiles) and
+		// dropped-windows are lower-is-better headlines in their own
+		// right: a >10% increase is a regression even if ns/op held.
+		for _, m := range latencyMetrics(or.Metrics, nr.Metrics) {
+			o, n := or.Metrics[m], nr.Metrics[m]
+			d := (n - o) / o * 100
+			if d > 10 && comparable {
+				note += fmt.Sprintf(" (%s %+.1f%% REGRESSION)", m, d)
+				regressions++
+			} else if d < -10 || d > 10 {
+				note += fmt.Sprintf(" (%s %+.1f%%)", m, d)
+			}
+		}
 		if d, ok := memDelta(or.AllocsPerOp, nr.AllocsPerOp); ok {
 			note += fmt.Sprintf(" (allocs/op %+.1f%%)", d)
 		}
@@ -305,6 +319,23 @@ func diff(oldPath, newPath string) error {
 		fmt.Printf("benchjson: %d ns/op regression(s) beyond 10%% — informational, see note column\n", regressions)
 	}
 	return nil
+}
+
+// latencyMetrics returns the sorted lower-is-better metric names present
+// with positive values in both snapshots: wall-clock latency quantiles
+// (suffix "-ns") and the dropped-window count.
+func latencyMetrics(old, new map[string]float64) []string {
+	var names []string
+	for m, o := range old {
+		if !strings.HasSuffix(m, "-ns") && m != "dropped-windows" {
+			continue
+		}
+		if _, ok := new[m]; ok && o > 0 {
+			names = append(names, m)
+		}
+	}
+	sort.Strings(names)
+	return names
 }
 
 // memDelta computes the percentage change between two optional -benchmem

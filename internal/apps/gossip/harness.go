@@ -141,6 +141,30 @@ func PublishUpdate(cl *core.Cluster, origin sm.NodeID, u int) {
 	p.Received[u] = time.Duration(cl.Engine().Now())
 }
 
+// ReceiptProperty asserts gossip receipt consistency: every update a peer
+// has logged a receipt time for is also in its held-update set. learn()
+// maintains the two together, so a divergence means a corrupted exchange.
+// It is the steering property of the load harness's gossip arm.
+func ReceiptProperty() explore.Property {
+	return explore.Property{
+		Name: "g.receipt-held",
+		Check: func(w *explore.World) bool {
+			for _, id := range w.Nodes() {
+				p, ok := w.Services[id].(*Peer)
+				if !ok {
+					continue
+				}
+				for u := range p.Received {
+					if !p.Updates[u] {
+						return false
+					}
+				}
+			}
+			return true
+		},
+	}
+}
+
 // Run executes the experiment: publish cfg.Updates updates at staggered
 // times and measure how long each takes to reach all nodes.
 func Run(cfg ExperimentConfig) Result {

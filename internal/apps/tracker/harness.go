@@ -132,6 +132,44 @@ func Enroll(cl *core.Cluster, peers int) {
 	}
 }
 
+// EnrollOne performs a single tracker join as a load generator would issue
+// it: the peer registers and immediately requests k introductions. A
+// crashed or unknown peer drops the join.
+func EnrollOne(cl *core.Cluster, peers int, peer sm.NodeID, k int) {
+	trackerID := sm.NodeID(peers)
+	n := cl.Node(peer)
+	if n == nil || n.Down() {
+		return
+	}
+	n.SendApp(trackerID, KindRegister, Register{}, 16)
+	n.SendApp(trackerID, KindGetPeers, GetPeers{K: k}, 16)
+}
+
+// RegistryProperty asserts tracker registry sanity: the registry holds
+// only swarm peers — never the tracker itself and never an ID outside the
+// deployment. It is the steering property of the load harness's tracker
+// arm.
+func RegistryProperty(peers int) explore.Property {
+	trackerID := sm.NodeID(peers)
+	return explore.Property{
+		Name: "tr.registry-sane",
+		Check: func(w *explore.World) bool {
+			for _, id := range w.Nodes() {
+				t, ok := w.Services[id].(*Tracker)
+				if !ok {
+					continue
+				}
+				for r := range t.Registered {
+					if r == trackerID || int(r) < 0 || int(r) >= peers {
+						return false
+					}
+				}
+			}
+			return true
+		},
+	}
+}
+
 // Run executes the experiment: peers discover each other only through the
 // tracker, download a file seeded in ISP 0, and the harness accounts
 // cross-ISP traffic.

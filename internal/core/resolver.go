@@ -168,6 +168,11 @@ func (p *Predictive) Resolve(n *Node, c sm.Choice) int {
 	if p.Explore > 0 && n.rng.Float64() < p.Explore {
 		return Random{}.Resolve(n, c)
 	}
+	// From here on the handler is blocked on a real decision — cache
+	// lookup, or a full consequence prediction — so the wall-clock cost
+	// is exactly what a live delivery window would have to absorb.
+	start := time.Now()
+	defer func() { n.observeDecision(&n.stats.ResolveLatency, start) }()
 	if p.OffCriticalPath {
 		return p.resolveAsync(n, c, base)
 	}
@@ -183,6 +188,7 @@ func (p *Predictive) Resolve(n *Node, c sm.Choice) int {
 			n.stats.CacheHits++
 			return idx
 		}
+		n.stats.CacheMisses++
 	}
 	obj := n.objective
 	scores := make([]float64, c.N)
@@ -228,6 +234,7 @@ func (p *Predictive) resolveAsync(n *Node, c sm.Choice, base sm.Service) int {
 		n.stats.CacheHits++
 		return idx
 	}
+	n.stats.CacheMisses++
 	// Fast path: answer now, predict in the background. The pre-event
 	// state and the triggering event are captured by value; the model is
 	// consulted at completion time, when it may be fresher.
@@ -246,10 +253,19 @@ func (p *Predictive) resolveAsync(n *Node, c sm.Choice, base sm.Service) int {
 	if lat == 0 {
 		lat = 10 * time.Millisecond
 	}
+	// The completion closure is keyed by the *pre-restart* state digest:
+	// if the node crashes and restarts before it fires, writing the
+	// decision would poison the fresh decisionCache with a conclusion
+	// about state the node no longer has. Capture the restart epoch and
+	// drop the completion on mismatch (down alone is not enough — a
+	// crash+Restart inside the prediction latency leaves down == false).
+	epoch := n.epoch
 	n.cluster.eng.Schedule(lat, func() {
-		if n.down {
+		if n.down || n.epoch != epoch {
 			return
 		}
+		compute := time.Now()
+		defer func() { n.stats.ResolveLatency.Observe(time.Since(compute)) }()
 		obj := n.objective
 		scores := make([]float64, c.N)
 		bestScore := math.Inf(-1)

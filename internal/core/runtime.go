@@ -89,6 +89,15 @@ type Config struct {
 	// fresh-enough checkpoint is retained. Nil limits recovery to
 	// checkpointed (or pre-crash) state.
 	InitialState func(id NodeID) sm.Service
+	// DecisionSlot is the wall-clock delivery window an interposition
+	// decision (a steering check, or a synchronous choice resolution) is
+	// expected to land within. Decisions that overrun it still take
+	// effect — the simulator's virtual clock does not advance while they
+	// compute — but are counted in Stats.DroppedWindows, since in a real
+	// deployment the same overrun would mean the message had to be
+	// delivered (or the choice defaulted) before the prediction finished.
+	// Zero disables the accounting.
+	DecisionSlot time.Duration
 	// ContainPanics converts a panicking service handler into a recorded
 	// PanicRecord plus a crash of the offending node — what a supervisor
 	// does to a wedged process — instead of unwinding through the engine
@@ -125,10 +134,21 @@ type Stats struct {
 	Predictions      uint64 // predictive resolutions computed inline
 	AsyncPredictions uint64 // background predictions completed (§3.4)
 	CacheHits        uint64 // predictive resolutions answered from cache
+	CacheMisses      uint64 // decision-cache lookups that missed
 	LookaheadStates  uint64 // handler executions inside lookahead worlds
 	Steered          uint64 // messages dropped by execution steering
 	SteeringChecks   uint64 // messages inspected by steering
 	Checkpoints      uint64 // checkpoint responses integrated
+	DroppedWindows   uint64 // decisions overrunning Config.DecisionSlot
+	// SteerLatency and ResolveLatency histogram the wall-clock cost of
+	// the two interposition decision points: one sample per steering
+	// check (steerAway, with- and without-message lookaheads included)
+	// and one per predictive choice resolution (cache hits, inline
+	// predictions, and completed background predictions alike). They
+	// observe the host's real clock, never virtual time, and feed no
+	// digest — pure observability for the load harness.
+	SteerLatency   LatencyHist
+	ResolveLatency LatencyHist
 }
 
 func (s *Stats) add(o Stats) {
@@ -136,10 +156,24 @@ func (s *Stats) add(o Stats) {
 	s.Predictions += o.Predictions
 	s.AsyncPredictions += o.AsyncPredictions
 	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
 	s.LookaheadStates += o.LookaheadStates
 	s.Steered += o.Steered
 	s.SteeringChecks += o.SteeringChecks
 	s.Checkpoints += o.Checkpoints
+	s.DroppedWindows += o.DroppedWindows
+	s.SteerLatency.add(&o.SteerLatency)
+	s.ResolveLatency.add(&o.ResolveLatency)
+}
+
+// CacheHitRate returns the decision-cache hit fraction, or 0 when no
+// lookups happened.
+func (s *Stats) CacheHitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
 }
 
 // envelope wraps application payloads with runtime metadata used to
@@ -290,16 +324,19 @@ func (c *Cluster) Crash(id NodeID) {
 
 // Restart revives a crashed node. If fresh is non-nil it replaces the
 // service state (modeling a process restart from scratch); otherwise the
-// pre-crash state is kept.
+// pre-crash state is kept. Restarting a live node is a no-op: a second
+// start() would re-run svc.Init and schedule a duplicate checkpoint loop
+// next to the live ckptTimer, doubling cb.ckpt.* traffic forever.
 func (c *Cluster) Restart(id NodeID, fresh sm.Service) {
 	n := c.nodes[id]
-	if n == nil {
+	if n == nil || !n.down {
 		return
 	}
 	if fresh != nil {
 		n.svc = fresh
 	}
 	n.down = false
+	n.epoch++
 	n.decisionCache = make(map[uint64]int)
 	c.net.Restart(id)
 	c.cfg.Trace.Add(time.Duration(c.eng.Now()), int(id), "RESTART")
@@ -408,6 +445,10 @@ type Node struct {
 
 	timers map[string]*sim.Timer
 	down   bool
+	// epoch counts restarts. Background work scheduled before a crash
+	// (async predictions) captures the epoch and drops its completion on
+	// mismatch, so pre-restart state never leaks into post-restart caches.
+	epoch uint64
 
 	currentEvent  *pendingEvent
 	preEventState sm.Service
@@ -440,12 +481,21 @@ func (n *Node) SendApp(dst NodeID, kind string, body any, size int) {
 // Inject delivers an externally originated message (e.g. a client request
 // entering the system) to this node through the normal dispatch path, so
 // interposition — steering, pre-event cloning, choice resolution — applies
-// exactly as for network-delivered messages.
+// exactly as for network-delivered messages. In particular an injected
+// request predicted to violate a safety property is steered away like any
+// network delivery would be; being self-sourced, it only drops (there is
+// no sender connection to break).
 func (n *Node) Inject(kind string, body any, size int) {
 	if n.down {
 		return
 	}
-	n.dispatchMessage(&sm.Msg{Src: n.id, Dst: n.id, Kind: kind, Body: body, Size: size})
+	msg := &sm.Msg{Src: n.id, Dst: n.id, Kind: kind, Body: body, Size: size}
+	if n.cluster.cfg.Steering && len(n.cluster.cfg.Properties) > 0 {
+		if n.steerAway(msg) {
+			return
+		}
+	}
+	n.dispatchMessage(msg)
 }
 
 // Resolver returns the node's choice resolver.
@@ -547,6 +597,8 @@ func (n *Node) onDeliver(tm *transport.Message) {
 // message is dropped and the connection to its sender broken (paper §2).
 func (n *Node) steerAway(msg *sm.Msg) bool {
 	n.stats.SteeringChecks++
+	start := time.Now()
+	defer func() { n.observeDecision(&n.stats.SteerLatency, start) }()
 	cfg := n.cluster.cfg
 	now := time.Duration(n.cluster.eng.Now())
 	// Steering predicates on violations *caused by this message*: it
@@ -586,8 +638,23 @@ func (n *Node) steerAway(msg *sm.Msg) bool {
 	}
 	n.stats.Steered++
 	cfg.Trace.Add(now, int(n.id), "STEER drop %s from %v", msg.Kind, msg.Src)
-	n.cluster.net.BreakConnection(n.id, msg.Src)
+	// Self-sourced messages (client requests entering via Inject) have no
+	// sender connection to break: dropping is the whole corrective action.
+	if msg.Src != n.id {
+		n.cluster.net.BreakConnection(n.id, msg.Src)
+	}
 	return true
+}
+
+// observeDecision records the wall-clock cost of one interposition
+// decision into h and counts a dropped window when it overran the
+// configured delivery slot.
+func (n *Node) observeDecision(h *LatencyHist, start time.Time) {
+	d := time.Since(start)
+	h.Observe(d)
+	if slot := n.cluster.cfg.DecisionSlot; slot > 0 && d > slot {
+		n.stats.DroppedWindows++
+	}
 }
 
 // buildLookahead assembles a lookahead world from the node's predictive

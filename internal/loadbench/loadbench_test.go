@@ -1,0 +1,161 @@
+package loadbench
+
+import (
+	"testing"
+	"time"
+
+	"crystalchoice/internal/explore"
+	"crystalchoice/internal/scenario"
+)
+
+// TestRunSustainsTargetRPS checks the open-loop generator holds its
+// configured rate on the virtual clock and records one latency sample per
+// measured operation.
+func TestRunSustainsTargetRPS(t *testing.T) {
+	res, err := Run(Config{
+		App: "paxos", N: 3, Seed: 1,
+		TargetRPS: 20, Warmup: 500 * time.Millisecond, Duration: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 40 // 20 RPS x 2s
+	if res.Ops < want-1 || res.Ops > want+1 {
+		t.Fatalf("measured ops = %d, want ~%d", res.Ops, want)
+	}
+	if res.VirtualRPS < 19 || res.VirtualRPS > 21 {
+		t.Fatalf("VirtualRPS = %v, want ~20", res.VirtualRPS)
+	}
+	if res.OpLatency.N() != uint64(res.Ops) {
+		t.Fatalf("OpLatency samples = %d, want one per op (%d)", res.OpLatency.N(), res.Ops)
+	}
+	if res.WallSeconds <= 0 || res.WallOpsPerSec <= 0 {
+		t.Fatalf("wall-clock accounting missing: %v s, %v ops/s", res.WallSeconds, res.WallOpsPerSec)
+	}
+}
+
+// TestRunRejectsBadConfig covers config validation.
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{App: "nosuch"}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if _, err := Run(Config{Resolver: "nosuch"}); err == nil {
+		t.Fatal("unknown resolver accepted")
+	}
+	if _, err := Run(Config{TargetRPS: -1}); err == nil {
+		t.Fatal("negative RPS accepted")
+	}
+}
+
+// TestPredictiveArmRecordsDecisions checks the predictive resolver arm
+// feeds the runtime's decision histograms and cache counters.
+func TestPredictiveArmRecordsDecisions(t *testing.T) {
+	res, err := Run(Config{
+		App: "paxos", N: 3, Seed: 2, Resolver: "predictive",
+		TargetRPS: 5, Warmup: 500 * time.Millisecond, Duration: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResolveLatency.N() == 0 {
+		t.Fatal("predictive arm recorded no resolve-latency samples")
+	}
+	if res.Predictions+res.CacheHits == 0 {
+		t.Fatal("predictive arm made no predictions and hit no cache")
+	}
+	if res.LookaheadStates == 0 {
+		t.Fatal("predictive arm explored no lookahead states")
+	}
+}
+
+// flapSpec is the scripted-fault schedule of the steering-under-flaps
+// tests: a 3|3 cut that flaps twice while traffic runs.
+func flapSpec() *scenario.Spec {
+	return &scenario.Spec{
+		App: "gossip", N: 6, Seed: 11,
+		Duration: scenario.Dur(3 * time.Second),
+		Steering: true,
+		Flaps: []scenario.Flap{{
+			A: []int{0, 1, 2}, B: []int{3, 4, 5},
+			Start:  scenario.Dur(600 * time.Millisecond),
+			Period: scenario.Dur(800 * time.Millisecond),
+			Count:  2,
+		}},
+	}
+}
+
+// TestSteeringUnderFlapsIsDeterministic runs loadgen traffic with
+// steering on under scripted partition flaps, twice, and pins that the
+// wall-clock instrumentation leaves the virtual execution byte-identical:
+// same seed, same final state digest.
+func TestSteeringUnderFlapsIsDeterministic(t *testing.T) {
+	spec := flapSpec()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		App: "gossip", N: 6, Seed: 11, Steering: true,
+		TargetRPS: 10, Warmup: 500 * time.Millisecond, Duration: 2500 * time.Millisecond,
+		DecisionSlot: time.Nanosecond, // force dropped-window accounting on
+		Spec:         spec,
+	}
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.StateDigest != r2.StateDigest {
+		t.Fatalf("instrumented runs diverged: digest %#x vs %#x", r1.StateDigest, r2.StateDigest)
+	}
+	if r1.SteeringChecks == 0 {
+		t.Fatal("steering never interposed under load")
+	}
+	if r1.SteerLatency.N() != r1.SteeringChecks {
+		t.Fatalf("SteerLatency samples = %d, want one per check (%d)", r1.SteerLatency.N(), r1.SteeringChecks)
+	}
+	if r1.DroppedWindows == 0 {
+		t.Fatal("1ns DecisionSlot dropped no windows under steering load")
+	}
+	if r1.Ops != r2.Ops || r1.Steered != r2.Steered {
+		t.Fatalf("op/steer counts diverged: (%d,%d) vs (%d,%d)", r1.Ops, r1.Steered, r2.Ops, r2.Steered)
+	}
+}
+
+// TestSteeringUnderFlapsDigestParity drives the same flapping deployment
+// white-box and pins live<->explorer parity: the incremental digest of the
+// materialized final world equals its from-scratch digest, with the
+// latency histograms enabled throughout.
+func TestSteeringUnderFlapsDigestParity(t *testing.T) {
+	spec := flapSpec()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{App: "gossip", N: 6, Seed: 11, Steering: true, Resolver: "random", TargetRPS: 10}
+	if err := cfg.fill(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := build(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := spec.Compile(d.fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Install(d.cl)
+	for i := 0; i < 30; i++ {
+		i := i
+		d.eng.Schedule(time.Duration(i)*100*time.Millisecond, func() { d.op(i) })
+	}
+	d.eng.RunFor(3 * time.Second)
+	if d.cl.Stats().SteeringChecks == 0 {
+		t.Fatal("steering never interposed")
+	}
+	w := d.cl.MaterializeWorld(explore.FirstPolicy, cfg.Seed, d.timers)
+	if got, want := w.Digest(), w.DigestFull(); got != want {
+		t.Fatalf("live<->explorer digest parity broken with instrumentation on: incremental %#x != full %#x", got, want)
+	}
+}
