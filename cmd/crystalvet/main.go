@@ -1,0 +1,76 @@
+// Command crystalvet is the multichecker for the engine's semantic
+// contracts: it loads the packages matching its arguments (./... by
+// default), runs the crystalvet analyzer suite (see internal/analysis),
+// and exits nonzero when any contract violation is reported.
+//
+// Usage:
+//
+//	crystalvet [-list] [-only detwall,mapiter] [packages...]
+//
+// It is wired into `make lint` next to go vet and staticcheck; CI runs
+// the same target, so a violation fails the merge the way a vet finding
+// does. Suppressions are in-source //crystalvet:<analyzer> <reason>
+// directives, documented in DESIGN.md §7.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"crystalchoice/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and their contracts, then exit")
+	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	dir := flag.String("dir", ".", "directory to resolve package patterns in")
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer, len(analyzers))
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		var picked []*analysis.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "crystalvet: unknown analyzer %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			picked = append(picked, a)
+		}
+		analyzers = picked
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crystalvet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analyzers, true)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crystalvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "crystalvet: %d contract violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

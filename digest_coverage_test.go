@@ -1,139 +1,45 @@
-// Enforcement of BodyDigester coverage: every message kind the five apps
-// produce must carry a body that hashes through sm.BodyDigester, never the
-// fmt reflection fallback (which is slow and fragile — it reruns per state
-// visit and breaks on pointer or map bodies). The test discovers the kinds
-// by parsing each app package's Kind* constants, so adding a message kind
-// without registering a digestible sample here fails loudly.
+// Enforcement of BodyDigester coverage: every message kind declared
+// anywhere in the repository must carry a body type that hashes through
+// sm.BodyDigester, never the fmt reflection fallback (which is slow and
+// fragile — it reruns per state visit and breaks on pointer or map
+// bodies).
+//
+// The static half delegates to crystalvet's digestmaint analyzer, which
+// checks the Kind<Name> constant ↔ <Name> body type convention against
+// the type system (including the pointer-receiver trap the old
+// sample-value scan could miss when a body was registered by pointer).
+// The dynamic half below still explores every app and asserts no message
+// the handlers actually produce falls back to reflection.
 package crystalchoice
 
 import (
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"strconv"
-	"strings"
 	"testing"
 
-	"crystalchoice/internal/apps/dissem"
-	"crystalchoice/internal/apps/gossip"
-	"crystalchoice/internal/apps/paxos"
-	"crystalchoice/internal/apps/randtree"
-	"crystalchoice/internal/apps/tracker"
+	"crystalchoice/internal/analysis"
 	"crystalchoice/internal/explore"
 	"crystalchoice/internal/sm"
 )
 
-// kindConstants parses the non-test Go files in dir and returns the string
-// values of all exported Kind* constants.
-func kindConstants(t *testing.T, dir string) []string {
-	t.Helper()
-	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, dir, nil, 0)
-	if err != nil {
-		t.Fatalf("parse %s: %v", dir, err)
-	}
-	var kinds []string
-	for _, pkg := range pkgs {
-		for fname, f := range pkg.Files {
-			if strings.HasSuffix(fname, "_test.go") {
-				continue
-			}
-			for _, decl := range f.Decls {
-				gd, ok := decl.(*ast.GenDecl)
-				if !ok || gd.Tok != token.CONST {
-					continue
-				}
-				for _, spec := range gd.Specs {
-					vs, ok := spec.(*ast.ValueSpec)
-					if !ok {
-						continue
-					}
-					for i, name := range vs.Names {
-						if !strings.HasPrefix(name.Name, "Kind") || i >= len(vs.Values) {
-							continue
-						}
-						if lit, ok := vs.Values[i].(*ast.BasicLit); ok && lit.Kind == token.STRING {
-							v, err := strconv.Unquote(lit.Value)
-							if err != nil {
-								t.Fatalf("unquote %s: %v", lit.Value, err)
-							}
-							kinds = append(kinds, v)
-						}
-					}
-				}
-			}
-		}
-	}
-	return kinds
-}
-
-// sampleBodies maps every app message kind to a representative body, as
-// produced by the protocol code.
-func sampleBodies() map[string]any {
-	return map[string]any{
-		// randtree
-		randtree.KindJoin:      randtree.Join{Joiner: 5},
-		randtree.KindJoinReply: randtree.JoinReply{Parent: 1, Depth: 2},
-		randtree.KindSummary:   randtree.Summary{},
-		randtree.KindHeartbeat: randtree.Heartbeat{Depth: 3},
-		// gossip
-		gossip.KindDigest:  gossip.Digest{Have: []int{1, 2}},
-		gossip.KindDelta:   gossip.Delta{Updates: []int{3}, Have: []int{1}},
-		gossip.KindPublish: gossip.Publish{Update: 1},
-		// paxos
-		paxos.KindSubmit:   paxos.Submit{Cmd: paxos.Cmd{ID: 1, Origin: 0}},
-		paxos.KindPropose:  paxos.Propose{Cmd: paxos.Cmd{ID: 1, Origin: 0}},
-		paxos.KindPrepare:  paxos.Prepare{},
-		paxos.KindPromise:  paxos.Promise{},
-		paxos.KindAccept:   paxos.Accept{Val: paxos.Cmd{ID: 1, Origin: 0}},
-		paxos.KindAccepted: paxos.Accepted{},
-		paxos.KindLearn:    paxos.Learn{Val: paxos.Cmd{ID: 1, Origin: 0}},
-		// dissem
-		dissem.KindAnnounce: dissem.Announce{Blocks: []int{0}},
-		dissem.KindRequest:  dissem.Request{Block: 0},
-		dissem.KindPiece:    dissem.Piece{Block: 0},
-		dissem.KindAddPeers: dissem.AddPeers{Peers: []sm.NodeID{1}},
-		// tracker
-		tracker.KindRegister: tracker.Register{},
-		tracker.KindGetPeers: tracker.GetPeers{K: 2},
-	}
-}
-
-// TestBodyDigesterCoverage walks every message kind the five apps declare
-// and fails if any body type would hash through the reflection fallback.
+// TestBodyDigesterCoverage runs the digestmaint analyzer over the whole
+// repository: every Kind* constant needs a package-level BodyDigester
+// body type, and every digest-contributing World write its maintenance.
 func TestBodyDigesterCoverage(t *testing.T) {
-	samples := sampleBodies()
-	dirs := []string{
-		"internal/apps/randtree",
-		"internal/apps/gossip",
-		"internal/apps/paxos",
-		"internal/apps/dissem",
-		"internal/apps/tracker",
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole repository; skipped in -short")
 	}
-	seen := 0
-	for _, dir := range dirs {
-		for _, kind := range kindConstants(t, dir) {
-			body, ok := samples[kind]
-			if !ok {
-				t.Errorf("%s: message kind %q has no sample body registered in sampleBodies", dir, kind)
-				continue
-			}
-			seen++
-			if _, ok := body.(sm.BodyDigester); !ok {
-				t.Errorf("%s: body type %T for kind %q does not implement sm.BodyDigester", dir, body, kind)
-				continue
-			}
-			fallbacks := 0
-			sm.ReflectionFallback = func(*sm.Msg) { fallbacks++ }
-			sm.MsgDigestRecompute(&sm.Msg{Src: 0, Dst: 1, Kind: kind, Body: body})
-			sm.ReflectionFallback = nil
-			if fallbacks != 0 {
-				t.Errorf("%s: kind %q fell back to reflection hashing", dir, kind)
-			}
-		}
+	pkgs, err := analysis.Load(".", "./...")
+	if err != nil {
+		t.Fatalf("load packages: %v", err)
 	}
-	if seen < 20 {
-		t.Fatalf("kind discovery looks broken: only %d kinds found", seen)
+	if len(pkgs) < 10 {
+		t.Fatalf("package discovery looks broken: only %d packages loaded", len(pkgs))
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{analysis.DigestmaintAnalyzer}, true)
+	if err != nil {
+		t.Fatalf("run digestmaint: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
 	}
 }
 

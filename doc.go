@@ -14,6 +14,13 @@
 // — and five protocols built on it (apps/randtree, apps/gossip,
 // apps/dissem, apps/paxos, apps/tracker).
 //
+// The engine's semantic contracts (deterministic replay, copy-on-write
+// world ownership, incremental digest maintenance, pooled-handle release)
+// are enforced at build time by cmd/crystalvet, a vet-style multichecker
+// over the analyzer suite in internal/analysis; `make lint` runs it next
+// to go vet and staticcheck, and DESIGN.md §7 documents the contracts and
+// their in-source //crystalvet:<analyzer> escape hatches.
+//
 // The benchmarks in bench_test.go regenerate every quantitative result in
 // the paper; see DESIGN.md for the experiment index and EXPERIMENTS.md for
 // measured-vs-paper numbers.

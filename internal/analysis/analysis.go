@@ -1,0 +1,236 @@
+// Package analysis is crystalvet: a suite of static analyzers that enforce
+// the engine's semantic contracts — determinism of the lookahead packages,
+// copy-on-write discipline on shared world state, incremental-digest
+// maintenance, and acquire/release pairing on pooled handles — at build
+// time, the way go vet enforces the language's portability contracts.
+//
+// The package mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Diagnostic) but is self-contained on the standard
+// library: the container this repository builds in has no module proxy, so
+// the framework loads and type-checks packages itself via `go list
+// -export` and the gc export-data importer (see load.go). If the repo ever
+// grows an x/tools dependency, each analyzer's Run function ports directly.
+//
+// # Suppressing a diagnostic
+//
+// Every analyzer honors a line-scoped escape hatch:
+//
+//	//crystalvet:<analyzer> <reason>
+//
+// placed on the flagged line or the line immediately above it. Analyzers
+// may also declare an alternate directive name (detwall answers to
+// //crystalvet:wallclock, matching the contract it enforces rather than
+// the analyzer's name). A directive with an empty reason does not
+// suppress: the reason is the reviewable record of why the contract does
+// not apply, and leaving it out defeats the point.
+//
+// Some contracts are function-granular (a whole function manages container
+// ownership by hand); for those, the same directive in the function's doc
+// comment suppresses the analyzer across the function body.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and directives.
+	Name string
+	// Doc is the one-paragraph contract description printed by -list.
+	Doc string
+	// AltDirective, when non-empty, is an additional directive key that
+	// suppresses this analyzer's diagnostics (e.g. "wallclock" for
+	// detwall).
+	AltDirective string
+	// Filter, when non-nil, restricts which packages the multichecker
+	// runs this analyzer on (by import path). Fixture tests bypass it:
+	// the filter encodes which packages have signed up for the contract,
+	// not what the check can analyze.
+	Filter func(pkgPath string) bool
+	// Run reports the package's contract violations through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one reported contract violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags      []Diagnostic
+	directives map[string]map[int]directive // file -> line -> directive
+}
+
+// directive is one parsed //crystalvet:key reason comment.
+type directive struct {
+	key    string
+	reason string
+}
+
+const directivePrefix = "//crystalvet:"
+
+// parseDirective decodes a //crystalvet:key reason comment, reporting ok
+// false for ordinary comments.
+func parseDirective(text string) (directive, bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return directive{}, false
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	key, reason, _ := strings.Cut(rest, " ")
+	return directive{key: key, reason: strings.TrimSpace(reason)}, true
+}
+
+// buildDirectives indexes every crystalvet directive comment by file and
+// line so Reportf can consult them in O(1).
+func (p *Pass) buildDirectives() {
+	p.directives = make(map[string]map[int]directive)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				byLine := p.directives[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]directive)
+					p.directives[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = d
+			}
+		}
+	}
+}
+
+// suppressedAt reports whether a diagnostic at pos is silenced by a
+// directive on the same line or the line above. A directive with no
+// reason never suppresses.
+func (p *Pass) suppressedAt(pos token.Position) bool {
+	byLine := p.directives[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		if d, ok := byLine[line]; ok && p.directiveMatches(d) && d.reason != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveMatches reports whether d addresses this pass's analyzer.
+func (p *Pass) directiveMatches(d directive) bool {
+	return d.key == p.Analyzer.Name ||
+		(p.Analyzer.AltDirective != "" && d.key == p.Analyzer.AltDirective)
+}
+
+// FuncSuppressed reports whether fn's doc comment carries a matching
+// function-granular directive, silencing the analyzer across the body.
+func (p *Pass) FuncSuppressed(fn *ast.FuncDecl) bool {
+	if fn == nil || fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if d, ok := parseDirective(c.Text); ok && p.directiveMatches(d) && d.reason != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// Reportf records a diagnostic at pos unless a directive suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressedAt(position) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when the type checker recorded
+// none.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// ObjectOf resolves id to its object via Uses then Defs.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return p.TypesInfo.Defs[id]
+}
+
+// RunAnalyzers runs each analyzer over each loaded package (honoring
+// Filter when respectFilter is set) and returns the diagnostics sorted by
+// position. Fixture tests pass respectFilter=false: the filter encodes
+// deployment scope, not capability.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, respectFilter bool) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if respectFilter && a.Filter != nil && !a.Filter(pkg.PkgPath) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.buildDirectives()
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			out = append(out, pass.diags...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// All returns the full crystalvet suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DetwallAnalyzer,
+		MapiterAnalyzer,
+		CowwriteAnalyzer,
+		DigestmaintAnalyzer,
+		ReleasepairAnalyzer,
+	}
+}

@@ -1,0 +1,181 @@
+// Package analysistest runs crystalvet analyzers over fixture packages,
+// in the style of golang.org/x/tools/go/analysis/analysistest: each
+// fixture is a directory of Go files under testdata/src/<name>, annotated
+// with
+//
+//	code() // want "regexp"
+//
+// comments on the lines where the analyzer must report. The runner
+// type-checks the fixture (fixtures may import the standard library
+// only), runs one analyzer with its package filter bypassed, and fails
+// the test on any mismatch in either direction — an unexpected diagnostic
+// is as much a failure as a missing one, which is what keeps the clean
+// fixtures meaningful.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"crystalchoice/internal/analysis"
+)
+
+// stdExports caches export-data lookups for the standard-library closures
+// fixtures import, shared across fixture runs in one process.
+var stdExports struct {
+	sync.Mutex
+	m map[string]string
+}
+
+// stdExportData returns path->export-data-file covering imports and their
+// transitive dependencies.
+func stdExportData(imports []string) (map[string]string, error) {
+	stdExports.Lock()
+	defer stdExports.Unlock()
+	if stdExports.m == nil {
+		stdExports.m = make(map[string]string)
+	}
+	var missing []string
+	for _, p := range imports {
+		if _, ok := stdExports.m[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		exports, err := analysis.ExportData("", missing)
+		if err != nil {
+			return nil, err
+		}
+		for p, f := range exports {
+			stdExports.m[p] = f
+		}
+	}
+	return stdExports.m, nil
+}
+
+// loadFixture parses and type-checks the fixture package in dir.
+func loadFixture(dir string) (*analysis.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var syntax []*ast.File
+	importSet := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, f)
+		for _, imp := range f.Imports {
+			importSet[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	if len(syntax) == 0 {
+		return nil, fmt.Errorf("no Go files in fixture %s", dir)
+	}
+	var imports []string
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
+	exports, err := stdExportData(imports)
+	if err != nil {
+		return nil, err
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("fixture import %q: no export data (fixtures may import the standard library only)", path)
+		}
+		return os.Open(f)
+	})
+	return analysis.CheckFiles(fset, imp, filepath.Base(dir), syntax)
+}
+
+// Run runs analyzer a over the fixture package named name (a directory
+// under testdata/src relative to the test's working directory) and checks
+// the diagnostics against the // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, name string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := loadFixture(dir)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a}, false)
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, name, err)
+	}
+	checkWants(t, pkg, diags)
+}
+
+// wantRe matches the quoted regexps of a // want "re" ["re" ...] comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// checkWants compares diagnostics against the fixture's want comments,
+// line by line.
+func checkWants(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				_, after, ok := strings.Cut(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, m := range wantRe.FindAllStringSubmatch(after, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, m[1], err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+	matched := make(map[key]int)
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		res := wants[k]
+		found := false
+		for i := matched[k]; i < len(res); i++ {
+			if res[i].MatchString(d.Message) {
+				matched[k]++
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, res := range wants {
+		if matched[k] < len(res) {
+			t.Errorf("%s:%d: expected diagnostic matching %q not reported",
+				k.file, k.line, res[matched[k]].String())
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"crystalchoice/internal/analysis"
+	"crystalchoice/internal/analysis/analysistest"
+)
+
+func TestDetwall(t *testing.T) {
+	analysistest.Run(t, analysis.DetwallAnalyzer, "detwall")
+}
+
+func TestMapiter(t *testing.T) {
+	analysistest.Run(t, analysis.MapiterAnalyzer, "mapiter")
+}
+
+func TestCowwrite(t *testing.T) {
+	analysistest.Run(t, analysis.CowwriteAnalyzer, "cowwrite")
+}
+
+func TestDigestmaint(t *testing.T) {
+	analysistest.Run(t, analysis.DigestmaintAnalyzer, "digestmaint")
+}
+
+func TestReleasepair(t *testing.T) {
+	analysistest.Run(t, analysis.ReleasepairAnalyzer, "releasepair")
+}
+
+// TestAllRegistered pins the suite's composition: a new analyzer must be
+// added to All() to reach the multichecker and `make lint`.
+func TestAllRegistered(t *testing.T) {
+	want := []string{"detwall", "mapiter", "cowwrite", "digestmaint", "releasepair"}
+	all := analysis.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %s has no Run", a.Name)
+		}
+	}
+}

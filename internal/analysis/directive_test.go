@@ -1,0 +1,33 @@
+package analysis
+
+import "testing"
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text   string
+		ok     bool
+		key    string
+		reason string
+	}{
+		{"//crystalvet:wallclock deadline poll", true, "wallclock", "deadline poll"},
+		{"//crystalvet:mapiter", true, "mapiter", ""},
+		{"//crystalvet:cowwrite   padded reason  ", true, "cowwrite", "padded reason"},
+		{"// crystalvet:wallclock spaced prefix is not a directive", false, "", ""},
+		{"// ordinary comment", false, "", ""},
+		{"//go:noinline", false, "", ""},
+	}
+	for _, c := range cases {
+		d, ok := parseDirective(c.text)
+		if ok != c.ok {
+			t.Errorf("parseDirective(%q) ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if d.key != c.key || d.reason != c.reason {
+			t.Errorf("parseDirective(%q) = {%q %q}, want {%q %q}",
+				c.text, d.key, d.reason, c.key, c.reason)
+		}
+	}
+}

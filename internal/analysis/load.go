@@ -1,0 +1,170 @@
+// Package loading without golang.org/x/tools: crystalvet resolves
+// packages the way go/packages does under the hood — one `go list -export
+// -json -deps` invocation supplies every package's source files plus the
+// compiler's export data for its dependencies, and go/importer's gc-mode
+// lookup importer type-checks against that export data. This works fully
+// offline (the repository has no module requirements) and reuses the build
+// cache, so a lint pass costs roughly one `go build ./...`.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -export -json -deps patterns...` in dir and
+// decodes the package stream.
+func goList(dir string, patterns []string) ([]listedPkg, error) {
+	args := append([]string{
+		"list", "-e", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Error",
+		"-deps",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decode go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load lists the packages matching patterns (relative to dir), parses
+// their non-test sources, and type-checks them against the export data of
+// their dependencies. Dependency-only packages are resolved from export
+// data alone and not returned.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var targets []listedPkg
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (stale build cache? run go build ./...)", path)
+		}
+		return os.Open(f)
+	})
+
+	var out []*Package
+	for _, p := range targets {
+		var syntax []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parse %s: %w", name, err)
+			}
+			syntax = append(syntax, f)
+		}
+		pkg, err := CheckFiles(fset, imp, p.ImportPath, syntax)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = p.Dir
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// ExportData returns import-path -> export-data file for the packages
+// matching patterns and their transitive dependencies, resolved in dir
+// ("" for the current directory). The fixture runner uses it to resolve
+// standard-library imports.
+func ExportData(dir string, patterns []string) (map[string]string, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// CheckFiles type-checks already-parsed files as import path pkgPath,
+// resolving imports through imp.
+func CheckFiles(fset *token.FileSet, imp types.Importer, pkgPath string, syntax []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", pkgPath, err)
+	}
+	return &Package{
+		PkgPath:   pkgPath,
+		Fset:      fset,
+		Syntax:    syntax,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapiterAnalyzer flags `range` over a map where the iteration order can
+// escape: an append to a variable that outlives the loop, a hash/stream
+// write (Write*/Print*/Fprint*/Encode* call), or a channel send in the
+// loop body. Go randomizes map iteration order per run, so any of these
+// turns one logical state into many observable traces, digests, violation
+// classes, or serialized outputs — exactly the divergence the determinism
+// contract forbids.
+//
+// Two shapes are recognized as safe and not reported:
+//
+//   - collect-then-sort: the appended slice is passed to a sort.* or
+//     slices.Sort* call later in the same function;
+//   - commutative folds: `+=`-style accumulation, map/set writes, and
+//     deletes, which are order-insensitive by construction.
+//
+// Anything else order-insensitive for a reason the analyzer cannot see
+// takes a //crystalvet:mapiter <reason> directive.
+var MapiterAnalyzer = &Analyzer{
+	Name: "mapiter",
+	Doc: "flag map iteration whose order can leak into traces, digests, " +
+		"or serialized output",
+	Filter: func(pkgPath string) bool {
+		return strings.HasPrefix(pkgPath, "crystalchoice/")
+	},
+	Run: runMapiter,
+}
+
+func runMapiter(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || pass.FuncSuppressed(fn) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if t := pass.TypeOf(rng.X); t == nil || !isMapType(t) {
+					return true
+				}
+				checkMapRange(pass, fn, rng)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange reports the order-sensitive sinks of one map-range body.
+func checkMapRange(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map range is reported as its own loop; nested
+			// slice ranges still leak the outer order and are descended.
+			if t := pass.TypeOf(n.X); t != nil && isMapType(t) {
+				return false
+			}
+		case *ast.AssignStmt:
+			checkAppendSink(pass, fn, rng, n)
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && emitterName(sel.Sel.Name) {
+				pass.Reportf(n.Pos(),
+					"%s inside range over map: emission order follows map iteration order (sort the keys first)",
+					sel.Sel.Name)
+			}
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send inside range over map: send order follows map iteration order (sort the keys first)")
+		}
+		return true
+	})
+}
+
+// emitterName reports whether a method/function name writes to an
+// order-sensitive stream: hashers (Write*), printers, and encoders.
+func emitterName(name string) bool {
+	for _, prefix := range [...]string{"Write", "Print", "Fprint", "Encode"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkAppendSink flags `x = append(x, ...)` where x outlives the loop
+// and is not sorted afterwards in the same function.
+func checkAppendSink(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass, call) || i >= len(as.Lhs) {
+			continue
+		}
+		lhs := as.Lhs[i]
+		root := rootIdent(lhs)
+		if root == nil {
+			continue
+		}
+		obj := pass.ObjectOf(root)
+		if obj == nil {
+			continue
+		}
+		// Targets declared inside the loop die with the iteration and
+		// cannot leak its order.
+		if obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End() {
+			continue
+		}
+		if sortedAfter(pass, fn, rng, lhs) {
+			continue
+		}
+		pass.Reportf(as.Pos(),
+			"append to %s inside range over map: element order follows map iteration order (sort %s afterwards, or collect into a map)",
+			types.ExprString(lhs), types.ExprString(lhs))
+	}
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}
+
+// rootIdent returns the leftmost identifier of an lvalue chain
+// (x, x.f, x.f[i], ...).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedAfter reports whether, after the range loop, the function sorts
+// target (a call into sort.* or slices.Sort* whose first argument renders
+// to the same expression).
+func sortedAfter(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, target ast.Expr) bool {
+	want := types.ExprString(target)
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rng.End() || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		isSortCall := (pkg.Name == "sort") ||
+			(pkg.Name == "slices" && strings.HasPrefix(sel.Sel.Name, "Sort"))
+		if isSortCall && types.ExprString(call.Args[0]) == want {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ReleasepairAnalyzer enforces acquire/release pairing on pooled handles.
+// The digest hot path borrows hashers (sm.GetHasher/PutHasher) and name
+// scratch (borrowNames/returnNames) from sync.Pools; a return path that
+// drops the handle without releasing it silently degrades the pool into
+// an allocator — the exact regression class the alloc-budget tests pin,
+// but caught at the leak site instead of as a benchmark delta.
+//
+// The check is syntactic and deliberately conservative:
+//
+//   - a handle that escapes (returned, stored into a composite/append, or
+//     sent on a channel) transfers ownership and is skipped;
+//   - a `defer put(h)` covers every return path;
+//   - otherwise each return statement after the acquire must be
+//     lexically preceded by a release of the handle, and a function with
+//     no release at all is flagged at the acquire.
+//
+// Functions that thread ownership in ways the analyzer cannot see take a
+// //crystalvet:releasepair <reason> directive.
+var ReleasepairAnalyzer = &Analyzer{
+	Name: "releasepair",
+	Doc: "require pooled handles (GetHasher/borrowNames) to be released " +
+		"on every return path",
+	Filter: func(pkgPath string) bool {
+		return strings.HasPrefix(pkgPath, "crystalchoice/")
+	},
+	Run: runReleasepair,
+}
+
+// releasePairs maps acquire function names to their release function.
+var releasePairs = map[string]string{
+	"GetHasher":   "PutHasher",
+	"borrowNames": "returnNames",
+}
+
+func runReleasepair(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || pass.FuncSuppressed(fn) {
+				continue
+			}
+			checkReleaseFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// acquired is one pooled handle obtained in a function.
+type acquired struct {
+	obj     types.Object
+	name    string // variable name, for messages
+	getter  string
+	release string
+	pos     ast.Node
+}
+
+func checkReleaseFunc(pass *Pass, fn *ast.FuncDecl) {
+	var handles []*acquired
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || i >= len(as.Lhs) {
+				continue
+			}
+			getter := calleeName(call)
+			release, paired := releasePairs[getter]
+			if !paired {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			handles = append(handles, &acquired{
+				obj: obj, name: id.Name, getter: getter, release: release, pos: call,
+			})
+		}
+		return true
+	})
+
+	for _, h := range handles {
+		checkHandle(pass, fn, h)
+	}
+}
+
+// calleeName returns the final name of a call's callee (f or pkg.f or
+// recv.f), or "".
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// checkHandle verifies one acquired handle's release discipline.
+func checkHandle(pass *Pass, fn *ast.FuncDecl, h *acquired) {
+	var (
+		escapes   bool
+		deferred  bool
+		releases  []ast.Node
+		returns   []*ast.ReturnStmt
+		refersToH = func(e ast.Expr) bool {
+			id, ok := e.(*ast.Ident)
+			return ok && pass.ObjectOf(id) == h.obj
+		}
+	)
+	isRelease := func(call *ast.CallExpr) bool {
+		if calleeName(call) != h.release || len(call.Args) == 0 {
+			return false
+		}
+		root := rootIdent(call.Args[0])
+		return root != nil && pass.ObjectOf(root) == h.obj
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if isRelease(n.Call) {
+				deferred = true
+			}
+		case *ast.CallExpr:
+			if isRelease(n) {
+				releases = append(releases, n)
+				return true
+			}
+			// append(s, h): the handle outlives the function's frame.
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" {
+				for _, a := range n.Args[min(1, len(n.Args)):] {
+					if refersToH(a) {
+						escapes = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, n)
+			for _, r := range n.Results {
+				if refersToH(r) {
+					escapes = true
+				}
+			}
+		case *ast.SendStmt:
+			if refersToH(n.Value) {
+				escapes = true
+			}
+		case *ast.CompositeLit:
+			for _, e := range n.Elts {
+				if kv, ok := e.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if refersToH(e) {
+					escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			// Aliasing or storing the handle hands ownership elsewhere.
+			for _, r := range n.Rhs {
+				if refersToH(r) {
+					escapes = true
+				}
+			}
+		}
+		return true
+	})
+	if escapes || deferred {
+		return
+	}
+	if len(releases) == 0 {
+		pass.Reportf(h.pos.Pos(),
+			"%s acquired from %s is never released: every path must call %s (or defer it)",
+			h.name, h.getter, h.release)
+		return
+	}
+	for _, ret := range returns {
+		if ret.Pos() <= h.pos.Pos() {
+			continue
+		}
+		covered := false
+		for _, rel := range releases {
+			if rel.Pos() < ret.Pos() {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			pass.Reportf(ret.Pos(),
+				"return path leaks %s (acquired from %s): call %s before returning",
+				h.name, h.getter, h.release)
+		}
+	}
+}

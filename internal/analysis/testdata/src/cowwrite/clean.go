@@ -1,0 +1,35 @@
+// Fixture: the sanctioned write shapes — hook first, hooks themselves,
+// and blessed manual-ownership functions.
+package cowwrite
+
+func setOwned(w *World, id NodeID, v int) {
+	w.ownServicesMap()
+	w.Services[id] = v
+}
+
+func armTimer(w *World, id NodeID, name string) {
+	set := w.ownTimers(id)
+	set[name] = true
+	w.ownTimersMap()
+	w.Timers[id] = set
+}
+
+func partition(w *World, a, b NodeID) {
+	w.ownPartitions()
+	w.partitioned[[2]NodeID{a, b}] = true
+	delete(w.partitioned, [2]NodeID{b, a})
+}
+
+// Hooks themselves materialize the private copy and are exempt.
+func (w *World) ownSnapshots() {
+	w.Services = map[NodeID]int{}
+}
+
+// Blessed manual ownership: the destination shell is private by
+// construction, so sharing containers into it is the point.
+//
+//crystalvet:cowwrite fixture clone: the destination has no sharers yet
+func fill(c *World, src *World) {
+	c.Services = src.Services
+	c.Inflight = src.Inflight
+}

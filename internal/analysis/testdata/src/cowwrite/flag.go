@@ -1,0 +1,31 @@
+// Fixture: unguarded writes to shared World containers.
+package cowwrite
+
+func setService(w *World, id NodeID, v int) {
+	w.Services[id] = v // want "write to shared World container w.Services without a preceding ownServicesMap call"
+}
+
+func (w *World) crash(id NodeID) {
+	w.Down[id] = true // want "without a preceding ownDownMap call"
+}
+
+func clearDown(w *World, id NodeID) {
+	delete(w.Down, id) // want "without a preceding ownDownMap call"
+}
+
+func enqueue(w *World, m int) {
+	w.Inflight = append(w.Inflight, m) // want "without a preceding ownInflight call"
+}
+
+// Claiming after the write is too late: the shared container was already
+// mutated.
+func hookAfter(w *World, id NodeID, v int) {
+	w.Services[id] = v // want "without a preceding ownServicesMap call"
+	w.ownServicesMap()
+}
+
+// The hook must be called on the receiver being written.
+func wrongReceiver(a, b *World, id NodeID) {
+	a.ownServicesMap()
+	b.Services[id] = 0 // want "write to shared World container b.Services"
+}

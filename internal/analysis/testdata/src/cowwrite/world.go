@@ -1,0 +1,22 @@
+// Fixture: a miniature of the engine's copy-on-write World — shared
+// container fields claimed through own* hooks before mutation.
+package cowwrite
+
+type NodeID int
+
+type World struct {
+	Services    map[NodeID]int
+	Timers      map[NodeID]map[string]bool
+	Down        map[NodeID]bool
+	Inflight    []int
+	partitioned map[[2]NodeID]bool
+}
+
+func (w *World) ownServicesMap() {}
+func (w *World) ownTimersMap()   {}
+func (w *World) ownTimers(id NodeID) map[string]bool {
+	return w.Timers[id]
+}
+func (w *World) ownDownMap()    {}
+func (w *World) ownPartitions() {}
+func (w *World) ownInflight()   {}

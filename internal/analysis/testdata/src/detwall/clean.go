@@ -1,0 +1,21 @@
+// Fixture: sanctioned randomness and annotated wall-clock sites produce
+// no diagnostics.
+package detwall
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Seeded generators are the sanctioned randomness: determinism comes from
+// the seed, and methods on the seeded *rand.Rand are never flagged.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func stopwatch() time.Duration {
+	start := time.Now() //crystalvet:wallclock fixture stopwatch; the value is discarded
+
+	return time.Since(start) //crystalvet:detwall the analyzer name works as a directive key too
+}

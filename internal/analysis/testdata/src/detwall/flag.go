@@ -1,0 +1,33 @@
+// Fixture: every class of nondeterministic input detwall forbids.
+package detwall
+
+import (
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+)
+
+func stamps() time.Duration {
+	t := time.Now()      // want "wall-clock read in deterministic package: time.Now"
+	return time.Since(t) // want "wall-clock read in deterministic package: time.Since"
+}
+
+func env() string {
+	return os.Getenv("HOME") // want "environment read in deterministic package: os.Getenv"
+}
+
+func shape() int {
+	return runtime.NumCPU() // want "scheduler-shape read in deterministic package: runtime.NumCPU"
+}
+
+func globalRand() int {
+	return rand.Intn(3) // want "global math/rand state in deterministic package: rand.Intn"
+}
+
+func bareDirective() time.Time {
+	// A directive with no reason must not suppress: the reason is the
+	// reviewable record of why the contract does not apply.
+	//crystalvet:wallclock
+	return time.Now() // want "wall-clock read"
+}

@@ -1,0 +1,49 @@
+// Fixture: kind constants without digestible bodies, and World writes
+// without their incremental-hash maintenance.
+package digestmaint
+
+// Hasher and BodyDigester mirror the sm package's digest vocabulary; the
+// analyzer resolves them from the local scope in fixtures.
+type Hasher struct{}
+
+type BodyDigester interface {
+	DigestBody(h *Hasher)
+}
+
+const (
+	KindGone = "gone" // want "message kind KindGone has no package-level body type Gone"
+	KindPtr  = "ptr"  // want "body type Ptr implements BodyDigester only with a pointer receiver"
+	KindBad  = "bad"  // want "body type Bad does not implement BodyDigester"
+)
+
+type Ptr struct{ N int }
+
+func (p *Ptr) DigestBody(h *Hasher) {}
+
+type Bad struct{ N int }
+
+type worldDigest struct {
+	inflightSum uint64
+	partSum     uint64
+}
+
+type World struct {
+	Services    map[int]int
+	Inflight    []int
+	partitioned map[int]bool
+	dig         worldDigest
+}
+
+func (w *World) markDigestDirty(id int) {}
+
+func (w *World) Set(id, v int) {
+	w.Services[id] = v // want "digest-contributing write to w.Services without markDigestDirty"
+}
+
+func (w *World) Push(m int) {
+	w.Inflight = append(w.Inflight, m) // want "digest-contributing write to w.Inflight without inflightSum"
+}
+
+func (w *World) Cut(a int) {
+	w.partitioned[a] = true // want "digest-contributing write to w.partitioned without partSum"
+}

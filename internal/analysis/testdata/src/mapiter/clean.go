@@ -1,0 +1,52 @@
+// Fixture: the order-insensitive shapes mapiter recognizes as safe.
+package mapiter
+
+import "sort"
+
+// Collect-then-sort: the canonical deterministic projection of a map.
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Commutative fold: order-insensitive by construction.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// A loop-local append dies with the iteration and cannot leak its order.
+func perEntry(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		local := make([]int, 0, len(vs))
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// Map writes inside a map range are commutative.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Order-insensitive for a reason the analyzer cannot see: annotated.
+func reclaim(m map[string][]int) [][]int {
+	var spares [][]int
+	for _, s := range m {
+		spares = append(spares, s[:0]) //crystalvet:mapiter recycled scratch; the slices are interchangeable
+	}
+	return spares
+}

@@ -1,0 +1,38 @@
+// Fixture: map-iteration order escaping into slices, streams, and
+// channels.
+package mapiter
+
+import "hash/maphash"
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out inside range over map"
+	}
+	return out
+}
+
+func hashAll(m map[string]uint64) uint64 {
+	var h maphash.Hash
+	for k := range m {
+		h.WriteString(k) // want "WriteString inside range over map"
+	}
+	return h.Sum64()
+}
+
+func stream(m map[int]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want "channel send inside range over map"
+	}
+}
+
+// A nested slice range still leaks the outer map's order.
+func nested(m map[string][]int) []int {
+	var out []int
+	for _, vs := range m {
+		for _, v := range vs {
+			out = append(out, v) // want "append to out inside range over map"
+		}
+	}
+	return out
+}

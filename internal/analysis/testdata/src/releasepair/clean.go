@@ -1,0 +1,58 @@
+// Fixture: the release disciplines the analyzer accepts.
+package releasepair
+
+// A deferred release covers every return path.
+func deferred(x bool) uint64 {
+	h := GetHasher()
+	defer PutHasher(h)
+	if x {
+		return 0
+	}
+	return h.Sum()
+}
+
+// An explicit release before each return.
+func explicit(x bool) uint64 {
+	h := GetHasher()
+	if x {
+		PutHasher(h)
+		return 0
+	}
+	s := h.Sum()
+	PutHasher(h)
+	return s
+}
+
+// Returning the handle transfers ownership to the caller.
+func transfer() *Hasher {
+	h := GetHasher()
+	return h
+}
+
+// Storing into a composite hands ownership to the container.
+type box struct{ h *Hasher }
+
+func boxed() box {
+	h := GetHasher()
+	return box{h: h}
+}
+
+// Ownership threading the analyzer cannot see: annotated.
+func threaded() uint64 {
+	h := GetHasher() //crystalvet:releasepair released by finish on every path
+	return finish(h)
+}
+
+func finish(h *Hasher) uint64 {
+	s := h.Sum()
+	PutHasher(h)
+	return s
+}
+
+// Scratch released through its pair.
+func names() int {
+	ns := borrowNames()
+	n := len(ns)
+	returnNames(ns)
+	return n
+}

@@ -1,0 +1,22 @@
+// Fixture: pooled handles dropped without release.
+package releasepair
+
+func leaks() uint64 {
+	h := GetHasher() // want "h acquired from GetHasher is never released"
+	return h.Sum()
+}
+
+func leakyPath(x bool) uint64 {
+	h := GetHasher()
+	if x {
+		return 0 // want "return path leaks h"
+	}
+	s := h.Sum()
+	PutHasher(h)
+	return s
+}
+
+func namesLeak(n int) int {
+	names := borrowNames() // want "names acquired from borrowNames is never released"
+	return n + len(names)
+}

@@ -1,0 +1,12 @@
+// Fixture: a miniature of the engine's pooled-handle vocabulary.
+package releasepair
+
+type Hasher struct{ sum uint64 }
+
+func GetHasher() *Hasher  { return &Hasher{} }
+func PutHasher(h *Hasher) {}
+
+func (h *Hasher) Sum() uint64 { return h.sum }
+
+func borrowNames() []string  { return nil }
+func returnNames(s []string) {}

@@ -16,6 +16,7 @@
 package checkpoint
 
 import (
+	"slices"
 	"time"
 
 	"crystalchoice/internal/sm"
@@ -36,11 +37,26 @@ type Request struct {
 	Epoch uint64
 }
 
+// DigestBody folds the body into a state digest.
+func (r Request) DigestBody(h *sm.Hasher) {
+	h.WriteString("ckreq").WriteUint(r.Epoch)
+}
+
 // Response carries a state clone back to the controller.
 type Response struct {
 	Epoch uint64
 	State sm.Service // a clone, owned by the receiver once delivered
 	At    time.Duration
+}
+
+// DigestBody folds the body into a state digest. The carried clone
+// contributes its own service digest, so two responses with equal epochs
+// but divergent states hash apart.
+func (r Response) DigestBody(h *sm.Hasher) {
+	h.WriteString("ckresp").WriteUint(r.Epoch).WriteInt(int64(r.At))
+	if r.State != nil {
+		h.WriteUint(r.State.Digest())
+	}
 }
 
 // Entry is one retained checkpoint.
@@ -223,12 +239,13 @@ func (m *Manager) Snapshot() Snapshot {
 	return s
 }
 
-// Retained returns the IDs for which checkpoints are held, for tests and
-// introspection.
+// Retained returns the IDs for which checkpoints are held, in ascending
+// order, for tests and introspection.
 func (m *Manager) Retained() []NodeID {
 	ids := make([]NodeID, 0, len(m.latest))
 	for id := range m.latest {
 		ids = append(ids, id)
 	}
+	slices.Sort(ids)
 	return ids
 }

@@ -120,14 +120,25 @@ func (h *LatencyHist) add(o *LatencyHist) {
 // snapshotted from the same (monotonically growing) histogram — the
 // measured-phase view a load harness needs after discarding warmup.
 // MaxNs cannot be un-merged, so the delta keeps the lifetime maximum;
-// treat the result's Max as an upper bound.
+// treat the result's Max as an upper bound. Counters clamp at zero
+// instead of wrapping, so a mismatched snapshot (prev not taken from h,
+// or taken later) yields an empty-ish delta rather than a histogram with
+// ~2^64 phantom samples.
 func (h LatencyHist) Delta(prev LatencyHist) LatencyHist {
 	var d LatencyHist
 	for i := range h.Buckets {
-		d.Buckets[i] = h.Buckets[i] - prev.Buckets[i]
+		d.Buckets[i] = clampedSub(h.Buckets[i], prev.Buckets[i])
 	}
-	d.Count = h.Count - prev.Count
-	d.SumNs = h.SumNs - prev.SumNs
+	d.Count = clampedSub(h.Count, prev.Count)
+	d.SumNs = clampedSub(h.SumNs, prev.SumNs)
 	d.MaxNs = h.MaxNs
 	return d
+}
+
+// clampedSub returns a-b, or 0 when b exceeds a.
+func clampedSub(a, b uint64) uint64 {
+	if b > a {
+		return 0
+	}
+	return a - b
 }

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLatencyHistZeroValue pins the zero-value contract: every query on a
+// histogram with no observations returns zero rather than dividing by or
+// indexing into nothing.
+func TestLatencyHistZeroValue(t *testing.T) {
+	var h LatencyHist
+	if h.N() != 0 {
+		t.Fatalf("N = %d, want 0", h.N())
+	}
+	if h.Mean() != 0 {
+		t.Fatalf("Mean = %v, want 0", h.Mean())
+	}
+	if h.Max() != 0 {
+		t.Fatalf("Max = %v, want 0", h.Max())
+	}
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := h.Percentile(p); got != 0 {
+			t.Fatalf("Percentile(%v) = %v, want 0", p, got)
+		}
+	}
+}
+
+// TestLatencyHistSingleSample: with one observation every percentile must
+// resolve to that observation exactly (the Max cap makes the last
+// occupied bucket exact).
+func TestLatencyHistSingleSample(t *testing.T) {
+	var h LatencyHist
+	const d = 777 * time.Microsecond
+	h.Observe(d)
+	if h.N() != 1 || h.Max() != d || h.Mean() != d {
+		t.Fatalf("n=%d max=%v mean=%v, want 1/%v/%v", h.N(), h.Max(), h.Mean(), d, d)
+	}
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if got := h.Percentile(p); got != d {
+			t.Fatalf("Percentile(%v) = %v, want %v", p, got, d)
+		}
+	}
+	// Out-of-range percentiles clamp instead of panicking.
+	if h.Percentile(-5) != d || h.Percentile(250) != d {
+		t.Fatal("out-of-range percentile did not clamp")
+	}
+}
+
+// TestLatencyHistPowerOfTwoBoundaries checks bucketing at the bucket
+// edges: 2^k opens bucket k+1 (range [2^k, 2^(k+1))), and 2^k-1 closes
+// bucket k. A sample alone in its histogram must be reported exactly, and
+// a boundary pair must straddle two buckets.
+func TestLatencyHistPowerOfTwoBoundaries(t *testing.T) {
+	for _, k := range []uint{0, 1, 4, 10, 20, 30} {
+		edge := time.Duration(1) << k
+
+		var lone LatencyHist
+		lone.Observe(edge)
+		if got := lone.Percentile(100); got != edge {
+			t.Fatalf("k=%d: p100 = %v, want %v", k, got, edge)
+		}
+
+		var pair LatencyHist
+		pair.Observe(edge - 1) // top of bucket k
+		pair.Observe(edge)     // bottom of bucket k+1
+		if pair.N() != 2 {
+			t.Fatalf("k=%d: N = %d", k, pair.N())
+		}
+		// p0 resolves to the lower bucket's upper bound: exactly edge-1.
+		if got := pair.Percentile(0); got != edge-1 {
+			t.Fatalf("k=%d: p0 = %v, want %v", k, got, edge-1)
+		}
+		if got := pair.Percentile(100); got != edge {
+			t.Fatalf("k=%d: p100 = %v, want %v", k, got, edge)
+		}
+	}
+
+	// The overflow bucket absorbs absurd values without wrapping.
+	var h LatencyHist
+	h.Observe(time.Duration(1<<62 - 1))
+	if h.N() != 1 || h.Max() != time.Duration(1<<62-1) {
+		t.Fatalf("overflow bucket: n=%d max=%v", h.N(), h.Max())
+	}
+}
+
+// TestLatencyHistDeltaUnderflow: subtracting a snapshot that is NOT a
+// prefix of the histogram (wrong object, or taken later) must clamp to
+// zero, not wrap to ~2^64 phantom samples.
+func TestLatencyHistDeltaUnderflow(t *testing.T) {
+	var small, big LatencyHist
+	small.Observe(time.Microsecond)
+	for i := 0; i < 5; i++ {
+		big.Observe(time.Millisecond)
+	}
+	d := small.Delta(big) // mismatched: prev has more of everything
+	if d.Count != 0 {
+		t.Fatalf("Delta Count = %d, want 0 (clamped)", d.Count)
+	}
+	if d.SumNs != 0 {
+		t.Fatalf("Delta SumNs = %d, want 0 (clamped)", d.SumNs)
+	}
+	for i, c := range d.Buckets {
+		if c != 0 && big.Buckets[i] > small.Buckets[i] {
+			t.Fatalf("Delta bucket %d = %d, want 0 (clamped)", i, c)
+		}
+	}
+	// Mean on the clamped delta must not divide by a wrapped count.
+	if d.Mean() != 0 {
+		t.Fatalf("Delta Mean = %v, want 0", d.Mean())
+	}
+
+	// The well-formed direction still subtracts exactly.
+	snap := big
+	big.Observe(time.Second)
+	ok := big.Delta(snap)
+	if ok.N() != 1 || ok.Percentile(100) != time.Second {
+		t.Fatalf("well-formed delta: n=%d p100=%v", ok.N(), ok.Percentile(100))
+	}
+}
+
+// TestLatencyHistMismatchedMerge merges histograms with disjoint bucket
+// occupancy and checks every aggregate survives: counts add, sums add,
+// max takes the larger side, and percentiles see both populations.
+func TestLatencyHistMismatchedMerge(t *testing.T) {
+	var fast, slow LatencyHist
+	for i := 0; i < 90; i++ {
+		fast.Observe(100 * time.Nanosecond)
+	}
+	for i := 0; i < 10; i++ {
+		slow.Observe(10 * time.Millisecond)
+	}
+	merged := fast
+	merged.add(&slow)
+	if merged.N() != 100 {
+		t.Fatalf("merged N = %d, want 100", merged.N())
+	}
+	wantSum := uint64(90*100) + uint64(10*10*time.Millisecond)
+	if merged.SumNs != wantSum {
+		t.Fatalf("merged SumNs = %d, want %d", merged.SumNs, wantSum)
+	}
+	if merged.Max() != 10*time.Millisecond {
+		t.Fatalf("merged Max = %v", merged.Max())
+	}
+	// p50 comes from the fast population, p99 from the slow one.
+	if p := merged.Percentile(50); p > time.Microsecond {
+		t.Fatalf("merged p50 = %v, want sub-microsecond", p)
+	}
+	if p := merged.Percentile(99); p != 10*time.Millisecond {
+		t.Fatalf("merged p99 = %v, want 10ms", p)
+	}
+	// Merging the empty histogram is the identity.
+	before := merged
+	var empty LatencyHist
+	merged.add(&empty)
+	if merged != before {
+		t.Fatal("merging an empty histogram changed the receiver")
+	}
+}

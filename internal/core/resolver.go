@@ -171,7 +171,7 @@ func (p *Predictive) Resolve(n *Node, c sm.Choice) int {
 	// From here on the handler is blocked on a real decision — cache
 	// lookup, or a full consequence prediction — so the wall-clock cost
 	// is exactly what a live delivery window would have to absorb.
-	start := time.Now()
+	start := time.Now() //crystalvet:wallclock stopwatch for decision-latency stats; never reaches world state
 	defer func() { n.observeDecision(&n.stats.ResolveLatency, start) }()
 	if p.OffCriticalPath {
 		return p.resolveAsync(n, c, base)
@@ -264,7 +264,7 @@ func (p *Predictive) resolveAsync(n *Node, c sm.Choice, base sm.Service) int {
 		if n.down || n.epoch != epoch {
 			return
 		}
-		compute := time.Now()
+		compute := time.Now() //crystalvet:wallclock stopwatch for async-resolve latency stats; never reaches world state
 		defer func() { n.stats.ResolveLatency.Observe(time.Since(compute)) }()
 		obj := n.objective
 		scores := make([]float64, c.N)

@@ -597,7 +597,7 @@ func (n *Node) onDeliver(tm *transport.Message) {
 // message is dropped and the connection to its sender broken (paper §2).
 func (n *Node) steerAway(msg *sm.Msg) bool {
 	n.stats.SteeringChecks++
-	start := time.Now()
+	start := time.Now() //crystalvet:wallclock stopwatch for steering-latency stats; never reaches world state
 	defer func() { n.observeDecision(&n.stats.SteerLatency, start) }()
 	cfg := n.cluster.cfg
 	now := time.Duration(n.cluster.eng.Now())
@@ -650,7 +650,7 @@ func (n *Node) steerAway(msg *sm.Msg) bool {
 // decision into h and counts a dropped window when it overran the
 // configured delivery slot.
 func (n *Node) observeDecision(h *LatencyHist, start time.Time) {
-	d := time.Since(start)
+	d := time.Since(start) //crystalvet:wallclock stopwatch readout for latency histograms; never reaches world state
 	h.Observe(d)
 	if slot := n.cluster.cfg.DecisionSlot; slot > 0 && d > slot {
 		n.stats.DroppedWindows++

@@ -338,7 +338,7 @@ func (x *Explorer) faultActions(w *World, used int) []Action {
 // pool. The start world is not modified: every branch works on
 // copy-on-write forks.
 func (x *Explorer) Explore(w *World) *Report {
-	start := time.Now()
+	start := time.Now() //crystalvet:wallclock stopwatch for Report.Elapsed; never reaches world state or digests
 	strat := x.Strategy
 	if strat == nil {
 		strat = ChainDFS{}
@@ -434,7 +434,7 @@ func (x *Explorer) Explore(w *World) *Report {
 		r.FrontierDropped = int(n)
 		r.Truncated = true
 	}
-	r.Elapsed = time.Since(start)
+	r.Elapsed = time.Since(start) //crystalvet:wallclock stopwatch readout for Report.Elapsed; diagnostics only
 	return r
 }
 
@@ -445,7 +445,7 @@ func (x *Explorer) Explore(w *World) *Report {
 // available time allows (§2: "fast enough to look several levels of state
 // space into the future fairly quickly").
 func (x *Explorer) IterativeExplore(w *World, maxDepth int, budget time.Duration) (*Report, int) {
-	deadline := time.Now().Add(budget)
+	deadline := time.Now().Add(budget) //crystalvet:wallclock real-time deepening budget (paper: look as far as time allows); bounds work, not results
 	saved := x.Depth
 	defer func() { x.Depth = saved }()
 	var best *Report
@@ -462,7 +462,7 @@ func (x *Explorer) IterativeExplore(w *World, maxDepth int, budget time.Duration
 			// so it must not end the deepening loop early.
 			break
 		}
-		if !time.Now().Before(deadline) {
+		if !time.Now().Before(deadline) { //crystalvet:wallclock deepening-budget check; bounds work, not results
 			break
 		}
 	}

@@ -59,6 +59,8 @@ const spareTimerSetCap = 4
 // shell's spare slots, everything else is cleared, and the shell joins
 // the free-list. The caller guarantees w's subtree is exhausted and w is
 // not pinned.
+//
+//crystalvet:cowwrite teardown of a dead world: nil-ing the container fields here releases, not mutates, shared state
 func (p *worldPool) put(w *World) {
 	// A sealed world's marks are provenance, not exclusivity: its forks
 	// may still be alive and sharing the marked containers, so the plain
@@ -83,7 +85,7 @@ func (p *worldPool) put(w *World) {
 			}
 			if set := w.Timers[id]; set != nil {
 				clear(set)
-				w.spareTimerSets = append(w.spareTimerSets, set)
+				w.spareTimerSets = append(w.spareTimerSets, set) //crystalvet:mapiter spare-container reclamation; recycled sets are interchangeable, order immaterial
 			}
 		}
 		clear(w.ownedTimers)

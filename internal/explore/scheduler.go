@@ -97,7 +97,7 @@ func (c *Ctx) Exhausted() bool {
 	if c.expired.Load() {
 		return true
 	}
-	if c.polls.Add(1)&255 == 0 && time.Now().After(c.deadline) {
+	if c.polls.Add(1)&255 == 0 && time.Now().After(c.deadline) { //crystalvet:wallclock cooperative deadline poll; truncates the search, never alters a branch outcome
 		c.expired.Store(true)
 		return true
 	}

@@ -274,6 +274,8 @@ func (w *World) clonePooled(p *worldPool) *World {
 // containers — as a copy-on-write fork of w. Every container, the outer
 // maps included, is shared by pointer; the own* hooks copy on first
 // write.
+//
+//crystalvet:cowwrite initializes a fresh fork shell: c has no sharers yet, and sharing the parent's containers is the point
 func (w *World) cloneInto(c *World) *World {
 	c.Services = w.Services
 	c.Timers = w.Timers
@@ -341,6 +343,8 @@ func forkSeed(parent, k int64) int64 {
 // uses copy-on-write forks instead (see Clone); DeepClone remains for
 // callers that want a fully detached world up front and for measuring what
 // copy-on-write buys (Explorer.DeepClones).
+//
+//crystalvet:cowwrite eager copy into a private world allocated two lines up; nothing is shared by construction
 func (w *World) DeepClone() *World {
 	c := &World{
 		Services:    make(map[NodeID]sm.Service, len(w.Services)),
@@ -847,6 +851,8 @@ func (w *World) Recover(id NodeID, svc sm.Service) []*sm.Msg {
 // index) returns the capped prefix itself — still never writable in
 // place, but aliasing whatever backing array the slice had, so ownership
 // is only claimed when a fresh array was made.
+//
+//crystalvet:cowwrite manual ownership protocol documented above: in-place compaction only under inflightOwned, shared slices go through capped-prefix append
 func (w *World) RemoveInflight(i int) {
 	if w.dig.valid {
 		w.dig.inflightSum -= sm.Mix64(w.Inflight[i].Digest())

@@ -77,7 +77,7 @@ type Options struct {
 // The run is deterministic given the spec (which carries its seed): the
 // virtual engine, the schedule, and the workload all derive from it.
 func Run(s *Spec, opt Options) (*Result, error) {
-	start := time.Now()
+	start := time.Now() //crystalvet:wallclock stopwatch for Result.Elapsed; never reaches the virtual run
 	spec := s.Clone()
 	spec.fill()
 	if err := spec.Validate(); err != nil {
@@ -110,7 +110,7 @@ func Run(s *Spec, opt Options) (*Result, error) {
 	}
 	step := spec.ProbeEvery.D()
 	for t := time.Duration(0); t < spec.Duration.D(); t += step {
-		if !opt.Deadline.IsZero() && time.Now().After(opt.Deadline) {
+		if !opt.Deadline.IsZero() && time.Now().After(opt.Deadline) { //crystalvet:wallclock caller-imposed deadline; truncates the run (Truncated=true), never alters events
 			res.Truncated = true
 			break
 		}
@@ -128,7 +128,7 @@ func Run(s *Spec, opt Options) (*Result, error) {
 	}
 	sort.Strings(res.Classes)
 	res.Digest = d.cl.MaterializeWorld(explore.FirstPolicy, spec.Seed, d.timers).DigestFull()
-	res.Elapsed = time.Since(start)
+	res.Elapsed = time.Since(start) //crystalvet:wallclock stopwatch readout for Result.Elapsed; diagnostics only
 	return res, nil
 }
 

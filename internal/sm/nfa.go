@@ -12,6 +12,8 @@ package sm
 // and calls Dispatch; the applicable subset becomes one exposed Choice
 // that the runtime resolves like any other.
 
+import "slices"
+
 // Alternative is one simple handler for an event, applicable when its
 // guard holds.
 type Alternative struct {
@@ -94,11 +96,12 @@ func (h *Handlers) Dispatch(env Env, m *Msg) bool {
 	return Dispatch(env, "nfa."+m.Kind, alts...)
 }
 
-// Kinds returns the registered message kinds (unordered).
+// Kinds returns the registered message kinds in sorted order.
 func (h *Handlers) Kinds() []string {
 	out := make([]string, 0, len(h.byKind))
 	for k := range h.byKind {
 		out = append(out, k)
 	}
+	slices.Sort(out)
 	return out
 }

@@ -18,6 +18,7 @@ package transport
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"time"
 
 	"crystalchoice/internal/netmodel"
@@ -206,10 +207,12 @@ func (n *Network) HealGroups(a, b []NodeID) {
 	}
 }
 
-// Partitions returns the currently partitioned node pairs, unordered and
+// Partitions returns the currently partitioned node pairs, sorted and
 // deduplicated (Partition cuts both directions, so each cut appears once,
 // normalized low-high). Lookahead world builders use it to mirror the live
-// partition state into an explorable world's reachability relation.
+// partition state into an explorable world's reachability relation; the
+// sort keeps that mirroring — and anything that logs the pairs — stable
+// across runs.
 func (n *Network) Partitions() [][2]NodeID {
 	seen := make(map[[2]NodeID]bool, len(n.partitioned)/2)
 	out := make([][2]NodeID, 0, len(n.partitioned)/2)
@@ -224,6 +227,12 @@ func (n *Network) Partitions() [][2]NodeID {
 		seen[p] = true
 		out = append(out, p)
 	}
+	slices.SortFunc(out, func(a, b [2]NodeID) int {
+		if a[0] != b[0] {
+			return int(a[0] - b[0])
+		}
+		return int(a[1] - b[1])
+	})
 	return out
 }
 
