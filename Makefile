@@ -6,7 +6,7 @@ BENCHTIME ?= 1s
 # instead of whatever @latest resolves to on the day.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: test race bench bench-alloc bench-json bench-diff bench-load profile vet lint lint-tools crystalvet staticcheck
+.PHONY: test race bench bench-alloc bench-json bench-diff bench-load bench-adaptive profile vet lint lint-tools crystalvet staticcheck
 
 vet:
 	go vet ./...
@@ -78,3 +78,11 @@ bench-diff:
 bench-load:
 	go run ./cmd/loadgen -app paxos -n 5 -seed 1 -rps 25 -warmup 500ms \
 		-duration 2s -slot 1ms -matrix -json loadgen_smoke.json
+
+# bench-adaptive is the adaptive-runtime smoke (E19): the class-keyed
+# verdict cache and worker autoscaling against the unique-command paxos
+# workload whose per-digest cache hit rate is 0%. A couple of quick
+# iterations per cell — the point is exercising the paths, not stable
+# numbers (use `make bench-json` for those).
+bench-adaptive:
+	go test -run '^$$' -bench BenchmarkE19AdaptiveRuntime -benchtime 2x .

@@ -284,7 +284,11 @@ func BenchmarkE13FaultExploration(b *testing.B) {
 // interesting rows are the multi-worker ones. Reported metric: states
 // visited per second of wall clock.
 func BenchmarkE14WorkStealing(b *testing.B) {
-	for _, mode := range []string{"steal", "queue"} {
+	// "auto" rows run the stealing scheduler with AutoWorkers: workers is
+	// the ceiling and the controller picks the active set, so comparing
+	// auto/workersN against the best hand-picked steal/workersM row
+	// measures what the autoscaler costs over an oracle configuration.
+	for _, mode := range []string{"steal", "queue", "auto"} {
 		for _, workers := range []int{1, 2, 4, 8} {
 			mode, workers := mode, workers
 			b.Run(fmt.Sprintf("%s/workers%d", mode, workers), func(b *testing.B) {
@@ -299,6 +303,7 @@ func BenchmarkE14WorkStealing(b *testing.B) {
 					x.Strategy = explore.BFS{}
 					x.Workers = workers
 					x.SingleQueue = mode == "queue"
+					x.AutoWorkers = mode == "auto"
 					r := x.Explore(w)
 					states += r.StatesExplored
 				}
@@ -593,6 +598,74 @@ func BenchmarkE18SteeringLatency(b *testing.B) {
 			if hits+misses > 0 {
 				b.ReportMetric(float64(hits)/float64(hits+misses)*100, "cache-hit-%")
 			}
+			b.ReportMetric(float64(dropped)/float64(b.N), "dropped-windows")
+			b.ReportMetric(float64(steered)/float64(b.N), "steered/run")
+		})
+	}
+}
+
+// BenchmarkE19AdaptiveRuntime measures the class-keyed verdict cache and
+// lookahead worker autoscaling on the workload the per-digest cache
+// cannot help: unique-command paxos traffic, where every proposal changes
+// the state digest and E18 measured a 0% hit rate with resolve p50 stuck
+// near the full-lookahead price (~2.1 ms). Class verdicts key on the
+// violation-class and scenario shape instead of the exact state, so the
+// warmup phase warms them once and the measured phase answers from the
+// cache. Reported metrics mirror E18 plus the class-cache hit rate.
+func BenchmarkE19AdaptiveRuntime(b *testing.B) {
+	base := loadbench.Config{
+		App: "paxos", N: 5, Seed: 1, TargetRPS: 25,
+		Warmup: 500 * time.Millisecond, Duration: 2 * time.Second,
+		Steering: true, Resolver: "predictive",
+		DecisionSlot: time.Millisecond,
+	}
+	cells := []struct {
+		name       string
+		classCache bool
+		workers    int
+		auto       bool
+	}{
+		{"classcache-off", false, 0, false},
+		{"classcache-on", true, 0, false},
+		{"classcache-on/workers4", true, 4, false},
+		{"classcache-on/autoworkers4", true, 4, true},
+	}
+	for _, c := range cells {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			cfg := base
+			cfg.LookaheadClassCache = c.classCache
+			cfg.LookaheadWorkers = c.workers
+			cfg.LookaheadAutoWorkers = c.auto
+			var steer, resolve, op core.LatencyHist
+			var hits, misses, chits, cmisses, dropped, steered uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := loadbench.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mergeHist(&steer, &res.SteerLatency)
+				mergeHist(&resolve, &res.ResolveLatency)
+				mergeHist(&op, &res.OpLatency)
+				hits += res.CacheHits
+				misses += res.CacheMisses
+				chits += res.ClassCacheHits
+				cmisses += res.ClassCacheMisses
+				dropped += res.DroppedWindows
+				steered += res.Steered
+			}
+			b.ReportMetric(float64(op.Percentile(99)), "op-p99-ns")
+			if steer.N() > 0 {
+				b.ReportMetric(float64(steer.Percentile(50)), "steer-p50-ns")
+				b.ReportMetric(float64(steer.Percentile(99)), "steer-p99-ns")
+			}
+			if resolve.N() > 0 {
+				b.ReportMetric(float64(resolve.Percentile(50)), "resolve-p50-ns")
+				b.ReportMetric(float64(resolve.Percentile(99)), "resolve-p99-ns")
+			}
+			b.ReportMetric(core.HitRate(hits, misses)*100, "cache-hit-%")
+			b.ReportMetric(core.HitRate(chits, cmisses)*100, "class-hit-%")
 			b.ReportMetric(float64(dropped)/float64(b.N), "dropped-windows")
 			b.ReportMetric(float64(steered)/float64(b.N), "steered/run")
 		})

@@ -1,0 +1,214 @@
+// Command classdiff compares two violation-class inventories — the
+// -classes-json output of cmd/mc (an array of class records) or the
+// -classes-out output of the scenario fuzzer (a plain array of class
+// labels) — and reports the drift as three buckets: classes new in the
+// current run, classes that vanished since the baseline, and classes
+// whose witness count moved. The nightly jobs previously diffed raw
+// key sets with comm(1), which conflates "new bug class" with "same
+// classes, different counts" and cannot say which side changed;
+// classdiff makes the drift report structured and the failure policy
+// explicit.
+//
+// Exit status: 0 when the -fail-on policy is satisfied, 1 when it is
+// violated (drift of the selected kind exists), 2 on usage or input
+// errors.
+//
+// Examples:
+//
+//	classdiff -old baseline.json -new run.json
+//	classdiff -old baseline.json -new run.json -fail-on any -json drift.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// classRecord mirrors cmd/mc's classes-json element. Scenario fuzz
+// output (a bare string array) is normalized into records with only
+// Property set and Count 1.
+type classRecord struct {
+	Property     string   `json:"property"`
+	Signature    string   `json:"signature"`
+	Digest       string   `json:"digest,omitempty"`
+	Count        int      `json:"count"`
+	WitnessDepth int      `json:"witness_depth,omitempty"`
+	Witness      []string `json:"witness,omitempty"`
+}
+
+// key identifies a class across runs. Digests are stable across runs
+// and worker counts, but a baseline may predate them, so the canonical
+// (property, signature) pair is the identity and the digest is carried
+// as presentation.
+func (c classRecord) key() string { return c.Property + "\x00" + c.Signature }
+
+// driftEntry is one row of the report: a class plus its count on each
+// side (0 = absent on that side).
+type driftEntry struct {
+	Property  string `json:"property"`
+	Signature string `json:"signature,omitempty"`
+	Digest    string `json:"digest,omitempty"`
+	OldCount  int    `json:"old_count"`
+	NewCount  int    `json:"new_count"`
+}
+
+// driftReport is the structured diff written to -json and summarized on
+// stdout.
+type driftReport struct {
+	Old      string       `json:"old"`
+	New      string       `json:"new"`
+	NewOnly  []driftEntry `json:"new_classes"`
+	Vanished []driftEntry `json:"vanished_classes"`
+	Drifted  []driftEntry `json:"count_drift"`
+	// Counted reports whether both inputs carried real witness counts;
+	// label-array inputs do not, so count drift is suppressed for them.
+	Counted bool `json:"counted"`
+}
+
+// load reads one inventory, accepting either format. An empty file or
+// empty array is a valid inventory with zero classes.
+func load(path string) (map[string]classRecord, bool, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	classes := make(map[string]classRecord)
+	var recs []classRecord
+	if err := json.Unmarshal(b, &recs); err == nil {
+		// An array of strings also unmarshals into []classRecord as
+		// zero records only when empty; probe strings first.
+		var labels []string
+		if err2 := json.Unmarshal(b, &labels); err2 == nil {
+			for _, l := range labels {
+				r := classes[l]
+				classes[l] = classRecord{Property: l, Count: r.Count + 1}
+			}
+			return classes, false, nil
+		}
+		for _, r := range recs {
+			prev := classes[r.key()]
+			r.Count += prev.Count
+			classes[r.key()] = r
+		}
+		return classes, true, nil
+	}
+	var labels []string
+	if err := json.Unmarshal(b, &labels); err != nil {
+		return nil, false, fmt.Errorf("%s: neither a class-record array nor a label array: %w", path, err)
+	}
+	for _, l := range labels {
+		r := classes[l]
+		classes[l] = classRecord{Property: l, Count: r.Count + 1}
+	}
+	return classes, false, nil
+}
+
+func entry(c classRecord, oldCount, newCount int) driftEntry {
+	return driftEntry{Property: c.Property, Signature: c.Signature,
+		Digest: c.Digest, OldCount: oldCount, NewCount: newCount}
+}
+
+func sortEntries(es []driftEntry) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Property != es[j].Property {
+			return es[i].Property < es[j].Property
+		}
+		return es[i].Signature < es[j].Signature
+	})
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	oldPath := flag.String("old", "", "baseline class inventory (JSON)")
+	newPath := flag.String("new", "", "current class inventory (JSON)")
+	jsonOut := flag.String("json", "", "write the structured drift report to this path")
+	failOn := flag.String("fail-on", "new", "exit 1 when drift of this kind exists: new | any | none")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "classdiff: need -old and -new")
+		flag.Usage()
+		return 2
+	}
+	switch *failOn {
+	case "new", "any", "none":
+	default:
+		fmt.Fprintf(os.Stderr, "classdiff: unknown -fail-on %q (new|any|none)\n", *failOn)
+		return 2
+	}
+
+	oldClasses, oldCounted, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "classdiff: %v\n", err)
+		return 2
+	}
+	newClasses, newCounted, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "classdiff: %v\n", err)
+		return 2
+	}
+
+	rep := driftReport{Old: *oldPath, New: *newPath,
+		NewOnly: []driftEntry{}, Vanished: []driftEntry{}, Drifted: []driftEntry{},
+		Counted: oldCounted && newCounted}
+	for k, nc := range newClasses {
+		oc, ok := oldClasses[k]
+		switch {
+		case !ok:
+			rep.NewOnly = append(rep.NewOnly, entry(nc, 0, nc.Count)) //crystalvet:mapiter sortEntries below fixes the order before printing/marshalling
+		case rep.Counted && oc.Count != nc.Count:
+			rep.Drifted = append(rep.Drifted, entry(nc, oc.Count, nc.Count)) //crystalvet:mapiter sortEntries below fixes the order before printing/marshalling
+		}
+	}
+	for k, oc := range oldClasses {
+		if _, ok := newClasses[k]; !ok {
+			rep.Vanished = append(rep.Vanished, entry(oc, oc.Count, 0)) //crystalvet:mapiter sortEntries below fixes the order before printing/marshalling
+		}
+	}
+	sortEntries(rep.NewOnly)
+	sortEntries(rep.Vanished)
+	sortEntries(rep.Drifted)
+
+	fmt.Printf("classdiff: %d baseline, %d current — %d new, %d vanished, %d count-drift\n",
+		len(oldClasses), len(newClasses), len(rep.NewOnly), len(rep.Vanished), len(rep.Drifted))
+	describe := func(kind string, es []driftEntry) {
+		for _, e := range es {
+			id := e.Property
+			if e.Signature != "" {
+				id += " | " + e.Signature
+			}
+			fmt.Printf("  %-8s %s (count %d -> %d)\n", kind, id, e.OldCount, e.NewCount)
+		}
+	}
+	describe("new", rep.NewOnly)
+	describe("vanished", rep.Vanished)
+	describe("drift", rep.Drifted)
+
+	if *jsonOut != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "classdiff: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "classdiff: %v\n", err)
+			return 2
+		}
+	}
+
+	fail := false
+	switch *failOn {
+	case "new":
+		fail = len(rep.NewOnly) > 0
+	case "any":
+		fail = len(rep.NewOnly) > 0 || len(rep.Vanished) > 0 || len(rep.Drifted) > 0
+	}
+	if fail {
+		fmt.Printf("classdiff: FAIL (-fail-on %s)\n", *failOn)
+		return 1
+	}
+	return 0
+}

@@ -45,6 +45,14 @@ var (
 	lookaheadLockedSeen bool
 )
 
+// lookaheadClassCache caches steering/resolve verdicts under canonical
+// violation-class and scenario keys; lookaheadAutoWorkers autoscales
+// lookahead worker pools mid-run (PR 10 adaptive-runtime knobs).
+var (
+	lookaheadClassCache  bool
+	lookaheadAutoWorkers bool
+)
+
 // main delegates to run so deferred profile writers flush before exit.
 func main() { os.Exit(run()) }
 
@@ -59,6 +67,8 @@ func run() int {
 	flag.IntVar(&lookaheadMaxFrontier, "maxfrontier", 0, "cap on pending lookahead frontier units, dropping lowest-priority work (0 = unbounded)")
 	flag.BoolVar(&lookaheadNoArena, "noarena", false, "heap-allocate lookahead trace nodes instead of per-worker arenas (ablation)")
 	flag.BoolVar(&lookaheadLockedSeen, "lockedseen", false, "dedup lookahead states through the locked sharded seen set (ablation)")
+	flag.BoolVar(&lookaheadClassCache, "classcache", false, "cache steering/resolve verdicts under violation-class keys")
+	flag.BoolVar(&lookaheadAutoWorkers, "autoworkers", false, "autoscale lookahead worker pools mid-run")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	flag.Parse()
@@ -124,7 +134,7 @@ func runOverload(seed0 int64, seeds int) {
 		committed, submitted := 0, 0
 		for k := 0; k < seeds; k++ {
 			r := paxos.Run(paxos.ExperimentConfig{
-				Seed: seed0 + int64(k), Policy: p, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions, LookaheadMaxFrontier: lookaheadMaxFrontier, LookaheadNoArena: lookaheadNoArena, LookaheadLockedSeen: lookaheadLockedSeen,
+				Seed: seed0 + int64(k), Policy: p, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions, LookaheadMaxFrontier: lookaheadMaxFrontier, LookaheadNoArena: lookaheadNoArena, LookaheadLockedSeen: lookaheadLockedSeen, LookaheadClassCache: lookaheadClassCache, LookaheadAutoWorkers: lookaheadAutoWorkers,
 				UniformLatency: 20 * time.Millisecond,
 				WorkDelay:      60 * time.Millisecond,
 				Interarrival:   40 * time.Millisecond,
@@ -157,7 +167,7 @@ func runGossip(seed0 int64, seeds int) {
 	for _, s := range gossip.Strategies {
 		var mean, max, fmean, fmax float64
 		for k := 0; k < seeds; k++ {
-			r := gossip.Run(gossip.ExperimentConfig{N: 16, Seed: seed0 + int64(k), Strategy: s, SlowNodes: 4, Updates: 6, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions, LookaheadMaxFrontier: lookaheadMaxFrontier, LookaheadNoArena: lookaheadNoArena, LookaheadLockedSeen: lookaheadLockedSeen})
+			r := gossip.Run(gossip.ExperimentConfig{N: 16, Seed: seed0 + int64(k), Strategy: s, SlowNodes: 4, Updates: 6, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions, LookaheadMaxFrontier: lookaheadMaxFrontier, LookaheadNoArena: lookaheadNoArena, LookaheadLockedSeen: lookaheadLockedSeen, LookaheadClassCache: lookaheadClassCache, LookaheadAutoWorkers: lookaheadAutoWorkers})
 			mean += r.MeanDissemination.Seconds()
 			max += r.MaxDissemination.Seconds()
 			fmean += r.FastMeanDissemination.Seconds()
@@ -175,7 +185,7 @@ func runDissem(seed0 int64, seeds int) {
 		for _, s := range dissem.Strategies {
 			var mean, max float64
 			for k := 0; k < seeds; k++ {
-				r := dissem.Run(dissem.ExperimentConfig{N: 10, Blocks: 16, Seed: seed0 + int64(k), Strategy: s, Setting: set, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions, LookaheadMaxFrontier: lookaheadMaxFrontier, LookaheadNoArena: lookaheadNoArena, LookaheadLockedSeen: lookaheadLockedSeen})
+				r := dissem.Run(dissem.ExperimentConfig{N: 10, Blocks: 16, Seed: seed0 + int64(k), Strategy: s, Setting: set, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions, LookaheadMaxFrontier: lookaheadMaxFrontier, LookaheadNoArena: lookaheadNoArena, LookaheadLockedSeen: lookaheadLockedSeen, LookaheadClassCache: lookaheadClassCache, LookaheadAutoWorkers: lookaheadAutoWorkers})
 				mean += r.MeanCompletion.Seconds()
 				max += r.MaxCompletion.Seconds()
 			}
@@ -192,7 +202,7 @@ func runPaxos(seed0 int64, seeds int) {
 		var mean, p99 float64
 		committed, submitted := 0, 0
 		for k := 0; k < seeds; k++ {
-			r := paxos.Run(paxos.ExperimentConfig{Seed: seed0 + int64(k), Policy: p, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions, LookaheadMaxFrontier: lookaheadMaxFrontier, LookaheadNoArena: lookaheadNoArena, LookaheadLockedSeen: lookaheadLockedSeen})
+			r := paxos.Run(paxos.ExperimentConfig{Seed: seed0 + int64(k), Policy: p, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions, LookaheadMaxFrontier: lookaheadMaxFrontier, LookaheadNoArena: lookaheadNoArena, LookaheadLockedSeen: lookaheadLockedSeen, LookaheadClassCache: lookaheadClassCache, LookaheadAutoWorkers: lookaheadAutoWorkers})
 			mean += r.MeanCommit.Seconds()
 			p99 += r.P99Commit.Seconds()
 			committed += r.Committed
@@ -210,7 +220,7 @@ func runTracker(seed0 int64, seeds int) {
 		var frac, mean float64
 		completed, peers := 0, 0
 		for k := 0; k < seeds; k++ {
-			r := tracker.Run(tracker.ExperimentConfig{Seed: seed0 + int64(k), Policy: p, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions, LookaheadMaxFrontier: lookaheadMaxFrontier, LookaheadNoArena: lookaheadNoArena, LookaheadLockedSeen: lookaheadLockedSeen})
+			r := tracker.Run(tracker.ExperimentConfig{Seed: seed0 + int64(k), Policy: p, LookaheadWorkers: lookaheadWorkers, LookaheadStrategy: lookaheadStrategy, LookaheadFaults: lookaheadFaults, LookaheadPartitions: lookaheadPartitions, LookaheadMaxFrontier: lookaheadMaxFrontier, LookaheadNoArena: lookaheadNoArena, LookaheadLockedSeen: lookaheadLockedSeen, LookaheadClassCache: lookaheadClassCache, LookaheadAutoWorkers: lookaheadAutoWorkers})
 			frac += r.CrossFraction()
 			mean += r.MeanCompletion.Seconds()
 			completed += r.Completed

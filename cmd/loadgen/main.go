@@ -38,6 +38,8 @@ func run() int {
 	resolver := flag.String("resolver", "random", "choice resolution: random | predictive")
 	slot := flag.Duration("slot", 0, "wall-clock delivery-slot budget; overrunning decisions count as dropped windows (0 = off)")
 	workers := flag.Int("workers", 0, "lookahead worker pool size (0 = sequential)")
+	classCache := flag.Bool("classcache", false, "cache steering/resolve verdicts under violation-class keys")
+	autoWorkers := flag.Bool("autoworkers", false, "autoscale lookahead worker pools mid-run")
 	specPath := flag.String("spec", "", "scenario spec JSON whose fault timeline runs under the traffic")
 	jsonOut := flag.String("json", "", "write results as JSON to this path")
 	matrix := flag.Bool("matrix", false, "run the full steering {off,on} x resolver {random,predictive} matrix")
@@ -75,7 +77,9 @@ func run() int {
 		App: *app, N: *n, Seed: *seed,
 		TargetRPS: *rps, Warmup: *warmup, Duration: *duration,
 		Steering: *steeringOn, Resolver: *resolver,
-		DecisionSlot: *slot, LookaheadWorkers: *workers, Spec: spec,
+		DecisionSlot: *slot, LookaheadWorkers: *workers,
+		LookaheadClassCache: *classCache, LookaheadAutoWorkers: *autoWorkers,
+		Spec: spec,
 	}
 
 	var cells []loadbench.Config
@@ -91,8 +95,8 @@ func run() int {
 		cells = []loadbench.Config{base}
 	}
 
-	fmt.Printf("%-9s %-10s %-8s %8s %10s %10s %10s %10s %8s %8s %7s\n",
-		"app", "resolver", "steering", "ops", "op-p50", "op-p99", "steer-p99", "rslv-p99", "hit%", "dropped", "steered")
+	fmt.Printf("%-9s %-10s %-8s %8s %10s %10s %10s %10s %8s %8s %8s %7s\n",
+		"app", "resolver", "steering", "ops", "op-p50", "op-p99", "steer-p99", "rslv-p99", "hit%", "class%", "dropped", "steered")
 	var results []loadbench.Result
 	for _, c := range cells {
 		res, err := loadbench.Run(c)
@@ -101,11 +105,12 @@ func run() int {
 			return 1
 		}
 		results = append(results, res)
-		fmt.Printf("%-9s %-10s %-8v %8d %10v %10v %10v %10v %7.1f%% %8d %7d\n",
+		fmt.Printf("%-9s %-10s %-8v %8d %10v %10v %10v %10v %7.1f%% %7.1f%% %8d %7d\n",
 			c.App, c.Resolver, c.Steering, res.Ops,
 			res.OpLatency.Percentile(50), res.OpLatency.Percentile(99),
 			res.SteerLatency.Percentile(99), res.ResolveLatency.Percentile(99),
-			100*res.CacheHitRate(), res.DroppedWindows, res.Steered)
+			100*res.CacheHitRate(), 100*res.ClassCacheHitRate(),
+			res.DroppedWindows, res.Steered)
 	}
 	r := results[len(results)-1]
 	fmt.Printf("\nlast cell: virtual %.1f ops/s (target %.1f), wall %.2fs (%.0f ops/s), op max %v, state digest %#x\n",

@@ -33,6 +33,7 @@ func run() int {
 	faults := flag.Int("faults", 0, "fault-transition budget per explored path (crash/recover/reset as explorer actions)")
 	partitions := flag.Bool("partitions", false, "also explore network-partition transitions (drawn from the fault budget)")
 	workers := flag.Int("workers", 1, "exploration worker pool size")
+	autoWorkers := flag.Bool("autoworkers", false, "autoscale the active worker set mid-run (workers is the ceiling)")
 	strategyName := flag.String("strategy", "chaindfs", "exploration strategy: chaindfs | bfs | randomwalk | guided")
 	fullDigests := flag.Bool("fulldigests", false, "dedup with from-scratch world digests instead of incremental (ablation)")
 	maxFrontier := flag.Int("maxfrontier", 0, "cap on pending frontier units, dropping lowest-priority work (0 = unbounded)")
@@ -103,6 +104,7 @@ func run() int {
 	x := explore.NewExplorer(*depth)
 	x.MaxStates = *budget
 	x.Workers = *workers
+	x.AutoWorkers = *autoWorkers
 	x.Strategy = strategy
 	x.FullDigests = *fullDigests
 	x.NoArena = *noArena

@@ -69,6 +69,13 @@ type ExperimentConfig struct {
 	// runtime lookahead, bounding lookahead memory (0 = unbounded; see
 	// explore.Explorer.MaxFrontier).
 	LookaheadMaxFrontier int
+	// LookaheadClassCache caches steering/resolve verdicts under
+	// canonical violation-class and scenario keys (see
+	// core.Config.LookaheadClassCache).
+	LookaheadClassCache bool
+	// LookaheadAutoWorkers lets runtime lookaheads autoscale their
+	// worker pool (see core.Config.LookaheadAutoWorkers).
+	LookaheadAutoWorkers bool
 	// Steering enables execution steering against Properties (E8).
 	Steering   bool
 	Properties []explore.Property
@@ -114,7 +121,8 @@ func NewExperiment(cfg ExperimentConfig) *Experiment {
 		LookaheadNoArena: cfg.LookaheadNoArena, LookaheadLockedSeen: cfg.LookaheadLockedSeen,
 		LookaheadStrategy: explore.MustParseStrategy(cfg.LookaheadStrategy),
 		LookaheadFaults:   cfg.LookaheadFaults, LookaheadPartitions: cfg.LookaheadPartitions,
-		LookaheadMaxFrontier: cfg.LookaheadMaxFrontier, ContainPanics: cfg.ContainPanics}
+		LookaheadMaxFrontier: cfg.LookaheadMaxFrontier, ContainPanics: cfg.ContainPanics,
+		LookaheadClassCache: cfg.LookaheadClassCache, LookaheadAutoWorkers: cfg.LookaheadAutoWorkers}
 	// Fault lookaheads restart reset nodes from the as-deployed cold state
 	// when no fresh checkpoint is retained.
 	ccfg.InitialState = func(id sm.NodeID) sm.Service { return newService(cfg.Setup, id, 0, 0) }

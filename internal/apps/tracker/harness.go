@@ -59,6 +59,13 @@ type ExperimentConfig struct {
 	// runtime lookahead, bounding lookahead memory (0 = unbounded; see
 	// explore.Explorer.MaxFrontier).
 	LookaheadMaxFrontier int
+	// LookaheadClassCache caches steering/resolve verdicts under
+	// canonical violation-class and scenario keys (see
+	// core.Config.LookaheadClassCache).
+	LookaheadClassCache bool
+	// LookaheadAutoWorkers lets runtime lookaheads autoscale their
+	// worker pool (see core.Config.LookaheadAutoWorkers).
+	LookaheadAutoWorkers bool
 }
 
 func (c *ExperimentConfig) fill() {
@@ -202,7 +209,8 @@ func Run(cfg ExperimentConfig) Result {
 		LookaheadNoArena: cfg.LookaheadNoArena, LookaheadLockedSeen: cfg.LookaheadLockedSeen,
 		LookaheadStrategy: explore.MustParseStrategy(cfg.LookaheadStrategy),
 		LookaheadFaults:   cfg.LookaheadFaults, LookaheadPartitions: cfg.LookaheadPartitions,
-		LookaheadMaxFrontier: cfg.LookaheadMaxFrontier}
+		LookaheadMaxFrontier: cfg.LookaheadMaxFrontier,
+		LookaheadClassCache:  cfg.LookaheadClassCache, LookaheadAutoWorkers: cfg.LookaheadAutoWorkers}
 	switch cfg.Policy {
 	case PolicyRandom:
 		ccfg.NewResolver = func(*core.Node) core.Resolver { return core.Random{} }

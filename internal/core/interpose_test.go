@@ -213,6 +213,205 @@ func TestDecisionLatencyInstrumentation(t *testing.T) {
 	}
 }
 
+// TestTopologyEventsInvalidateCaches pins the cache-invalidation
+// contract for every topology event: crash, restart, partition, heal,
+// and group heal must each bump the cluster's topology epoch, and the
+// next syncCaches must flush both the per-digest decision cache (the
+// partition-path fix — Restart already flushed it, Partition/Heal did
+// not) and the class-verdict maps, counting the dropped class verdicts.
+func TestTopologyEventsInvalidateCaches(t *testing.T) {
+	cfg := Config{
+		NewResolver:         func(*Node) Resolver { return First{} },
+		LookaheadClassCache: true,
+	}
+	_, cl := rig(t, 3, cfg)
+	n := cl.Node(0)
+
+	seed := func() {
+		n.decisionCache = map[uint64]int{42: 1}
+		n.classSteer = map[uint64]bool{7: true}
+		n.classChoice = map[uint64]classVerdict{9: {idx: 0, n: 2}}
+		n.cacheEpoch = cl.topoEpoch
+	}
+	check := func(event string, fire func()) {
+		seed()
+		before, inv := cl.topoEpoch, n.stats.ClassInvalidations
+		fire()
+		if cl.topoEpoch == before {
+			t.Fatalf("%s did not bump the topology epoch", event)
+		}
+		n.syncCaches()
+		if len(n.decisionCache) != 0 {
+			t.Fatalf("%s left %d per-digest decisions cached", event, len(n.decisionCache))
+		}
+		if n.classSteer != nil || n.classChoice != nil {
+			t.Fatalf("%s left class verdicts cached", event)
+		}
+		if got := n.stats.ClassInvalidations; got != inv+2 {
+			t.Fatalf("%s: ClassInvalidations = %d, want %d", event, got, inv+2)
+		}
+		// A second sync without a new event must be free.
+		n.decisionCache[42] = 1
+		n.syncCaches()
+		if len(n.decisionCache) != 1 {
+			t.Fatalf("%s: syncCaches flushed without a new topology event", event)
+		}
+	}
+
+	check("Partition", func() {
+		cl.Network().Partition([]NodeID{0}, []NodeID{1, 2})
+	})
+	check("Heal", func() { cl.Network().Heal() })
+	check("HealGroups", func() {
+		cl.Network().HealGroups([]NodeID{0}, []NodeID{1, 2})
+	})
+	check("Crash", func() { cl.Crash(2) })
+	check("Restart", func() { cl.Restart(2, &balSvc{id: 2}) })
+}
+
+// TestClassCacheSteeringVerdicts drives the class-keyed steering path
+// end to end: the first violation-predicting check pays both lookaheads
+// and records the verdict, the second answers from the class cache (the
+// per-digest cache cannot hit — the injected values differ, so the state
+// digests differ), and a partition in between forces the full price
+// again. Steering behavior itself must be identical throughout.
+func TestClassCacheSteeringVerdicts(t *testing.T) {
+	cfg := Config{
+		NewResolver:         func(*Node) Resolver { return First{} },
+		CheckpointInterval:  50 * time.Millisecond,
+		Steering:            true,
+		Properties:          []explore.Property{valBound()},
+		LookaheadClassCache: true,
+	}
+	eng, cl := rig(t, 2, cfg)
+	eng.RunFor(200 * time.Millisecond)
+
+	violating := func(val int) {
+		before := cl.Stats().Steered
+		cl.Node(1).Inject("load", val, 8)
+		eng.RunFor(100 * time.Millisecond)
+		if got := cl.Node(1).Service().(*balSvc).val; got != 0 {
+			t.Fatalf("violating load %d delivered: val=%d", val, got)
+		}
+		if got := cl.Stats().Steered; got != before+1 {
+			t.Fatalf("load %d: Steered = %d, want %d", val, got, before+1)
+		}
+	}
+
+	violating(100) // cold: records the class verdict
+	if s := cl.Stats(); s.ClassCacheMisses == 0 {
+		t.Fatalf("cold steering check missed no class verdicts: %+v", s.ClassCacheMisses)
+	}
+	hits := cl.Stats().ClassCacheHits
+	violating(101) // same violation class, new state digest
+	if got := cl.Stats().ClassCacheHits; got <= hits {
+		t.Fatalf("warm steering check did not hit the class cache: hits %d -> %d", hits, got)
+	}
+
+	// A partition event must force the next check back to the full price.
+	cl.Network().Partition([]NodeID{0}, []NodeID{1})
+	cl.Network().Heal()
+	misses := cl.Stats().ClassCacheMisses
+	violating(102)
+	if got := cl.Stats().ClassCacheMisses; got <= misses {
+		t.Fatalf("steering check after partition answered from a stale class cache: misses %d -> %d", misses, got)
+	}
+}
+
+// TestClassCacheResolveScenarioHit pins the resolution half: a decisive
+// prediction's winner is cached under the scenario key (choice name,
+// arity, event kind — no state digest), so a later resolution of the
+// same scenario from a different state answers from the class cache
+// while the per-digest cache misses.
+func TestClassCacheResolveScenarioHit(t *testing.T) {
+	cfg := Config{
+		NewResolver:         func(*Node) Resolver { return NewPredictive(2) },
+		CheckpointInterval:  50 * time.Millisecond,
+		LookaheadClassCache: true,
+		ObjectiveFor: func(n *Node) explore.Objective {
+			return explore.ObjectiveFunc{ObjectiveName: "balance", Fn: func(w *explore.World) float64 {
+				worst := 0
+				for _, id := range w.Nodes() {
+					if v := w.Services[id].(*balSvc).val; v > worst {
+						worst = v
+					}
+				}
+				return -float64(worst)
+			}}
+		},
+	}
+	eng, cl := rig(t, 3, cfg)
+	cl.Node(1).Service().(*balSvc).val = 5 // discriminate the candidates
+	eng.RunFor(300 * time.Millisecond)
+
+	inject(cl, 0, "work", 1)
+	eng.RunFor(100 * time.Millisecond)
+	s := cl.Stats()
+	if s.Predictions == 0 {
+		t.Fatal("no prediction ran")
+	}
+	if s.ClassCacheHits != 0 {
+		t.Fatalf("cold resolution hit the class cache: %d", s.ClassCacheHits)
+	}
+
+	// Perturb state so the per-digest cache cannot answer — new digest,
+	// same scenario. Only the class cache can short-circuit this one.
+	cl.Node(0).Service().(*balSvc).val = 1
+	cl.Node(2).Service().(*balSvc).val = 2
+	eng.RunFor(200 * time.Millisecond) // checkpoints carry the change
+	inject(cl, 0, "work", 2)
+	eng.RunFor(100 * time.Millisecond)
+	after := cl.Stats()
+	if after.CacheHits != s.CacheHits {
+		t.Fatalf("per-digest cache hit across a state change: %d -> %d", s.CacheHits, after.CacheHits)
+	}
+	if after.ClassCacheHits == 0 {
+		t.Fatal("warm resolution of the same scenario did not hit the class cache")
+	}
+	if after.Predictions != s.Predictions {
+		t.Fatalf("class-cache hit still paid a full prediction: %d -> %d", s.Predictions, after.Predictions)
+	}
+}
+
+// TestClassCacheRunTwiceDigest pins determinism: two identical runs with
+// the class cache enabled — steering, predictive resolution, and a
+// partition/heal window in the middle — must materialize byte-identical
+// worlds and identical decision counters.
+func TestClassCacheRunTwiceDigest(t *testing.T) {
+	run := func() (uint64, Stats) {
+		pr := NewPredictive(2)
+		cfg := Config{
+			NewResolver:         func(*Node) Resolver { return pr },
+			CheckpointInterval:  50 * time.Millisecond,
+			Steering:            true,
+			Properties:          []explore.Property{valBound()},
+			LookaheadClassCache: true,
+		}
+		eng, cl := rig(t, 3, cfg)
+		eng.RunFor(200 * time.Millisecond)
+		cl.Node(1).Inject("load", 100, 8) // steered
+		eng.RunFor(100 * time.Millisecond)
+		cl.Network().Partition([]NodeID{0}, []NodeID{1, 2})
+		eng.RunFor(100 * time.Millisecond)
+		cl.Network().Heal()
+		cl.Node(1).Inject("load", 100, 8) // steered again, cold cache
+		inject(cl, 0, "work", 1)
+		eng.RunFor(300 * time.Millisecond)
+		w := cl.MaterializeWorld(explore.FirstPolicy, 1, []string{"emit"})
+		s := cl.Stats()
+		s.SteerLatency, s.ResolveLatency = LatencyHist{}, LatencyHist{}
+		return w.DigestFull(), s
+	}
+	d1, s1 := run()
+	d2, s2 := run()
+	if d1 != d2 {
+		t.Fatalf("run-twice digests differ: %#x vs %#x", d1, d2)
+	}
+	if s1 != s2 {
+		t.Fatalf("run-twice stats differ:\n%+v\n%+v", s1, s2)
+	}
+}
+
 // TestLatencyHistBasics unit-tests the histogram arithmetic: bucketing,
 // percentile bounds, merge, and the warmup-discarding Delta.
 func TestLatencyHistBasics(t *testing.T) {

@@ -177,7 +177,13 @@ func (p *Predictive) Resolve(n *Node, c sm.Choice) int {
 		return p.resolveAsync(n, c, base)
 	}
 	ev := n.currentEvent
-	var key uint64
+	classCache := n.cluster.cfg.LookaheadClassCache
+	if p.UseCache || classCache {
+		// Topology events invalidate every cached verdict — the per-digest
+		// decisions along with class verdicts.
+		n.syncCaches()
+	}
+	var key, skey uint64
 	if p.UseCache {
 		h := sm.NewHasher().WriteString(c.Name).WriteUint(base.Digest()).WriteInt(int64(c.N))
 		if ev != nil {
@@ -189,6 +195,18 @@ func (p *Predictive) Resolve(n *Node, c sm.Choice) int {
 			return idx
 		}
 		n.stats.CacheMisses++
+	}
+	if classCache {
+		// Scenario fallback: the exact digest missed (unique commands make
+		// it miss every time), but an earlier decisive prediction of the
+		// same (choice, arity, event-kind) scenario answers in map-lookup
+		// time — the paper's "previous similar scenarios" fast path.
+		skey = scenarioKey(c, ev)
+		if idx, ok := n.classChoiceLookup(skey, c.N); ok {
+			n.stats.ClassCacheHits++
+			return idx
+		}
+		n.stats.ClassCacheMisses++
 	}
 	obj := n.objective
 	scores := make([]float64, c.N)
@@ -214,8 +232,13 @@ func (p *Predictive) Resolve(n *Node, c sm.Choice) int {
 	// Cache only decisive predictions. Caching a coin flip would freeze
 	// it: e.g. gossip partners would lock into static pairs whenever all
 	// futures score equal, partitioning the information flow.
-	if p.UseCache && len(ties) == 1 {
-		n.decisionCache[key] = best
+	if len(ties) == 1 {
+		if p.UseCache {
+			n.decisionCache[key] = best
+		}
+		if classCache {
+			n.recordChoiceVerdict(skey, best, c.N)
+		}
 	}
 	n.stats.Predictions++
 	return best
@@ -225,6 +248,8 @@ func (p *Predictive) Resolve(n *Node, c sm.Choice) int {
 // handler, and schedules the prediction to land in the cache later.
 func (p *Predictive) resolveAsync(n *Node, c sm.Choice, base sm.Service) int {
 	ev := n.currentEvent
+	n.syncCaches()
+	classCache := n.cluster.cfg.LookaheadClassCache
 	h := sm.NewHasher().WriteString(c.Name).WriteUint(base.Digest()).WriteInt(int64(c.N))
 	if ev != nil {
 		h.WriteString(ev.label())
@@ -235,6 +260,15 @@ func (p *Predictive) resolveAsync(n *Node, c sm.Choice, base sm.Service) int {
 		return idx
 	}
 	n.stats.CacheMisses++
+	var skey uint64
+	if classCache {
+		skey = scenarioKey(c, ev)
+		if idx, ok := n.classChoiceLookup(skey, c.N); ok {
+			n.stats.ClassCacheHits++
+			return idx
+		}
+		n.stats.ClassCacheMisses++
+	}
 	// Fast path: answer now, predict in the background. The pre-event
 	// state and the triggering event are captured by value; the model is
 	// consulted at completion time, when it may be fresher.
@@ -259,9 +293,13 @@ func (p *Predictive) resolveAsync(n *Node, c sm.Choice, base sm.Service) int {
 	// about state the node no longer has. Capture the restart epoch and
 	// drop the completion on mismatch (down alone is not enough — a
 	// crash+Restart inside the prediction latency leaves down == false).
+	// The topology epoch is captured for the same reason: a partition or
+	// heal during the prediction latency means the lookahead explored a
+	// reachability relation the cluster no longer has.
 	epoch := n.epoch
+	tepoch := n.cluster.topoEpoch
 	n.cluster.eng.Schedule(lat, func() {
-		if n.down || n.epoch != epoch {
+		if n.down || n.epoch != epoch || n.cluster.topoEpoch != tepoch {
 			return
 		}
 		compute := time.Now() //crystalvet:wallclock stopwatch for async-resolve latency stats; never reaches world state
@@ -284,6 +322,9 @@ func (p *Predictive) resolveAsync(n *Node, c sm.Choice, base sm.Service) int {
 		}
 		if len(ties) == 1 { // cache only decisive predictions
 			n.decisionCache[key] = ties[0]
+			if classCache {
+				n.recordChoiceVerdict(skey, ties[0], c.N)
+			}
 		}
 		n.stats.AsyncPredictions++
 	})
@@ -323,6 +364,7 @@ func (p *Predictive) evaluate(n *Node, c sm.Choice, base sm.Service, ev *pending
 	x.NoArena = n.cluster.cfg.LookaheadNoArena
 	x.LockedSeen = n.cluster.cfg.LookaheadLockedSeen
 	x.MaxFrontier = n.cluster.cfg.LookaheadMaxFrontier
+	x.AutoWorkers = n.cluster.cfg.LookaheadAutoWorkers
 	x.FaultBudget = faults
 	x.PartitionFaults = p.Partitions || n.cluster.cfg.LookaheadPartitions
 	r := x.Explore(w)

@@ -84,6 +84,24 @@ type Config struct {
 	// default, leaves frontiers unbounded — behavior-neutral; set it to
 	// bound lookahead memory on small machines.
 	LookaheadMaxFrontier int
+	// LookaheadClassCache keys interposition verdicts by canonical
+	// violation class (explore.ViolationClass.Digest) in addition to the
+	// per-digest decision cache. Steering remembers whether dropping the
+	// message cleared each predicted class, so a repeat of a known class
+	// skips the without-message lookahead; predictive resolution remembers
+	// the decisive winner per (choice, event-kind) scenario, so unique
+	// per-command state digests stop defeating the cache (the paper's
+	// "choices based on previous similar scenarios"). Verdicts are
+	// invalidated wholesale on every topology event — crash, restart,
+	// partition, heal — via the cluster's topology epoch. Off by default:
+	// class verdicts are an approximation (they ignore the exact state),
+	// so existing configurations keep exact per-digest behavior.
+	LookaheadClassCache bool
+	// LookaheadAutoWorkers lets every parallel runtime lookahead shrink
+	// and grow its active worker set against the observed steal-miss rate
+	// (see explore.Explorer.AutoWorkers). No effect at LookaheadWorkers
+	// <= 1.
+	LookaheadAutoWorkers bool
 	// InitialState, when set, supplies a node's cold-restart state for
 	// fault lookaheads: exploring a reset restores this state when no
 	// fresh-enough checkpoint is retained. Nil limits recovery to
@@ -140,6 +158,16 @@ type Stats struct {
 	SteeringChecks   uint64 // messages inspected by steering
 	Checkpoints      uint64 // checkpoint responses integrated
 	DroppedWindows   uint64 // decisions overrunning Config.DecisionSlot
+	// ClassCacheHits counts interposition decisions answered from the
+	// class-keyed verdict cache (Config.LookaheadClassCache): steering
+	// checks that skipped the without-message lookahead and choice
+	// resolutions answered per scenario. ClassCacheMisses counts class
+	// lookups that had to fall through to a full lookahead;
+	// ClassInvalidations counts cached verdicts dropped by topology
+	// events (crash, restart, partition, heal).
+	ClassCacheHits     uint64
+	ClassCacheMisses   uint64
+	ClassInvalidations uint64
 	// SteerLatency and ResolveLatency histogram the wall-clock cost of
 	// the two interposition decision points: one sample per steering
 	// check (steerAway, with- and without-message lookaheads included)
@@ -162,19 +190,31 @@ func (s *Stats) add(o Stats) {
 	s.SteeringChecks += o.SteeringChecks
 	s.Checkpoints += o.Checkpoints
 	s.DroppedWindows += o.DroppedWindows
+	s.ClassCacheHits += o.ClassCacheHits
+	s.ClassCacheMisses += o.ClassCacheMisses
+	s.ClassInvalidations += o.ClassInvalidations
 	s.SteerLatency.add(&o.SteerLatency)
 	s.ResolveLatency.add(&o.ResolveLatency)
 }
 
-// CacheHitRate returns the decision-cache hit fraction, or 0 when no
-// lookups happened.
-func (s *Stats) CacheHitRate() float64 {
-	total := s.CacheHits + s.CacheMisses
+// HitRate returns hits over total lookups, or 0 when none happened — the
+// one cache-hit-fraction computation shared by Stats, the load harness,
+// and anything else reporting hit percentages.
+func HitRate(hits, misses uint64) float64 {
+	total := hits + misses
 	if total == 0 {
 		return 0
 	}
-	return float64(s.CacheHits) / float64(total)
+	return float64(hits) / float64(total)
 }
+
+// CacheHitRate returns the decision-cache hit fraction, or 0 when no
+// lookups happened.
+func (s *Stats) CacheHitRate() float64 { return HitRate(s.CacheHits, s.CacheMisses) }
+
+// ClassCacheHitRate returns the class-verdict cache hit fraction, or 0
+// when no class lookups happened.
+func (s *Stats) ClassCacheHitRate() float64 { return HitRate(s.ClassCacheHits, s.ClassCacheMisses) }
 
 // envelope wraps application payloads with runtime metadata used to
 // maintain the network model passively.
@@ -224,6 +264,12 @@ type Cluster struct {
 	nodes  map[NodeID]*Node
 	order  []NodeID
 	panics []PanicRecord
+	// topoEpoch counts topology events — crash, restart, partition, heal.
+	// Cached interposition verdicts (per-digest decisions and class
+	// verdicts) are stamped with the epoch they were computed under and
+	// flushed lazily on mismatch: a verdict about one reachability
+	// relation says nothing about another.
+	topoEpoch uint64
 }
 
 // Panics returns the handler panics contained so far (empty unless
@@ -233,8 +279,17 @@ func (c *Cluster) Panics() []PanicRecord { return c.panics }
 // NewCluster creates a cluster over the given engine and network.
 func NewCluster(eng *sim.Engine, net *transport.Network, cfg Config) *Cluster {
 	cfg.fill()
-	return &Cluster{eng: eng, net: net, cfg: cfg, nodes: make(map[NodeID]*Node)}
+	c := &Cluster{eng: eng, net: net, cfg: cfg, nodes: make(map[NodeID]*Node)}
+	// Partition-relation changes land directly on the network (fault
+	// schedules call Partition/Heal/HealGroups); observe them so cached
+	// verdicts cannot survive a reachability change.
+	net.SetTopoListener(func() { c.topoEpoch++ })
+	return c
 }
+
+// TopoEpoch returns the cluster's topology-event counter (tests and
+// experiment harnesses observe invalidation through it).
+func (c *Cluster) TopoEpoch() uint64 { return c.topoEpoch }
 
 // Engine returns the simulation engine.
 func (c *Cluster) Engine() *sim.Engine { return c.eng }
@@ -318,6 +373,7 @@ func (c *Cluster) Crash(id NodeID) {
 	if n.ckptTimer != nil {
 		n.ckptTimer.Cancel()
 	}
+	c.topoEpoch++
 	c.net.Crash(id)
 	c.cfg.Trace.Add(time.Duration(c.eng.Now()), int(id), "CRASH")
 }
@@ -338,6 +394,7 @@ func (c *Cluster) Restart(id NodeID, fresh sm.Service) {
 	n.down = false
 	n.epoch++
 	n.decisionCache = make(map[uint64]int)
+	c.topoEpoch++
 	c.net.Restart(id)
 	c.cfg.Trace.Add(time.Duration(c.eng.Now()), int(id), "RESTART")
 	n.start()
@@ -454,7 +511,18 @@ type Node struct {
 	preEventState sm.Service
 
 	decisionCache map[uint64]int
-	stats         Stats
+	// cacheEpoch stamps the cluster topology epoch decisionCache and the
+	// class-verdict maps were computed under; syncCaches flushes all
+	// three lazily on mismatch (see Cluster.topoEpoch).
+	cacheEpoch uint64
+	// classSteer maps a violation-class digest to whether dropping the
+	// triggering message was predicted to avoid that class. classChoice
+	// maps a (choice, arity, event-kind) scenario key to the decisive
+	// winner of a past prediction. Both nil until first use; only
+	// consulted under Config.LookaheadClassCache.
+	classSteer  map[uint64]bool
+	classChoice map[uint64]classVerdict
+	stats       Stats
 }
 
 // ID returns the node's identity.
@@ -618,6 +686,7 @@ func (n *Node) steerAway(msg *sm.Msg) bool {
 		x.NoArena = cfg.LookaheadNoArena
 		x.LockedSeen = cfg.LookaheadLockedSeen
 		x.MaxFrontier = cfg.LookaheadMaxFrontier
+		x.AutoWorkers = cfg.LookaheadAutoWorkers
 		return x
 	}
 	withMsg := n.buildLookahead(n.svc.Clone(), n.lookPolicy())
@@ -628,16 +697,43 @@ func (n *Node) steerAway(msg *sm.Msg) bool {
 	if rWith.Safe() {
 		return false
 	}
+	// The with-message lookahead is unavoidable — it is what discovers the
+	// predicted violations. What the class cache can skip is the second,
+	// without-message lookahead: if every predicted class already carries a
+	// verdict from an earlier drop evaluation, that verdict is reused.
+	var classes []explore.ViolationClass
+	if cfg.LookaheadClassCache {
+		n.syncCaches()
+		classes = rWith.ViolationClasses()
+		if steer, decided := n.classSteerVerdict(classes); decided {
+			n.stats.ClassCacheHits++
+			if !steer {
+				return false
+			}
+			return n.steer(msg, now)
+		}
+		n.stats.ClassCacheMisses++
+	}
 	// Only steer if the alternative (dropping the message) is not itself
 	// predicted to lead to a violation.
 	without := n.buildLookahead(n.svc.Clone(), n.lookPolicy())
 	rWithout := mkExplorer().Explore(without)
 	n.stats.LookaheadStates += uint64(rWithout.StatesExplored)
-	if !rWithout.Safe() {
+	steerable := rWithout.Safe()
+	if cfg.LookaheadClassCache {
+		n.recordSteerVerdict(classes, steerable)
+	}
+	if !steerable {
 		return false
 	}
+	return n.steer(msg, now)
+}
+
+// steer applies the corrective action for a message predicted unsafe to
+// deliver and safe to drop: drop it and break the sender's connection.
+func (n *Node) steer(msg *sm.Msg, now time.Duration) bool {
 	n.stats.Steered++
-	cfg.Trace.Add(now, int(n.id), "STEER drop %s from %v", msg.Kind, msg.Src)
+	n.cluster.cfg.Trace.Add(now, int(n.id), "STEER drop %s from %v", msg.Kind, msg.Src)
 	// Self-sourced messages (client requests entering via Inject) have no
 	// sender connection to break: dropping is the whole corrective action.
 	if msg.Src != n.id {

@@ -1,0 +1,146 @@
+package explore
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"crystalchoice/internal/sm"
+)
+
+// raggedWorld seeds disjoint ping chains of sharply different lengths
+// (5, 15, 25, ... hops), so under a parallel run the short chains drain
+// early and leave their workers idle — exactly the shape the autoscaler
+// must shrink through without stranding the long chains' work.
+func raggedWorld(chains, width int) *World {
+	w := NewWorld(FirstPolicy, 1)
+	n := chains * width
+	for i := 0; i < n; i++ {
+		w.AddNode(NodeID(i), &relay{id: NodeID(i), n: n})
+	}
+	for c := 0; c < chains; c++ {
+		w.InjectMessage(&sm.Msg{Src: NodeID(c * width), Dst: NodeID(c * width), Kind: "ping", Body: 5 + 10*c})
+	}
+	return w
+}
+
+// TestAutoWorkersReportIdentical pins the autoscaler's exactly-once
+// contract: on a schedule-independent workload, the report with
+// AutoWorkers on must be byte-identical (timing stamps aside) to the
+// fixed-pool report at every worker count — parking and unparking
+// workers mid-run may change who expands a unit, never whether or how
+// often it is expanded.
+func TestAutoWorkersReportIdentical(t *testing.T) {
+	for _, workers := range []int{1, 4, 8} {
+		run := func(auto bool) *Report {
+			w := raggedWorld(6, 2)
+			x := NewExplorer(40)
+			x.MaxStates = 4096
+			x.Workers = workers
+			x.AutoWorkers = auto
+			return stripElapsed(x.Explore(w))
+		}
+		fixed, auto := run(false), run(true)
+		if !reflect.DeepEqual(fixed, auto) {
+			t.Errorf("workers=%d: autoscaled report diverges:\nfixed %+v\nauto  %+v",
+				workers, fixed, auto)
+		}
+	}
+}
+
+// TestAutoWorkersGrowsMidRun drives the grow path: BFS from a single
+// root unit starts the autoscaler at one active worker, and the
+// fanning frontier (4 concurrent chains) must raise the target mid-run
+// — visible as a worker high-water mark above the starting width —
+// while still exploring exactly the sequential run's state set.
+func TestAutoWorkersGrowsMidRun(t *testing.T) {
+	run := func(workers int, auto bool) *Report {
+		w := fanWorld(4, 2, 6)
+		x := NewExplorer(30)
+		x.MaxStates = 1 << 14
+		x.Strategy = BFS{}
+		x.Workers = workers
+		x.AutoWorkers = auto
+		return x.Explore(w)
+	}
+	seq := run(1, false)
+	auto := run(8, true)
+	if auto.StatesExplored != seq.StatesExplored {
+		t.Fatalf("autoscaled BFS explored %d states, sequential %d",
+			auto.StatesExplored, seq.StatesExplored)
+	}
+	if auto.Truncated != seq.Truncated {
+		t.Fatalf("Truncated diverged: auto %v, seq %v", auto.Truncated, seq.Truncated)
+	}
+	if auto.WorkerHighWater <= 1 {
+		t.Fatalf("WorkerHighWater = %d; the fanning frontier never grew the pool",
+			auto.WorkerHighWater)
+	}
+	if auto.WorkerHighWater > 8 {
+		t.Fatalf("WorkerHighWater = %d exceeds the Workers ceiling", auto.WorkerHighWater)
+	}
+}
+
+// TestAutoWorkersReportStamps checks the observability contract: fixed
+// pools report their configured width as the high-water mark, and
+// autoscaled runs never report more than the ceiling or less than one.
+func TestAutoWorkersReportStamps(t *testing.T) {
+	w := fanWorld(3, 2, 4)
+	x := NewExplorer(20)
+	x.Workers = 4
+	r := x.Explore(fanWorld(3, 2, 4))
+	if r.WorkerHighWater != 4 {
+		t.Fatalf("fixed pool WorkerHighWater = %d, want 4", r.WorkerHighWater)
+	}
+	if r.StealMisses < 0 {
+		t.Fatalf("StealMisses = %d", r.StealMisses)
+	}
+	x.AutoWorkers = true
+	r = x.Explore(w)
+	if r.WorkerHighWater < 1 || r.WorkerHighWater > 4 {
+		t.Fatalf("autoscaled WorkerHighWater = %d, want within [1, 4]", r.WorkerHighWater)
+	}
+}
+
+// TestIterativeExploreAutoWorkers pins the feed-forward loop: iterative
+// deepening with AutoWorkers must produce the same final report and
+// reached depth as the fixed pool, and must restore Workers afterwards.
+func TestIterativeExploreAutoWorkers(t *testing.T) {
+	run := func(auto bool) (*Report, int, int) {
+		w := raggedWorld(4, 2)
+		x := NewExplorer(1)
+		x.MaxStates = 4096
+		x.Workers = 4
+		x.AutoWorkers = auto
+		r, reached := x.IterativeExplore(w, 30, time.Minute)
+		return stripElapsed(r), reached, x.Workers
+	}
+	fr, freached, _ := run(false)
+	ar, areached, workersAfter := run(true)
+	if freached != areached {
+		t.Fatalf("reached depth diverged: fixed %d, auto %d", freached, areached)
+	}
+	if !reflect.DeepEqual(fr, ar) {
+		t.Fatalf("iterative autoscaled report diverges:\nfixed %+v\nauto  %+v", fr, ar)
+	}
+	if workersAfter != 4 {
+		t.Fatalf("IterativeExplore leaked Workers = %d, want 4 restored", workersAfter)
+	}
+}
+
+func BenchmarkAutoWorkers(b *testing.B) {
+	for _, auto := range []bool{false, true} {
+		b.Run(fmt.Sprintf("auto=%v", auto), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w := raggedWorld(6, 2)
+				x := NewExplorer(40)
+				x.MaxStates = 4096
+				x.Workers = 8
+				x.AutoWorkers = auto
+				x.Explore(w)
+			}
+		})
+	}
+}

@@ -76,6 +76,15 @@ type Report struct {
 	// spill cap; nonzero implies Truncated.
 	FrontierDropped int
 	Elapsed         time.Duration
+	// WorkerHighWater is the largest number of concurrently unparked
+	// workers the run used: Workers for fixed pools, the autoscaler's
+	// high-water mark under AutoWorkers. StealMisses counts steal scans
+	// that swept every deque and found nothing — the contention signal
+	// the autoscaler shrinks on. Both are scheduler observability,
+	// stamped after the merge like Elapsed: timing-dependent, so
+	// determinism comparisons must ignore them.
+	WorkerHighWater int
+	StealMisses     int64
 
 	// classes canonicalizes Violations at record time: raw violations
 	// dedup by (property, canonical-trace signature), each class keeping
@@ -152,6 +161,18 @@ type Explorer struct {
 	// Only useful as an ablation: it measures what incremental digesting
 	// buys and cross-checks its correctness.
 	FullDigests bool
+	// AutoWorkers lets the work-stealing scheduler shrink and grow its
+	// active worker set mid-run instead of keeping all Workers goroutines
+	// spinning: a worker whose steal scans keep missing parks itself
+	// (sleeping, stealable deque left behind), and parked workers rejoin
+	// when published work outgrows the active set. Workers stays the hard
+	// ceiling and worker 0 never parks, so termination and exactly-once
+	// expansion are untouched; the merged Report is identical to the
+	// fixed-pool run whenever the workload's report is
+	// schedule-independent. Only the stealing scheduler honors the flag
+	// (best-first and SingleQueue runs block on a condition variable and
+	// have no spin loop to save).
+	AutoWorkers bool
 	// SingleQueue makes parallel runs share one locked FIFO queue instead
 	// of per-worker work-stealing deques. Only useful as an ablation: it
 	// measures what work stealing buys (BenchmarkE14WorkStealing).
@@ -352,6 +373,7 @@ func (x *Explorer) Explore(w *World) *Report {
 		budget = 4096
 	}
 	ctx := &Ctx{x: x, root: w, budget: budget, names: &nameTable{}, deadline: x.Deadline}
+	ctx.workerHigh.Store(int64(workers))
 	useArena := !x.NoArena && !x.EagerTraces
 	if useArena {
 		ctx.rootArena = &pathArena{}
@@ -434,6 +456,11 @@ func (x *Explorer) Explore(w *World) *Report {
 		r.FrontierDropped = int(n)
 		r.Truncated = true
 	}
+	// Scheduler observability is stamped after the merge, like Elapsed:
+	// shards carry no worker-pool identity, and the counters are
+	// timing-dependent by nature.
+	r.WorkerHighWater = int(ctx.workerHigh.Load())
+	r.StealMisses = ctx.stealMisses.Load()
 	r.Elapsed = time.Since(start) //crystalvet:wallclock stopwatch readout for Report.Elapsed; diagnostics only
 	return r
 }
@@ -446,8 +473,8 @@ func (x *Explorer) Explore(w *World) *Report {
 // space into the future fairly quickly").
 func (x *Explorer) IterativeExplore(w *World, maxDepth int, budget time.Duration) (*Report, int) {
 	deadline := time.Now().Add(budget) //crystalvet:wallclock real-time deepening budget (paper: look as far as time allows); bounds work, not results
-	saved := x.Depth
-	defer func() { x.Depth = saved }()
+	saved, savedWorkers := x.Depth, x.Workers
+	defer func() { x.Depth, x.Workers = saved, savedWorkers }()
 	var best *Report
 	reached := 0
 	for d := 1; d <= maxDepth; d++ {
@@ -455,6 +482,24 @@ func (x *Explorer) IterativeExplore(w *World, maxDepth int, budget time.Duration
 		r := x.Explore(w)
 		best = r
 		reached = d
+		if x.AutoWorkers && savedWorkers > 1 {
+			// Feed the previous iteration's observed demand forward: start
+			// the next (deeper, wider) iteration at its high-water worker
+			// count, plus one when stealing was still contended, instead of
+			// re-paying the autoscaler's ramp from the root width each time.
+			next := r.WorkerHighWater
+			if r.StatesExplored > 0 &&
+				r.StealMisses*10 < int64(r.StatesExplored) {
+				next++
+			}
+			if next > savedWorkers {
+				next = savedWorkers
+			}
+			if next < 1 {
+				next = 1
+			}
+			x.Workers = next
+		}
 		if r.MaxDepth < d && !r.Truncated {
 			// Chains genuinely exhausted before the bound: deeper adds
 			// nothing. A truncated iteration proves only that the state

@@ -15,13 +15,13 @@ import (
 // deterministic. Run with `go test -fuzz=FuzzExploreConfig` to search;
 // the seed corpus runs on every plain `go test`.
 func FuzzExploreConfig(f *testing.F) {
-	f.Add(byte(0), uint8(1), uint8(0), uint8(3), int64(1), false)
-	f.Add(byte(1), uint8(4), uint8(1), uint8(4), int64(7), true)
-	f.Add(byte(2), uint8(0), uint8(2), uint8(6), int64(-3), false)
-	f.Add(byte(0), uint8(2), uint8(2), uint8(5), int64(99), true)
-	f.Add(byte(3), uint8(1), uint8(1), uint8(4), int64(13), false)
-	f.Add(byte(3), uint8(4), uint8(2), uint8(5), int64(21), true)
-	f.Fuzz(func(t *testing.T, stratSel, workers, faults, depth uint8, seed int64, partitions bool) {
+	f.Add(byte(0), uint8(1), uint8(0), uint8(3), int64(1), false, false)
+	f.Add(byte(1), uint8(4), uint8(1), uint8(4), int64(7), true, false)
+	f.Add(byte(2), uint8(0), uint8(2), uint8(6), int64(-3), false, true)
+	f.Add(byte(0), uint8(2), uint8(2), uint8(5), int64(99), true, true)
+	f.Add(byte(3), uint8(1), uint8(1), uint8(4), int64(13), false, true)
+	f.Add(byte(3), uint8(4), uint8(2), uint8(5), int64(21), true, true)
+	f.Fuzz(func(t *testing.T, stratSel, workers, faults, depth uint8, seed int64, partitions, autoWorkers bool) {
 		const maxStates = 512
 		nWorkers := int(workers % 5) // 0..4; <=1 runs sequentially
 		run := func() *Report {
@@ -36,6 +36,7 @@ func FuzzExploreConfig(f *testing.F) {
 			x := NewExplorer(1 + int(depth%7))
 			x.MaxStates = maxStates
 			x.Workers = nWorkers
+			x.AutoWorkers = autoWorkers
 			x.FaultBudget = int(faults % 4)
 			x.PartitionFaults = partitions
 			switch stratSel % 4 {
@@ -81,7 +82,7 @@ func FuzzExploreConfig(f *testing.F) {
 			t.Fatalf("faults injected with zero budget: %d", r.FaultsInjected)
 		}
 		if nWorkers <= 1 {
-			r.Elapsed = 0 // wall-clock stamp is the one nondeterministic field
+			stripElapsed(r) // timing stamps are the only nondeterministic fields
 			if again := run(); !reflect.DeepEqual(r, stripElapsed(again)) {
 				t.Fatalf("Workers<=1 run not deterministic:\nfirst  %+v\nsecond %+v", r, again)
 			}

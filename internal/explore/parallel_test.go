@@ -36,11 +36,13 @@ func sumObjective() Objective {
 	}}
 }
 
-// stripElapsed zeroes the report's wall-clock stamp: Explore stamps
-// Elapsed on every run, so determinism comparisons with
-// reflect.DeepEqual must ignore it.
+// stripElapsed zeroes the report's timing-dependent stamps — Elapsed,
+// the autoscaler's worker high-water mark, and the steal-miss count —
+// so determinism comparisons with reflect.DeepEqual ignore them.
 func stripElapsed(r *Report) *Report {
 	r.Elapsed = 0
+	r.WorkerHighWater = 0
+	r.StealMisses = 0
 	return r
 }
 

@@ -35,6 +35,12 @@ type Ctx struct {
 	deadline time.Time
 	polls    atomic.Int64
 	expired  atomic.Bool
+	// stealMisses and workerHigh feed Report.StealMisses and
+	// Report.WorkerHighWater: empty full-deque sweeps, and the stealing
+	// scheduler's active-worker high-water mark (Explore seeds workerHigh
+	// with the pool size for the non-stealing paths).
+	stealMisses atomic.Int64
+	workerHigh  atomic.Int64
 }
 
 // release returns a dead world's shell and exclusively owned containers
@@ -255,6 +261,21 @@ func (d *wsDeque) steal() (Unit, bool) {
 	return u, ok
 }
 
+// Autoscaler tuning (Explorer.AutoWorkers). The control law is a
+// hysteresis pair: shrink needs autoMissStreak consecutive empty sweeps
+// from the highest-indexed active worker (work is scarce), grow needs the
+// pending counter to exceed autoGrowFactor times the active set (work is
+// abundant) — the two conditions cannot hold at once, so the set cannot
+// flap. Parked workers poll on a doubling backoff between autoParkMin and
+// autoParkMax, replacing the 20µs idle spin that otherwise burns a core
+// per surplus worker.
+const (
+	autoMissStreak = 4
+	autoGrowFactor = 2
+	autoParkMin    = 50 * time.Microsecond
+	autoParkMax    = 500 * time.Microsecond
+)
+
 // runStealing drains the frontier with per-worker deques and work
 // stealing. Roots are dealt round-robin so every worker starts local;
 // successors go to the expanding worker's own deque. An idle worker scans
@@ -263,6 +284,14 @@ func (d *wsDeque) steal() (Unit, bool) {
 // means in-flight expansions may still publish work, so it backs off and
 // rescans. No global lock, no condition-variable broadcast storms — the
 // hot path touches exactly one deque mutex per unit.
+//
+// Under AutoWorkers the pool additionally resizes itself mid-run: workers
+// with index >= the atomic active target park (their deques stay
+// stealable, so no unit is ever stranded), the highest-indexed active
+// worker lowers the target after a streak of empty sweeps, and publishing
+// a backlog raises it again. Worker 0 never parks and parked workers
+// still poll the pending counter, so the termination argument — every
+// worker observes pending == 0 — is unchanged.
 func (x *Explorer) runStealing(ctx *Ctx, strat Strategy, units []Unit, reports []*Report) {
 	n := len(reports)
 	deques := make([]wsDeque, n)
@@ -282,14 +311,47 @@ func (x *Explorer) runStealing(ctx *Ctx, strat Strategy, units []Unit, reports [
 	clearUnits(units)
 	var pending atomic.Int64
 	pending.Store(int64(accepted))
+	// active is the autoscaler's worker-count target. Fixed pools pin it
+	// at n; autoscaled pools start at the root frontier's width (no point
+	// spinning eight thieves over three chains) and move inside [1, n].
+	var active atomic.Int64
+	auto := x.AutoWorkers && n > 1
+	if auto {
+		start := int64(accepted)
+		if start < 1 {
+			start = 1
+		}
+		if start > int64(n) {
+			start = int64(n)
+		}
+		active.Store(start)
+		ctx.workerHigh.Store(start)
+	} else {
+		active.Store(int64(n))
+	}
 	var wg sync.WaitGroup
 	for wi := 0; wi < n; wi++ {
 		wi, r := wi, reports[wi]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			idle := 0
+			idle, missStreak := 0, 0
+			parkSleep := autoParkMin
 			for {
+				if auto && wi > 0 && int64(wi) >= active.Load() {
+					// Parked: off the steal path entirely. The deque stays
+					// stealable and pending is still polled, so work cannot
+					// strand and termination still reaches every worker.
+					if pending.Load() == 0 {
+						return
+					}
+					time.Sleep(parkSleep)
+					if parkSleep *= 2; parkSleep > autoParkMax {
+						parkSleep = autoParkMax
+					}
+					continue
+				}
+				parkSleep = autoParkMin
 				u, ok := deques[wi].popTail()
 				for off := 1; !ok && off < n; off++ {
 					u, ok = deques[(wi+off)%n].steal()
@@ -297,6 +359,17 @@ func (x *Explorer) runStealing(ctx *Ctx, strat Strategy, units []Unit, reports [
 				if !ok {
 					if pending.Load() == 0 {
 						return
+					}
+					ctx.stealMisses.Add(1)
+					if auto {
+						if missStreak++; missStreak >= autoMissStreak {
+							// Persistent scarcity: the highest-indexed active
+							// worker bows out (and parks on the next pass).
+							if cur := active.Load(); cur > 1 && int64(wi) == cur-1 {
+								active.CompareAndSwap(cur, cur-1)
+							}
+							missStreak = 0
+						}
 					}
 					// Work is in expansion elsewhere and may fan out; yield,
 					// then sleep once yielding has not produced anything.
@@ -307,7 +380,7 @@ func (x *Explorer) runStealing(ctx *Ctx, strat Strategy, units []Unit, reports [
 					}
 					continue
 				}
-				idle = 0
+				idle, missStreak = 0, 0
 
 				var succ []Unit
 				if ctx.Exhausted() {
@@ -320,7 +393,23 @@ func (x *Explorer) runStealing(ctx *Ctx, strat Strategy, units []Unit, reports [
 				// Publish successors before giving up this unit's pending
 				// slot, so the counter never reads zero while work exists.
 				accepted := deques[wi].pushAll(succ)
-				pending.Add(int64(accepted) - 1)
+				p := pending.Add(int64(accepted) - 1)
+				if auto && accepted > 0 {
+					// Abundance: published work outgrew the active set;
+					// raise the target so a parked worker rejoins.
+					for {
+						cur := active.Load()
+						if cur >= int64(n) || p <= autoGrowFactor*cur {
+							break
+						}
+						if active.CompareAndSwap(cur, cur+1) {
+							if hw := ctx.workerHigh.Load(); cur+1 > hw {
+								ctx.workerHigh.CompareAndSwap(hw, cur+1)
+							}
+							break
+						}
+					}
+				}
 			}
 		}()
 	}

@@ -34,9 +34,11 @@ type deployment struct {
 // the same systems.
 func build(cfg *Config) (*deployment, error) {
 	ccfg := core.Config{
-		ContainPanics:    true,
-		DecisionSlot:     cfg.DecisionSlot,
-		LookaheadWorkers: cfg.LookaheadWorkers,
+		ContainPanics:        true,
+		DecisionSlot:         cfg.DecisionSlot,
+		LookaheadWorkers:     cfg.LookaheadWorkers,
+		LookaheadClassCache:  cfg.LookaheadClassCache,
+		LookaheadAutoWorkers: cfg.LookaheadAutoWorkers,
 	}
 	switch cfg.App {
 	case "paxos":

@@ -53,6 +53,14 @@ type Config struct {
 	DecisionSlot time.Duration
 	// LookaheadWorkers sizes the worker pool of runtime lookaheads.
 	LookaheadWorkers int
+	// LookaheadClassCache caches steering/resolve verdicts under
+	// canonical violation-class and scenario keys, skipping full
+	// lookaheads for previously judged scenarios (see
+	// core.Config.LookaheadClassCache).
+	LookaheadClassCache bool
+	// LookaheadAutoWorkers lets runtime lookaheads autoscale their
+	// worker pool mid-run (see core.Config.LookaheadAutoWorkers).
+	LookaheadAutoWorkers bool
 	// Spec optionally scripts faults under the traffic: only the spec's
 	// fault timeline (Faults + Flaps) is used — topology, resolver, and
 	// workload still come from this Config. Restart/reset events use the
@@ -112,11 +120,13 @@ type Result struct {
 	SteerLatency   core.LatencyHist
 	ResolveLatency core.LatencyHist
 
-	Steered, SteeringChecks       uint64
-	CacheHits, CacheMisses        uint64
-	DroppedWindows                uint64
-	Predictions, AsyncPredictions uint64
-	LookaheadStates               uint64
+	Steered, SteeringChecks          uint64
+	CacheHits, CacheMisses           uint64
+	ClassCacheHits, ClassCacheMisses uint64
+	ClassInvalidations               uint64
+	DroppedWindows                   uint64
+	Predictions, AsyncPredictions    uint64
+	LookaheadStates                  uint64
 
 	// StateDigest is the full digest of the cluster's final state,
 	// materialized as an explorer world. Identical configs must produce
@@ -126,12 +136,11 @@ type Result struct {
 }
 
 // CacheHitRate returns lookahead decision-cache hits over lookups.
-func (r Result) CacheHitRate() float64 {
-	total := r.CacheHits + r.CacheMisses
-	if total == 0 {
-		return 0
-	}
-	return float64(r.CacheHits) / float64(total)
+func (r Result) CacheHitRate() float64 { return core.HitRate(r.CacheHits, r.CacheMisses) }
+
+// ClassCacheHitRate returns class-verdict cache hits over lookups.
+func (r Result) ClassCacheHitRate() float64 {
+	return core.HitRate(r.ClassCacheHits, r.ClassCacheMisses)
 }
 
 // Run executes one load run: deploy, schedule the open-loop op stream
@@ -189,6 +198,9 @@ func Run(cfg Config) (Result, error) {
 	res.SteeringChecks = final.SteeringChecks - warm.SteeringChecks
 	res.CacheHits = final.CacheHits - warm.CacheHits
 	res.CacheMisses = final.CacheMisses - warm.CacheMisses
+	res.ClassCacheHits = final.ClassCacheHits - warm.ClassCacheHits
+	res.ClassCacheMisses = final.ClassCacheMisses - warm.ClassCacheMisses
+	res.ClassInvalidations = final.ClassInvalidations - warm.ClassInvalidations
 	res.DroppedWindows = final.DroppedWindows - warm.DroppedWindows
 	res.Predictions = final.Predictions - warm.Predictions
 	res.AsyncPredictions = final.AsyncPredictions - warm.AsyncPredictions

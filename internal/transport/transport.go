@@ -102,6 +102,13 @@ type Network struct {
 	// fresh connection may be established. Default 1s.
 	ReconnectDelay time.Duration
 
+	// topoListener, when set, is invoked synchronously after every
+	// partition-relation change (Partition, Heal, HealGroups). The
+	// CrystalBall runtime registers it to invalidate cached steering and
+	// resolution verdicts: a verdict computed under one reachability
+	// relation says nothing about another.
+	topoListener func()
+
 	// Monitor, when set, observes every delivered message (after filters,
 	// before the handler). Experiment harnesses use it for traffic
 	// accounting, e.g. cross-ISP byte counts.
@@ -166,6 +173,18 @@ func (n *Network) ep(id NodeID) *endpoint {
 	return ep
 }
 
+// SetTopoListener registers the callback invoked after every
+// partition-relation change. At most one listener is supported; nil
+// clears it. Crash and Restart are not reported here — they flow through
+// the runtime's own Cluster methods, which observe them directly.
+func (n *Network) SetTopoListener(l func()) { n.topoListener = l }
+
+func (n *Network) topoChanged() {
+	if n.topoListener != nil {
+		n.topoListener()
+	}
+}
+
 // Crash takes the endpoint down: all queued and future messages to or from
 // it are dropped until Restart.
 func (n *Network) Crash(id NodeID) { n.ep(id).up = false }
@@ -189,10 +208,14 @@ func (n *Network) Partition(a, b []NodeID) {
 			n.partitioned[pairKey{y, x}] = true
 		}
 	}
+	n.topoChanged()
 }
 
 // Heal removes all partitions.
-func (n *Network) Heal() { n.partitioned = make(map[pairKey]bool) }
+func (n *Network) Heal() {
+	n.partitioned = make(map[pairKey]bool)
+	n.topoChanged()
+}
 
 // HealGroups removes the partition between every node in a and every node
 // in b, in both directions, leaving any other active partition in place.
@@ -205,6 +228,7 @@ func (n *Network) HealGroups(a, b []NodeID) {
 			delete(n.partitioned, pairKey{y, x})
 		}
 	}
+	n.topoChanged()
 }
 
 // Partitions returns the currently partitioned node pairs, sorted and
